@@ -1,0 +1,33 @@
+//! Micro-benchmarks of the data plane: synthetic generation, partitioning,
+//! distribution distances and batch gathering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedmigr_data::distribution::{label_distribution, pairwise_distance_matrix};
+use fedmigr_data::{partition_dominant, partition_shards, SyntheticConfig, SyntheticDataset};
+use std::hint::black_box;
+
+fn bench_data(c: &mut Criterion) {
+    c.bench_function("generate_c10_like_80pc", |b| {
+        b.iter(|| black_box(SyntheticDataset::generate(&SyntheticConfig::c10_like(80, 1))))
+    });
+
+    let ds = SyntheticDataset::generate(&SyntheticConfig::c10_like(80, 1)).train;
+    c.bench_function("partition_shards_10", |b| {
+        b.iter(|| black_box(partition_shards(&ds, 10, 1, 7)))
+    });
+    c.bench_function("partition_dominant_10", |b| {
+        b.iter(|| black_box(partition_dominant(&ds, 10, 0.6, 7)))
+    });
+
+    let parts = partition_shards(&ds, 10, 1, 7);
+    let dists: Vec<Vec<f64>> = parts.iter().map(|p| label_distribution(&ds, p)).collect();
+    c.bench_function("pairwise_distance_10x10", |b| {
+        b.iter(|| black_box(pairwise_distance_matrix(&dists)))
+    });
+
+    let indices: Vec<usize> = (0..64).collect();
+    c.bench_function("batch_gather_64", |b| b.iter(|| black_box(ds.batch(&indices))));
+}
+
+criterion_group!(benches, bench_data);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion form of Fig. 6: migration-decision latency of the S-COP
+//! (relaxed-FLMM mirror-descent solve) vs DRL inference, as the client
+//! count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedmigr_core::MigrationPlan;
+use fedmigr_drl::qp::FlmmRelaxation;
+use fedmigr_drl::{AgentConfig, DdpgAgent, MigrationState};
+use std::hint::black_box;
+
+fn instance(k: usize) -> FlmmRelaxation {
+    FlmmRelaxation {
+        benefit: (0..k)
+            .map(|i| (0..k).map(|j| if i == j { 0.0 } else { ((i + j) % 7) as f64 / 3.5 }).collect())
+            .collect(),
+        cost: (0..k)
+            .map(|i| (0..k).map(|j| ((i * 31 + j * 17) % 10) as f64 / 10.0).collect())
+            .collect(),
+        lambda: 0.1,
+        entropy: 0.05,
+    }
+}
+
+fn bench_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision_time");
+    group.sample_size(10);
+    for k in [10usize, 40, 100] {
+        let relax = instance(k);
+        group.bench_with_input(BenchmarkId::new("scop_solve", k), &k, |b, _| {
+            b.iter(|| {
+                let p = relax.solve(300, 0.2);
+                black_box(FlmmRelaxation::round(&p))
+            })
+        });
+
+        let featurizer = MigrationState::new(k);
+        let mut agent = DdpgAgent::new(AgentConfig::new(featurizer.dim(), k, 1));
+        let states: Vec<Vec<f32>> = (0..k)
+            .map(|i| featurizer.build(0.5, 1.0, -0.01, 0.9, 0.9, &relax.benefit[i]))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("drl_inference", k), &k, |b, _| {
+            b.iter(|| {
+                let scores: Vec<Vec<f64>> = states
+                    .iter()
+                    .map(|s| agent.action_probs(s).iter().map(|&p| p as f64).collect())
+                    .collect();
+                black_box(MigrationPlan::greedy_assignment(&scores))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision);
+criterion_main!(benches);

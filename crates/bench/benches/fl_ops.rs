@@ -1,0 +1,51 @@
+//! Micro-benchmarks of the FL-plane operations: weighted aggregation
+//! (Eq. 7), parameter wire encoding, migration routing, and DP noising.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedmigr_core::{DpConfig, MigrationPlan};
+use fedmigr_nn::params::{decode_params, encode_params, weighted_average};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_fl_ops(c: &mut Criterion) {
+    let dim = 25_000; // Roughly the small C10-CNN's parameter count.
+    let k = 10;
+    let models: Vec<Vec<f32>> = (0..k)
+        .map(|i| (0..dim).map(|j| ((i * dim + j) as f32 * 1e-4).sin()).collect())
+        .collect();
+
+    c.bench_function("aggregate_10x25k", |b| {
+        b.iter(|| {
+            let entries: Vec<(&[f32], f64)> =
+                models.iter().map(|m| (m.as_slice(), 100.0)).collect();
+            black_box(weighted_average(&entries))
+        })
+    });
+
+    c.bench_function("encode_decode_25k", |b| {
+        b.iter(|| {
+            let bytes = encode_params(&models[0]);
+            black_box(decode_params(bytes).unwrap())
+        })
+    });
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let plan = MigrationPlan::random(k, &mut rng);
+    c.bench_function("migration_route_10x25k", |b| {
+        b.iter(|| black_box(plan.apply(&models)))
+    });
+
+    let dp = DpConfig::with_epsilon(1000.0);
+    c.bench_function("dp_clip_noise_25k", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut p = models[0].clone();
+            dp.apply(&mut p, &mut rng);
+            black_box(p)
+        })
+    });
+}
+
+criterion_group!(benches, bench_fl_ops);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Micro-benchmarks of the neural-network substrate: the kernels every FL
+//! epoch is made of (conv/dense forward+backward, matmul, loss).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedmigr_nn::{softmax_cross_entropy, Conv2d, Dense, Layer};
+use fedmigr_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let a = Tensor::randn(&[64, 128], 1.0, &mut rng);
+    let b = Tensor::randn(&[128, 64], 1.0, &mut rng);
+    c.bench_function("matmul_64x128x64", |bch| bch.iter(|| black_box(a.matmul(&b))));
+
+    let mut dense = Dense::new(256, 128, 2);
+    let x = Tensor::randn(&[32, 256], 1.0, &mut rng);
+    c.bench_function("dense_forward_backward_b32", |bch| {
+        bch.iter(|| {
+            let y = dense.forward(&x, true);
+            dense.zero_grad();
+            black_box(dense.backward(&Tensor::ones(y.shape())))
+        })
+    });
+
+    let mut conv = Conv2d::new(3, 8, 5, 1, 2, 3);
+    let img = Tensor::randn(&[32, 3, 8, 8], 1.0, &mut rng);
+    c.bench_function("conv2d_5x5_forward_backward_b32", |bch| {
+        bch.iter(|| {
+            let y = conv.forward(&img, true);
+            conv.zero_grad();
+            black_box(conv.backward(&Tensor::ones(y.shape())))
+        })
+    });
+
+    let logits = Tensor::randn(&[64, 100], 1.0, &mut rng);
+    let labels: Vec<usize> = (0..64).map(|i| i % 100).collect();
+    c.bench_function("softmax_cross_entropy_b64_l100", |bch| {
+        bch.iter(|| black_box(softmax_cross_entropy(&logits, &labels)))
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

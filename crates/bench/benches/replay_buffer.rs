@@ -1,0 +1,53 @@
+//! Micro-benchmarks of the prioritized replay buffer (sum-tree push,
+//! sample, priority update).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedmigr_drl::{PrioritizedReplay, Transition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn transition(i: usize) -> Transition {
+    Transition {
+        state: vec![i as f32; 16],
+        action: i % 10,
+        reward: (i as f32).sin(),
+        next_state: vec![i as f32 + 1.0; 16],
+        done: false,
+    }
+}
+
+fn bench_replay(c: &mut Criterion) {
+    c.bench_function("replay_push_4096", |b| {
+        b.iter(|| {
+            let mut buf = PrioritizedReplay::new(4096, 0.6, 0.4);
+            for i in 0..4096 {
+                buf.push(transition(i));
+            }
+            black_box(buf.len())
+        })
+    });
+
+    let mut buf = PrioritizedReplay::new(4096, 0.6, 0.4);
+    for i in 0..4096 {
+        buf.push(transition(i));
+    }
+    for i in 0..4096 {
+        buf.update_priority(i, 1.0 + (i % 17) as f64);
+    }
+    c.bench_function("replay_sample_32_of_4096", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| black_box(buf.sample(32, &mut rng).len()))
+    });
+
+    c.bench_function("replay_update_priority", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            buf.update_priority(i % 4096, 1.0 + (i % 31) as f64);
+            i += 1;
+        })
+    });
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

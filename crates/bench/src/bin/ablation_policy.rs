@@ -1,0 +1,40 @@
+//! Ablation (policy): compares FedMigr policy variants (pure oracle, pure
+//! actor, blended) against RandMigr on the non-IID C10 workload, and prints
+//! migration statistics to verify the policy path is exercised.
+
+use fedmigr_bench::{build_experiment, standard_config, Partition, Scale, Workload};
+use fedmigr_core::{FedMigrConfig, Scheme};
+
+fn main() {
+    let seeds = [17u64, 29, 43];
+    let mut totals: Vec<(String, f64)> = Vec::new();
+    for &seed in &seeds {
+        let exp = build_experiment(Workload::C10, Partition::Shards, Scale::Smoke, seed);
+        let mut run = |label: &str, scheme: Scheme| {
+            let cfg = standard_config(scheme, Scale::Smoke, seed);
+            let m = exp.run(&cfg);
+            println!(
+                "seed {seed} {label:>12}: best={:.1}% final={:.1}% moves(local={}, global={})",
+                100.0 * m.best_accuracy(),
+                100.0 * m.final_accuracy(),
+                m.migrations_local,
+                m.migrations_global,
+            );
+            if let Some(t) = totals.iter_mut().find(|(l, _)| l == label) {
+                t.1 += m.best_accuracy();
+            } else {
+                totals.push((label.to_string(), m.best_accuracy()));
+            }
+        };
+        run("RandMigr", Scheme::RandMigr);
+        for rho in [1.0, 0.7] {
+            let mut fc = FedMigrConfig::new(seed);
+            fc.rho = rho;
+            run(&format!("FedMigr r{rho}"), Scheme::FedMigr(fc));
+        }
+    }
+    println!("-- means over {} seeds --", seeds.len());
+    for (label, total) in totals {
+        println!("{label:>12}: {:.1}%", 100.0 * total / seeds.len() as f64);
+    }
+}

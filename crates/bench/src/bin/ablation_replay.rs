@@ -1,0 +1,26 @@
+//! Ablation (replay): prioritized experience replay (ξ = 0.6, Eq. 26) vs
+//! uniform replay (ξ = 0) inside FedMigr's EMPG agent, averaged over seeds.
+//!
+//! Usage: `ablation_replay [--scale smoke|paper]`
+
+use fedmigr_bench::{build_experiment, print_header, print_row, standard_config, Partition, Scale, Workload};
+use fedmigr_core::{FedMigrConfig, Scheme};
+
+fn main() {
+    let scale = Scale::from_args();
+    let seeds = [17u64, 29, 43];
+
+    println!("# Ablation: prioritized vs uniform experience replay\n");
+    print_header(&["replay", "mean best accuracy (%)"]);
+    for (label, xi) in [("prioritized (xi=0.6)", 0.6), ("uniform (xi=0)", 0.0)] {
+        let mut total = 0.0;
+        for &seed in &seeds {
+            let exp = build_experiment(Workload::C10, Partition::Shards, scale, seed);
+            let mut fc = FedMigrConfig::new(seed);
+            fc.replay_xi = xi;
+            let cfg = standard_config(Scheme::FedMigr(fc), scale, seed);
+            total += exp.run(&cfg).best_accuracy();
+        }
+        print_row(&[label.to_string(), format!("{:.1}", 100.0 * total / seeds.len() as f64)]);
+    }
+}

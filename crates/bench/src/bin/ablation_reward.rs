@@ -1,0 +1,43 @@
+//! Ablation (reward): the resource terms of Eq. 17 (`-c^t/B_c - b^t/B_b`)
+//! on vs off, under a finite bandwidth budget. With the terms on, the agent
+//! is pushed towards cheaper links and the run stretches further before the
+//! budget runs out.
+//!
+//! Usage: `ablation_reward [--scale smoke|paper]`
+
+use fedmigr_bench::{
+    build_experiment, fmt_mb, print_header, print_row, standard_config, Partition, Scale,
+    Workload,
+};
+use fedmigr_core::{FedMigrConfig, Scheme};
+use fedmigr_net::ResourceBudget;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = 73;
+    let exp = build_experiment(Workload::C10, Partition::Shards, scale, seed);
+
+    // Budget sized to bite partway through the run.
+    let probe = {
+        let cfg = standard_config(Scheme::fedmigr(seed), scale, seed);
+        exp.run(&cfg)
+    };
+    let budget_bytes = probe.traffic().total() as f64 * 0.6;
+
+    println!("# Ablation: reward with vs without resource terms (Eq. 17)\n");
+    print_header(&["reward", "best accuracy (%)", "traffic (MB)", "epochs run", "budget hit"]);
+    for (label, resource_reward) in [("loss + resources", true), ("loss only", false)] {
+        let mut fc = FedMigrConfig::new(seed);
+        fc.resource_reward = resource_reward;
+        let mut cfg = standard_config(Scheme::FedMigr(fc), scale, seed);
+        cfg.budget = ResourceBudget::bandwidth_only(budget_bytes);
+        let m = exp.run(&cfg);
+        print_row(&[
+            label.to_string(),
+            format!("{:.1}", 100.0 * m.best_accuracy()),
+            fmt_mb(m.traffic().total()),
+            m.epochs().to_string(),
+            m.budget_exhausted.to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Fig. 3: test accuracy of model training under three fixed migration
+//! strategies — cross-LAN, random and within-LAN — with the clients of each
+//! LAN sharing a data distribution (AlexNet on CIFAR-10 in the paper).
+//!
+//! Expected shape: cross-LAN > random > within-LAN, because migrating
+//! across LANs is the only way a model sees new label distributions.
+//!
+//! Usage: `fig3_strategies [--scale smoke|paper]`
+
+use fedmigr_bench::{print_header, print_row, standard_config, Scale};
+use fedmigr_core::{Experiment, MigrationStrategy, Scheme};
+use fedmigr_data::{partition_lan_shards, SyntheticConfig, SyntheticDataset};
+use fedmigr_net::{ClientCompute, Topology, TopologyConfig};
+use fedmigr_nn::zoo::{self, NetScale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = 23;
+    let lan_sizes = [4usize, 3, 3];
+    let data = SyntheticDataset::generate(&SyntheticConfig::c10_like(
+        scale.train_per_class(),
+        seed,
+    ));
+    let parts = partition_lan_shards(&data.train, &lan_sizes, seed);
+    let exp = Experiment::new(
+        data.train,
+        data.test,
+        parts,
+        Topology::new(&TopologyConfig::c10_sim(seed)),
+        ClientCompute::testbed_mix(10),
+        zoo::alexnet_lite(3, 8, NetScale::Small, seed),
+    );
+
+    println!("# Fig. 3: accuracy under fixed migration strategies (LAN-shared data)\n");
+    let strategies = [
+        MigrationStrategy::CrossLan,
+        MigrationStrategy::Random,
+        MigrationStrategy::WithinLan,
+    ];
+    let mut curves = Vec::new();
+    for strategy in strategies {
+        let cfg = standard_config(Scheme::Fixed(strategy), scale, seed);
+        let m = exp.run(&cfg);
+        curves.push((strategy.name(), m));
+    }
+    print_header(&["epoch", "cross-LAN", "random", "within-LAN"]);
+    let epochs: Vec<usize> = curves[0]
+        .1
+        .records
+        .iter()
+        .filter(|r| r.test_accuracy.is_some())
+        .map(|r| r.epoch)
+        .collect();
+    for e in epochs {
+        let row: Vec<String> = std::iter::once(e.to_string())
+            .chain(curves.iter().map(|(_, m)| {
+                m.records
+                    .iter()
+                    .find(|r| r.epoch == e)
+                    .and_then(|r| r.test_accuracy)
+                    .map(|a| format!("{:.1}", 100.0 * a))
+                    .unwrap_or_default()
+            }))
+            .collect();
+        print_row(&row);
+    }
+    println!();
+    for (name, m) in &curves {
+        println!("{name:>11}: best accuracy {:.1}%", 100.0 * m.best_accuracy());
+    }
+}

@@ -1,0 +1,37 @@
+//! Fig. 5: effect of the model-migration frequency — FedMigr accuracy as a
+//! function of the aggregation interval ('agg2' … 'agg100': number of
+//! epochs, i.e. migration rounds + 1, per global iteration).
+//!
+//! Expected shape: accuracy improves with more migration rounds per global
+//! iteration (the paper reports 63% at agg2 rising to 73% at agg100), until
+//! aggregations become too rare for the run length.
+//!
+//! Usage: `fig5_agg_freq [--scale smoke|paper]`
+
+use fedmigr_bench::{
+    build_experiment, print_header, print_row, standard_config, Partition, Scale, Workload,
+};
+use fedmigr_core::Scheme;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = 41;
+    let exp = build_experiment(Workload::C10, Partition::Shards, scale, seed);
+    let intervals: &[usize] = match scale {
+        Scale::Smoke => &[2, 5, 10, 20, 50],
+        Scale::Paper => &[2, 5, 10, 20, 50, 100],
+    };
+
+    println!("# Fig. 5: FedMigr accuracy vs aggregation interval\n");
+    print_header(&["agg interval", "migrations per iter", "best accuracy (%)"]);
+    for &interval in intervals {
+        let mut cfg = standard_config(Scheme::fedmigr(seed), scale, seed);
+        cfg.agg_interval = interval;
+        let m = exp.run(&cfg);
+        print_row(&[
+            format!("agg{interval}"),
+            (interval - 1).to_string(),
+            format!("{:.1}", 100.0 * m.best_accuracy()),
+        ]);
+    }
+}

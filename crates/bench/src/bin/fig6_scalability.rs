@@ -1,0 +1,69 @@
+//! Fig. 6: scalability of decision making — wall-clock time to produce one
+//! round's migration policy by (a) solving a convex optimization problem
+//! (S-COP, the relaxed FLMM via mirror descent at solver-grade iteration
+//! counts) vs (b) DRL inference (one actor forward pass per client plus the
+//! greedy assignment), as the number of clients grows from 10 to 100.
+//!
+//! Expected shape: DRL inference time grows far more slowly than S-COP.
+//!
+//! Usage: `fig6_scalability [--reps 20]`
+
+use std::time::Instant;
+
+use fedmigr_bench::{print_header, print_row};
+use fedmigr_core::MigrationPlan;
+use fedmigr_drl::qp::FlmmRelaxation;
+use fedmigr_drl::{AgentConfig, DdpgAgent, MigrationState};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let reps: usize = args
+        .windows(2)
+        .find(|w| w[0] == "--reps")
+        .map(|w| w[1].parse().expect("bad reps"))
+        .unwrap_or(20);
+
+    println!("# Fig. 6: decision-making time vs number of clients\n");
+    print_header(&["clients", "S-COP (ms)", "DRL inference (ms)", "speedup"]);
+    for k in [10usize, 20, 40, 60, 80, 100] {
+        // A synthetic but structured instance: block distance pattern.
+        let benefit: Vec<Vec<f64>> = (0..k)
+            .map(|i| (0..k).map(|j| if i == j { 0.0 } else { ((i + j) % 7) as f64 / 3.5 }).collect())
+            .collect();
+        let cost: Vec<Vec<f64>> = (0..k)
+            .map(|i| (0..k).map(|j| ((i * 31 + j * 17) % 10) as f64 / 10.0).collect())
+            .collect();
+        let relax = FlmmRelaxation { benefit: benefit.clone(), cost, lambda: 0.1, entropy: 0.05 };
+
+        // (a) S-COP: solver-grade iteration count.
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let p = relax.solve(300, 0.2);
+            std::hint::black_box(FlmmRelaxation::round(&p));
+        }
+        let scop_ms = t0.elapsed().as_secs_f64() * 1000.0 / reps as f64;
+
+        // (b) DRL inference: K actor forwards + greedy assignment.
+        let featurizer = MigrationState::new(k);
+        let mut agent = DdpgAgent::new(AgentConfig::new(featurizer.dim(), k, 1));
+        let states: Vec<Vec<f32>> = (0..k)
+            .map(|i| featurizer.build(0.5, 1.0, -0.01, 0.9, 0.9, &benefit[i]))
+            .collect();
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let scores: Vec<Vec<f64>> = states
+                .iter()
+                .map(|s| agent.action_probs(s).iter().map(|&p| p as f64).collect())
+                .collect();
+            std::hint::black_box(MigrationPlan::greedy_assignment(&scores));
+        }
+        let drl_ms = t0.elapsed().as_secs_f64() * 1000.0 / reps as f64;
+
+        print_row(&[
+            k.to_string(),
+            format!("{scop_ms:.2}"),
+            format!("{drl_ms:.2}"),
+            format!("{:.1}x", scop_ms / drl_ms),
+        ]);
+    }
+}

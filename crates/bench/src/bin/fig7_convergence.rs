@@ -1,0 +1,41 @@
+//! Fig. 7: convergence performance — training epochs each scheme needs to
+//! reach a target accuracy (CNN over CIFAR-10 in the paper's test-bed).
+//!
+//! Expected shape: FedMigr needs the fewest epochs, then RandMigr, then
+//! FedSwap, then FedProx/FedAvg.
+//!
+//! Usage: `fig7_convergence [--scale smoke|paper] [--target 0.70]`
+
+use fedmigr_bench::{
+    all_schemes, build_experiment, print_header, print_row, standard_config, Partition, Scale,
+    Workload,
+};
+
+fn main() {
+    let scale = Scale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let target: f64 = args
+        .windows(2)
+        .find(|w| w[0] == "--target")
+        .map(|w| w[1].parse().expect("bad target"))
+        .unwrap_or(0.70);
+    let seed = 47;
+    let exp = build_experiment(Workload::C10, Partition::Shards, scale, seed);
+
+    println!("# Fig. 7: epochs to reach {:.0}% accuracy (one-class-per-client non-IID)\n", 100.0 * target);
+    print_header(&["Scheme", "Epochs to target", "Best accuracy (%)"]);
+    for scheme in all_schemes(seed) {
+        let mut cfg = standard_config(scheme.clone(), scale, seed);
+        cfg.epochs = scale.epochs() * 2;
+        cfg.eval_interval = 5;
+        cfg.target_accuracy = Some(target);
+        let m = exp.run(&cfg);
+        print_row(&[
+            scheme.name(),
+            m.epochs_to_accuracy(target)
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| format!("> {}", m.epochs())),
+            format!("{:.1}", 100.0 * m.best_accuracy()),
+        ]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Fig. 8: communication frequency of C2C links by speed class. FedMigr's
+//! λ-weighted cost term makes the agent prefer fast links for migration.
+//!
+//! Expected shape: fast links carry the most migrations, slow links the
+//! fewest (per-link average).
+//!
+//! Usage: `fig8_link_speed [--scale smoke|paper]`
+
+use fedmigr_bench::{
+    build_experiment, print_header, print_row, standard_config, Partition, Scale, Workload,
+};
+use fedmigr_core::Scheme;
+use fedmigr_net::LinkClass;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = 53;
+    let exp = build_experiment(Workload::C10, Partition::Shards, scale, seed);
+    let k = exp.num_clients();
+
+    let mut cfg = standard_config(Scheme::fedmigr(seed), scale, seed);
+    // Emphasize link awareness as in the paper's Fig. 8 experiment.
+    if let Scheme::FedMigr(fc) = &mut cfg.scheme {
+        fc.lambda = 0.3;
+    }
+    let m = exp.run(&cfg);
+
+    let mut count_by_class = [(0u64, 0u64); 3]; // (migrations, links)
+    let class_idx = |c: LinkClass| match c {
+        LinkClass::Fast => 0,
+        LinkClass::Moderate => 1,
+        LinkClass::Slow => 2,
+    };
+    for i in 0..k {
+        for j in 0..k {
+            if i == j {
+                continue;
+            }
+            let idx = class_idx(exp.topology().link_class(i, j));
+            count_by_class[idx].0 += m.link_migrations[i * k + j] as u64;
+            count_by_class[idx].1 += 1;
+        }
+    }
+
+    println!("# Fig. 8: migration frequency by C2C link speed class\n");
+    print_header(&["link class", "links", "migrations", "migrations per link"]);
+    for (name, (migr, links)) in ["fast", "moderate", "slow"].iter().zip(count_by_class) {
+        print_row(&[
+            name.to_string(),
+            links.to_string(),
+            migr.to_string(),
+            format!("{:.2}", migr as f64 / links.max(1) as f64),
+        ]);
+    }
+
+    // Per-link detail for the 15 busiest links (the paper samples 15).
+    let mut links: Vec<(usize, usize, u32)> = (0..k)
+        .flat_map(|i| (0..k).map(move |j| (i, j)))
+        .filter(|&(i, j)| i != j)
+        .map(|(i, j)| (i, j, m.link_migrations[i * k + j]))
+        .collect();
+    links.sort_by_key(|&(_, _, c)| std::cmp::Reverse(c));
+    println!("\nBusiest 15 links:");
+    print_header(&["link", "class", "migrations"]);
+    for (i, j, c) in links.into_iter().take(15) {
+        print_row(&[
+            format!("{i}->{j}"),
+            format!("{:?}", exp.topology().link_class(i, j)),
+            c.to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Fig. 9: test accuracy under bandwidth and completion-time budgets. Each
+//! scheme runs once without constraints; the curves report the best
+//! accuracy reached within each budget prefix.
+//!
+//! Expected shape: FedMigr dominates at every budget; the gap is widest at
+//! tight budgets (migration traffic is cheap, C2S traffic is not).
+//!
+//! Usage: `fig9_budgets [--scale smoke|paper]`
+
+use fedmigr_bench::{
+    all_schemes, build_experiment, print_header, print_row, standard_config, Partition, Scale,
+    Workload,
+};
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = 59;
+    let exp = build_experiment(Workload::C10, Partition::Shards, scale, seed);
+
+    let runs: Vec<_> = all_schemes(seed)
+        .into_iter()
+        .map(|scheme| {
+            let cfg = standard_config(scheme.clone(), scale, seed);
+            (scheme.name(), exp.run(&cfg))
+        })
+        .collect();
+
+    // Budget grids spanning the observed ranges.
+    let max_traffic = runs.iter().map(|(_, m)| m.traffic().total()).max().unwrap_or(0);
+    let max_time = runs.iter().map(|(_, m)| m.sim_time()).fold(0.0f64, f64::max);
+
+    println!("# Fig. 9 (left): accuracy vs bandwidth budget\n");
+    let mut header = vec!["budget (MB)".to_string()];
+    header.extend(runs.iter().map(|(n, _)| n.clone()));
+    print_header(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for frac in [0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let budget = (max_traffic as f64 * frac) as u64;
+        let row: Vec<String> = std::iter::once(format!("{:.1}", budget as f64 / 1e6))
+            .chain(runs.iter().map(|(_, m)| {
+                format!("{:.1}", 100.0 * m.accuracy_within_traffic(budget))
+            }))
+            .collect();
+        print_row(&row);
+    }
+
+    println!("\n# Fig. 9 (right): accuracy vs completion-time budget\n");
+    let mut time_header = vec!["budget (s)".to_string()];
+    time_header.extend(runs.iter().map(|(n, _)| n.clone()));
+    print_header(&time_header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for frac in [0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let budget = max_time * frac;
+        let row: Vec<String> = std::iter::once(format!("{budget:.0} s"))
+            .chain(runs.iter().map(|(_, m)| {
+                format!("{:.1}", 100.0 * m.accuracy_within_time(budget))
+            }))
+            .collect();
+        print_row(&row);
+    }
+}

@@ -1,0 +1,45 @@
+//! Table I: completion time and traffic consumption of FedAvg vs FedMigr
+//! given a target accuracy (the Sec. III-A motivation experiment).
+//!
+//! Expected shape: FedMigr reaches the target with roughly half the time
+//! and traffic of FedAvg (the paper reports -53% time, -47% traffic).
+//!
+//! Usage: `table1_motivation [--scale smoke|paper] [--target 0.70]`
+
+use fedmigr_bench::{
+    build_experiment, fmt_mb, print_header, print_row, standard_config, Partition, Scale,
+    Workload,
+};
+use fedmigr_core::Scheme;
+
+fn main() {
+    let scale = Scale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let target: f64 = args
+        .windows(2)
+        .find(|w| w[0] == "--target")
+        .map(|w| w[1].parse().expect("bad target"))
+        .unwrap_or(0.70);
+    let seed = 31;
+    let exp = build_experiment(Workload::C10, Partition::Shards, scale, seed);
+
+    println!("# Table I: completion time and traffic at target accuracy {:.0}%\n", 100.0 * target);
+    print_header(&["Scheme", "Completion Time (s)", "Traffic (MB)", "Reached"]);
+    for scheme in [Scheme::FedAvg, Scheme::fedmigr(seed)] {
+        let mut cfg = standard_config(scheme.clone(), scale, seed);
+        cfg.epochs = scale.epochs() * 3; // Generous cap so both can reach it.
+        cfg.target_accuracy = Some(target);
+        cfg.eval_interval = 5;
+        let m = exp.run(&cfg);
+        let (time, traffic) = match (m.time_to_accuracy(target), m.traffic_to_accuracy(target)) {
+            (Some(t), Some(b)) => (t, b),
+            _ => (m.sim_time(), m.traffic().total()),
+        };
+        print_row(&[
+            scheme.name(),
+            format!("{time:.0}"),
+            fmt_mb(traffic),
+            if m.target_reached { "yes".into() } else { format!("no (best {:.1}%)", 100.0 * m.best_accuracy()) },
+        ]);
+    }
+}

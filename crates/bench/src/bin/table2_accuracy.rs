@@ -1,0 +1,45 @@
+//! Table II: test accuracy of the five schemes on the three workloads
+//! under IID and non-IID data.
+//!
+//! Usage: `table2_accuracy [--scale smoke|paper] [--workload c10|c100|res|all]`
+
+use fedmigr_bench::{
+    all_schemes, build_experiment, print_header, print_row, standard_config, Partition, Scale,
+    Workload,
+};
+
+fn main() {
+    let scale = Scale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let which = args
+        .windows(2)
+        .find(|w| w[0] == "--workload")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "all".into());
+    let workloads: Vec<Workload> = match which.as_str() {
+        "c10" => vec![Workload::C10],
+        "c100" => vec![Workload::C100],
+        "res" => vec![Workload::ResImageNet],
+        "all" => vec![Workload::C10, Workload::C100, Workload::ResImageNet],
+        other => panic!("unknown workload {other:?}"),
+    };
+    let seed = 17;
+
+    println!("# Table II: test accuracy (%) under IID and non-IID settings\n");
+    print_header(&["Scheme", "Workload", "IID", "non-IID"]);
+    for workload in workloads {
+        let iid = build_experiment(workload, Partition::Iid, scale, seed);
+        let non_iid = build_experiment(workload, Partition::Shards, scale, seed);
+        for scheme in all_schemes(seed) {
+            let cfg = standard_config(scheme.clone(), scale, seed);
+            let acc_iid = iid.run(&cfg).final_accuracy();
+            let acc_non = non_iid.run(&cfg).final_accuracy();
+            print_row(&[
+                scheme.name(),
+                workload.name().into(),
+                format!("{:.1}", 100.0 * acc_iid),
+                format!("{:.1}", 100.0 * acc_non),
+            ]);
+        }
+    }
+}

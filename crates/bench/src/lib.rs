@@ -1,0 +1,258 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the FedMigr paper (see DESIGN.md for the full index).
+//!
+//! Each binary accepts `--scale smoke|paper` (default `smoke`):
+//! `smoke` runs in seconds-to-minutes on a laptop and preserves the
+//! qualitative shape of each result; `paper` uses larger datasets, more
+//! epochs and the paper's aggregation interval of 50.
+
+use fedmigr_core::{Experiment, RunConfig, Scheme};
+use fedmigr_data::{
+    partition_dominant, partition_iid, partition_missing_classes, partition_shards,
+    SyntheticConfig, SyntheticDataset,
+};
+use fedmigr_net::{ClientCompute, Topology, TopologyConfig};
+use fedmigr_nn::zoo::{self, NetScale};
+use fedmigr_nn::Model;
+
+/// Run scale selected on the command line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-to-minutes runs preserving qualitative shape.
+    Smoke,
+    /// Longer runs approximating the paper's settings.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--scale smoke|paper` from `std::env::args`, defaulting to
+    /// smoke.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        for w in args.windows(2) {
+            if w[0] == "--scale" {
+                return match w[1].as_str() {
+                    "paper" => Scale::Paper,
+                    "smoke" => Scale::Smoke,
+                    other => panic!("unknown scale {other:?}; use smoke or paper"),
+                };
+            }
+        }
+        Scale::Smoke
+    }
+
+    /// Training epochs for a standard accuracy experiment.
+    pub fn epochs(self) -> usize {
+        match self {
+            Scale::Smoke => 150,
+            Scale::Paper => 1000,
+        }
+    }
+
+    /// Aggregation interval (`M + 1`).
+    pub fn agg_interval(self) -> usize {
+        match self {
+            Scale::Smoke => 10,
+            Scale::Paper => 50,
+        }
+    }
+
+    /// Training samples generated per class.
+    pub fn train_per_class(self) -> usize {
+        match self {
+            Scale::Smoke => 120,
+            Scale::Paper => 400,
+        }
+    }
+}
+
+/// Which dataset/model pairing an experiment uses, matching the paper's
+/// three workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// C10-CNN over the CIFAR-10 stand-in (10 clients, 3 LANs).
+    C10,
+    /// C100-CNN over the CIFAR-100 stand-in (20 clients, 5 LANs).
+    C100,
+    /// Residual network over the ImageNet-100 stand-in (20 clients, 5 LANs).
+    ResImageNet,
+}
+
+impl Workload {
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::C10 => "C10-CNN",
+            Workload::C100 => "C100-CNN",
+            Workload::ResImageNet => "Res-ImageNet",
+        }
+    }
+
+    /// Number of clients.
+    pub fn clients(self) -> usize {
+        match self {
+            Workload::C10 => 10,
+            _ => 20,
+        }
+    }
+
+    /// LAN layout.
+    pub fn topology_config(self, seed: u64) -> TopologyConfig {
+        match self {
+            Workload::C10 => TopologyConfig::c10_sim(seed),
+            _ => TopologyConfig::c100_sim(seed),
+        }
+    }
+
+    /// Synthetic dataset config.
+    pub fn data_config(self, scale: Scale, seed: u64) -> SyntheticConfig {
+        let per_class = match self {
+            Workload::C10 => scale.train_per_class(),
+            // 100-class datasets keep the per-class count smaller so the
+            // total stays tractable.
+            _ => (scale.train_per_class() / 4).max(20),
+        };
+        match self {
+            Workload::C10 => SyntheticConfig::c10_like(per_class, seed),
+            Workload::C100 => SyntheticConfig::c100_like(per_class, seed),
+            Workload::ResImageNet => SyntheticConfig::imagenet100_like(per_class, seed),
+        }
+    }
+
+    /// Model template.
+    pub fn model(self, seed: u64) -> Model {
+        match self {
+            Workload::C10 => zoo::c10_cnn(3, 8, NetScale::Small, seed),
+            Workload::C100 => zoo::c100_cnn(3, 8, NetScale::Small, seed),
+            Workload::ResImageNet => zoo::mini_resnet(3, 8, 100, 2, NetScale::Small, seed),
+        }
+    }
+}
+
+/// Data layout requested for an experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Partition {
+    /// IID deal.
+    Iid,
+    /// Label shards (the simulation's non-IID layout): C10 gets one class
+    /// per client; the 100-class workloads get 5 classes per client.
+    Shards,
+    /// `p`-dominant class per client (test-bed CIFAR-10 layout).
+    Dominant(f64),
+    /// Each client misses a fraction of classes (test-bed CIFAR-100 layout).
+    MissingClasses(f64),
+}
+
+/// Builds the standard [`Experiment`] for a workload, scale and layout.
+pub fn build_experiment(workload: Workload, partition: Partition, scale: Scale, seed: u64) -> Experiment {
+    build_experiment_with_samples(workload, partition, scale, seed, None)
+}
+
+/// Like [`build_experiment`] but overriding the per-class training-sample
+/// count (used by the non-IID-level sweeps, where scarcer data makes the
+/// dominant-class layout genuinely deprive clients of minority classes).
+pub fn build_experiment_with_samples(
+    workload: Workload,
+    partition: Partition,
+    scale: Scale,
+    seed: u64,
+    per_class: Option<usize>,
+) -> Experiment {
+    let mut data_config = workload.data_config(scale, seed);
+    if let Some(n) = per_class {
+        data_config.train_per_class = n;
+    }
+    let data = SyntheticDataset::generate(&data_config);
+    let k = workload.clients();
+    let parts = match partition {
+        Partition::Iid => partition_iid(&data.train, k, seed),
+        Partition::Shards => {
+            let classes_per_client = data.train.num_classes() / k;
+            partition_shards(&data.train, k, classes_per_client.max(1), seed)
+        }
+        Partition::Dominant(p) => partition_dominant(&data.train, k, p, seed),
+        Partition::MissingClasses(p) => partition_missing_classes(&data.train, k, p, seed),
+    };
+    let topo = Topology::new(&workload.topology_config(seed));
+    Experiment::new(
+        data.train,
+        data.test,
+        parts,
+        topo,
+        ClientCompute::testbed_mix(k),
+        workload.model(seed),
+    )
+}
+
+/// The five schemes of the paper's evaluation, in table order.
+pub fn all_schemes(seed: u64) -> Vec<Scheme> {
+    vec![
+        Scheme::FedAvg,
+        Scheme::FedSwap,
+        Scheme::RandMigr,
+        Scheme::fedprox(),
+        Scheme::fedmigr(seed),
+    ]
+}
+
+/// Standard run configuration for a scale.
+pub fn standard_config(scheme: Scheme, scale: Scale, seed: u64) -> RunConfig {
+    let mut cfg = RunConfig::new(scheme, scale.epochs());
+    cfg.agg_interval = scale.agg_interval();
+    cfg.eval_interval = match scale {
+        Scale::Smoke => 10,
+        Scale::Paper => 25,
+    };
+    // Calibrated so one local epoch neither freezes training (too small)
+    // nor catastrophically overwrites a migrated model (too large).
+    cfg.lr = 0.01;
+    cfg.seed = seed;
+    cfg
+}
+
+/// Prints a Markdown-style table row.
+pub fn print_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a table header with a separator line.
+pub fn print_header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Formats bytes as MB with two decimals.
+pub fn fmt_mb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / 1e6)
+}
+
+/// Formats seconds as hours with two decimals.
+pub fn fmt_hours(seconds: f64) -> String {
+    format!("{:.2}", seconds / 3600.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_metadata() {
+        assert_eq!(Workload::C10.clients(), 10);
+        assert_eq!(Workload::C100.clients(), 20);
+        assert_eq!(Workload::C10.name(), "C10-CNN");
+    }
+
+    #[test]
+    fn build_experiment_smoke_c10() {
+        let exp = build_experiment(Workload::C10, Partition::Shards, Scale::Smoke, 3);
+        assert_eq!(exp.num_clients(), 10);
+    }
+
+    #[test]
+    fn all_schemes_has_five() {
+        let schemes = all_schemes(0);
+        assert_eq!(schemes.len(), 5);
+        assert_eq!(schemes[0].name(), "FedAvg");
+        assert_eq!(schemes[4].name(), "FedMigr");
+    }
+}

@@ -1,0 +1,225 @@
+use fedmigr_net::TrafficBreakdown;
+use serde::Serialize;
+
+/// Per-epoch measurements of a run.
+#[derive(Clone, Debug, Serialize)]
+pub struct EpochRecord {
+    /// 1-based training epoch.
+    pub epoch: usize,
+    /// Mean local training loss across clients (weighted by `n_k`).
+    pub train_loss: f32,
+    /// Test accuracy of the (shadow-)aggregated global model, if this was
+    /// an evaluation epoch.
+    pub test_accuracy: Option<f64>,
+    /// Cumulative traffic at the end of the epoch.
+    pub traffic: TrafficBreakdown,
+    /// Cumulative virtual time (seconds) at the end of the epoch.
+    pub sim_time: f64,
+}
+
+/// Everything a run produced: per-epoch curves, migration statistics and
+/// the stopping condition that ended it.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunMetrics {
+    /// Scheme name (matches the paper's tables).
+    pub scheme: String,
+    /// Per-epoch records, in order.
+    pub records: Vec<EpochRecord>,
+    /// Number of intra-LAN model migrations executed.
+    pub migrations_local: usize,
+    /// Number of cross-LAN model migrations executed.
+    pub migrations_global: usize,
+    /// `K x K` matrix of migration counts per directed client pair
+    /// (row-major), for the Fig. 8 link-frequency analysis.
+    pub link_migrations: Vec<u32>,
+    /// Whether the run ended because the resource budget ran out.
+    pub budget_exhausted: bool,
+    /// Whether the run ended because the target accuracy was reached.
+    pub target_reached: bool,
+}
+
+impl RunMetrics {
+    /// The last recorded test accuracy (0 if never evaluated).
+    pub fn final_accuracy(&self) -> f64 {
+        self.records
+            .iter()
+            .rev()
+            .find_map(|r| r.test_accuracy)
+            .unwrap_or(0.0)
+    }
+
+    /// The best recorded test accuracy (0 if never evaluated).
+    pub fn best_accuracy(&self) -> f64 {
+        self.records
+            .iter()
+            .filter_map(|r| r.test_accuracy)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total traffic at the end of the run.
+    pub fn traffic(&self) -> TrafficBreakdown {
+        self.records.last().map(|r| r.traffic).unwrap_or_default()
+    }
+
+    /// Total virtual time in seconds.
+    pub fn sim_time(&self) -> f64 {
+        self.records.last().map(|r| r.sim_time).unwrap_or(0.0)
+    }
+
+    /// Number of epochs actually run.
+    pub fn epochs(&self) -> usize {
+        self.records.len()
+    }
+
+    /// First epoch whose evaluation reached `target` accuracy, if any.
+    pub fn epochs_to_accuracy(&self, target: f64) -> Option<usize> {
+        self.records
+            .iter()
+            .find(|r| r.test_accuracy.is_some_and(|a| a >= target))
+            .map(|r| r.epoch)
+    }
+
+    /// Cumulative traffic (bytes) when `target` accuracy was first reached.
+    pub fn traffic_to_accuracy(&self, target: f64) -> Option<u64> {
+        self.records
+            .iter()
+            .find(|r| r.test_accuracy.is_some_and(|a| a >= target))
+            .map(|r| r.traffic.total())
+    }
+
+    /// Virtual time (seconds) when `target` accuracy was first reached.
+    pub fn time_to_accuracy(&self, target: f64) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|r| r.test_accuracy.is_some_and(|a| a >= target))
+            .map(|r| r.sim_time)
+    }
+
+    /// Best accuracy among evaluations whose cumulative traffic stayed
+    /// within `budget_bytes` (the Fig. 9 bandwidth sweep).
+    pub fn accuracy_within_traffic(&self, budget_bytes: u64) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.traffic.total() <= budget_bytes)
+            .filter_map(|r| r.test_accuracy)
+            .fold(0.0, f64::max)
+    }
+
+    /// Best accuracy among evaluations completed within `seconds` of
+    /// virtual time (the Fig. 9 time sweep).
+    pub fn accuracy_within_time(&self, seconds: f64) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.sim_time <= seconds)
+            .filter_map(|r| r.test_accuracy)
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the per-epoch records as CSV (for external plotting). The
+    /// accuracy column is empty on non-evaluation epochs.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "epoch,train_loss,test_accuracy,c2s_bytes,c2c_local_bytes,c2c_global_bytes,sim_time_s\n",
+        );
+        for r in &self.records {
+            let acc = r.test_accuracy.map(|a| format!("{a:.6}")).unwrap_or_default();
+            out.push_str(&format!(
+                "{},{:.6},{},{},{},{},{:.3}\n",
+                r.epoch,
+                r.train_loss,
+                acc,
+                r.traffic.c2s,
+                r.traffic.c2c_local,
+                r.traffic.c2c_global,
+                r.sim_time,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(epoch: usize, acc: Option<f64>, bytes: u64, time: f64) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            train_loss: 1.0,
+            test_accuracy: acc,
+            traffic: TrafficBreakdown { c2s: bytes, c2c_local: 0, c2c_global: 0 },
+            sim_time: time,
+        }
+    }
+
+    fn metrics() -> RunMetrics {
+        RunMetrics {
+            scheme: "Test".into(),
+            records: vec![
+                record(1, None, 100, 1.0),
+                record(2, Some(0.5), 200, 2.0),
+                record(3, None, 300, 3.0),
+                record(4, Some(0.8), 400, 4.0),
+            ],
+            migrations_local: 0,
+            migrations_global: 0,
+            link_migrations: vec![],
+            budget_exhausted: false,
+            target_reached: false,
+        }
+    }
+
+    #[test]
+    fn accuracy_accessors() {
+        let m = metrics();
+        assert_eq!(m.final_accuracy(), 0.8);
+        assert_eq!(m.best_accuracy(), 0.8);
+        assert_eq!(m.epochs(), 4);
+    }
+
+    #[test]
+    fn to_accuracy_queries() {
+        let m = metrics();
+        assert_eq!(m.epochs_to_accuracy(0.5), Some(2));
+        assert_eq!(m.epochs_to_accuracy(0.7), Some(4));
+        assert_eq!(m.epochs_to_accuracy(0.9), None);
+        assert_eq!(m.traffic_to_accuracy(0.7), Some(400));
+        assert_eq!(m.time_to_accuracy(0.5), Some(2.0));
+    }
+
+    #[test]
+    fn budget_window_queries() {
+        let m = metrics();
+        assert_eq!(m.accuracy_within_traffic(250), 0.5);
+        assert_eq!(m.accuracy_within_traffic(1000), 0.8);
+        assert_eq!(m.accuracy_within_time(1.5), 0.0);
+        assert_eq!(m.accuracy_within_time(4.0), 0.8);
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_epoch() {
+        let m = metrics();
+        let csv = m.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + m.records.len());
+        assert!(lines[0].starts_with("epoch,train_loss"));
+        assert!(lines[2].contains("0.500000"), "accuracy column present: {}", lines[2]);
+        assert!(lines[1].split(',').nth(2).unwrap().is_empty(), "no accuracy -> empty cell");
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let m = RunMetrics {
+            scheme: "Empty".into(),
+            records: vec![],
+            migrations_local: 0,
+            migrations_global: 0,
+            link_migrations: vec![],
+            budget_exhausted: false,
+            target_reached: false,
+        };
+        assert_eq!(m.final_accuracy(), 0.0);
+        assert_eq!(m.traffic().total(), 0);
+        assert_eq!(m.sim_time(), 0.0);
+    }
+}

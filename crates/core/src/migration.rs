@@ -1,0 +1,376 @@
+use fedmigr_net::Topology;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A one-round migration assignment: `dest[i] = j` means client `i`'s model
+/// moves to client `j` this round. The assignment is always a permutation —
+/// every client ends the round hosting exactly one model (possibly its own,
+/// when `dest[i] == i`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MigrationPlan {
+    dest: Vec<usize>,
+}
+
+impl MigrationPlan {
+    /// Wraps a destination vector.
+    ///
+    /// # Panics
+    /// Panics if `dest` is not a permutation of `0..dest.len()`.
+    pub fn new(dest: Vec<usize>) -> Self {
+        let mut seen = vec![false; dest.len()];
+        for &j in &dest {
+            assert!(j < dest.len() && !seen[j], "destinations must form a permutation");
+            seen[j] = true;
+        }
+        Self { dest }
+    }
+
+    /// The identity plan (no model moves).
+    pub fn identity(k: usize) -> Self {
+        Self { dest: (0..k).collect() }
+    }
+
+    /// A uniformly random permutation (the RandMigr policy).
+    pub fn random(k: usize, rng: &mut StdRng) -> Self {
+        let mut dest: Vec<usize> = (0..k).collect();
+        dest.shuffle(rng);
+        Self { dest }
+    }
+
+    /// A random cyclic shift *within* each LAN: models never cross a LAN
+    /// boundary (the Fig. 3 "within-LAN" strategy). Single-client LANs keep
+    /// their model.
+    pub fn within_lan(topo: &Topology, rng: &mut StdRng) -> Self {
+        let k = topo.num_clients();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for i in 0..k {
+            let lan = topo.lan_of(i);
+            if groups.len() <= lan {
+                groups.resize(lan + 1, Vec::new());
+            }
+            groups[lan].push(i);
+        }
+        let mut dest: Vec<usize> = (0..k).collect();
+        for group in groups.iter().filter(|g| g.len() > 1) {
+            // Random rotation of the group: a derangement within the LAN.
+            let shift = rng.random_range(1..group.len());
+            for (pos, &i) in group.iter().enumerate() {
+                dest[i] = group[(pos + shift) % group.len()];
+            }
+        }
+        Self { dest }
+    }
+
+    /// A permutation preferring *cross-LAN* destinations (the Fig. 3
+    /// "cross-LAN" strategy): clients are matched greedily, in random
+    /// order, to free clients of a different LAN whenever one exists.
+    pub fn cross_lan(topo: &Topology, rng: &mut StdRng) -> Self {
+        let k = topo.num_clients();
+        let mut order: Vec<usize> = (0..k).collect();
+        order.shuffle(rng);
+        let mut free = vec![true; k];
+        let mut dest = vec![usize::MAX; k];
+        for &i in &order {
+            let mut candidates: Vec<usize> =
+                (0..k).filter(|&j| free[j] && !topo.same_lan(i, j)).collect();
+            if candidates.is_empty() {
+                candidates = (0..k).filter(|&j| free[j]).collect();
+            }
+            let j = candidates[rng.random_range(0..candidates.len())];
+            dest[i] = j;
+            free[j] = false;
+        }
+        Self::new(dest)
+    }
+
+    /// Resolves possibly-conflicting desired destinations (several models
+    /// wanting the same host) into a permutation: clients are visited in
+    /// random order; a client whose desired host is taken falls back to the
+    /// free host maximizing `benefit[i][j]`.
+    pub fn from_desired(desired: &[usize], benefit: &[Vec<f64>], rng: &mut StdRng) -> Self {
+        let k = desired.len();
+        let mut order: Vec<usize> = (0..k).collect();
+        order.shuffle(rng);
+        let mut free = vec![true; k];
+        let mut dest = vec![usize::MAX; k];
+        for &i in &order {
+            let want = desired[i];
+            let j = if want < k && free[want] {
+                want
+            } else {
+                (0..k)
+                    .filter(|&j| free[j])
+                    .max_by(|&a, &b| benefit[i][a].total_cmp(&benefit[i][b]))
+                    .expect("at least one host must be free")
+            };
+            dest[i] = j;
+            free[j] = false;
+        }
+        Self::new(dest)
+    }
+
+    /// A uniformly random permutation over the clients marked `true` in
+    /// `active`; everyone else keeps their model (partial participation).
+    pub fn random_subset(k: usize, active: &[bool], rng: &mut StdRng) -> Self {
+        assert_eq!(active.len(), k);
+        let members: Vec<usize> = (0..k).filter(|&i| active[i]).collect();
+        let mut shuffled = members.clone();
+        shuffled.shuffle(rng);
+        let mut dest: Vec<usize> = (0..k).collect();
+        for (&from, &to) in members.iter().zip(&shuffled) {
+            dest[from] = to;
+        }
+        Self::new(dest)
+    }
+
+    /// Like [`MigrationPlan::greedy_assignment`], but only the clients
+    /// marked `true` in `active` exchange models; the rest are fixed points.
+    pub fn greedy_assignment_masked(scores: &[Vec<f64>], active: &[bool]) -> Self {
+        let k = scores.len();
+        assert_eq!(active.len(), k);
+        let mut pairs: Vec<(usize, usize)> = (0..k)
+            .filter(|&i| active[i])
+            .flat_map(|i| (0..k).filter(|&j| active[j]).map(move |j| (i, j)))
+            .collect();
+        pairs.sort_by(|&(ai, aj), &(bi, bj)| scores[bi][bj].total_cmp(&scores[ai][aj]));
+        let mut dest: Vec<usize> = (0..k).collect();
+        let mut assigned = vec![false; k];
+        let mut taken = vec![false; k];
+        for (i, j) in pairs {
+            if !assigned[i] && !taken[j] {
+                dest[i] = j;
+                assigned[i] = true;
+                taken[j] = true;
+            }
+        }
+        // Any active client left unassigned (possible only when its
+        // candidates were all taken) keeps its model if free, else takes
+        // the first free active host.
+        for i in (0..k).filter(|&i| active[i] && !assigned[i]) {
+            let j = if !taken[i] {
+                i
+            } else {
+                (0..k)
+                    .find(|&j| active[j] && !taken[j])
+                    .expect("active sources and hosts are in bijection")
+            };
+            dest[i] = j;
+            taken[j] = true;
+        }
+        Self::new(dest)
+    }
+
+    /// Builds a permutation by globally greedy matching on a score matrix:
+    /// repeatedly commits the highest-scoring `(source, destination)` pair
+    /// among unassigned sources and free destinations. This is the integer
+    /// recovery step applied to the relaxed-FLMM solution — it preserves
+    /// far more of the relaxation's value than independent per-row argmax
+    /// followed by conflict fallback.
+    pub fn greedy_assignment(scores: &[Vec<f64>]) -> Self {
+        let k = scores.len();
+        let mut pairs: Vec<(usize, usize)> = (0..k)
+            .flat_map(|i| (0..k).map(move |j| (i, j)))
+            .collect();
+        pairs.sort_by(|&(ai, aj), &(bi, bj)| scores[bi][bj].total_cmp(&scores[ai][aj]));
+        let mut dest = vec![usize::MAX; k];
+        let mut taken = vec![false; k];
+        let mut assigned = 0usize;
+        for (i, j) in pairs {
+            if dest[i] == usize::MAX && !taken[j] {
+                dest[i] = j;
+                taken[j] = true;
+                assigned += 1;
+                if assigned == k {
+                    break;
+                }
+            }
+        }
+        Self::new(dest)
+    }
+
+    /// Destination of client `i`'s model.
+    pub fn dest(&self, i: usize) -> usize {
+        self.dest[i]
+    }
+
+    /// Number of clients.
+    pub fn len(&self) -> usize {
+        self.dest.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dest.is_empty()
+    }
+
+    /// Iterates over the actual moves `(source, destination)`, skipping
+    /// fixed points.
+    pub fn moves(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.dest.iter().enumerate().filter(|&(i, &j)| i != j).map(|(i, &j)| (i, j))
+    }
+
+    /// Number of models that actually move.
+    pub fn num_moves(&self) -> usize {
+        self.moves().count()
+    }
+
+    /// Applies the plan to a vector of per-client model parameters:
+    /// `out[j] = params[i]` for `dest[i] = j`.
+    pub fn apply<T: Clone>(&self, params: &[T]) -> Vec<T> {
+        assert_eq!(params.len(), self.dest.len());
+        let mut out: Vec<Option<T>> = vec![None; params.len()];
+        for (i, &j) in self.dest.iter().enumerate() {
+            out[j] = Some(params[i].clone());
+        }
+        out.into_iter().map(|x| x.expect("permutation covers all hosts")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedmigr_net::TopologyConfig;
+    use rand::SeedableRng;
+
+    fn topo() -> Topology {
+        Topology::new(&TopologyConfig::c10_sim(1))
+    }
+
+    #[test]
+    fn identity_moves_nothing() {
+        let p = MigrationPlan::identity(5);
+        assert_eq!(p.num_moves(), 0);
+        let data = vec![1, 2, 3, 4, 5];
+        assert_eq!(p.apply(&data), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn rejects_non_permutation() {
+        let _ = MigrationPlan::new(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn random_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let p = MigrationPlan::random(7, &mut rng);
+            let mut seen = vec![false; 7];
+            for i in 0..7 {
+                seen[p.dest(i)] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn within_lan_never_crosses() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let p = MigrationPlan::within_lan(&t, &mut rng);
+            for (i, j) in p.moves() {
+                assert!(t.same_lan(i, j), "move {i}->{j} crossed a LAN");
+            }
+            // LANs have >= 3 clients, so every model moves.
+            assert_eq!(p.num_moves(), 10);
+        }
+    }
+
+    #[test]
+    fn cross_lan_mostly_crosses() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut crossing = 0usize;
+        let mut total = 0usize;
+        for _ in 0..20 {
+            let p = MigrationPlan::cross_lan(&t, &mut rng);
+            for (i, j) in p.moves() {
+                total += 1;
+                if !t.same_lan(i, j) {
+                    crossing += 1;
+                }
+            }
+        }
+        assert!(
+            crossing as f64 / total as f64 > 0.8,
+            "only {crossing}/{total} moves crossed LANs"
+        );
+    }
+
+    #[test]
+    fn from_desired_respects_free_wishes_and_resolves_conflicts() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // Both 0 and 1 want host 2; benefit breaks the tie for the loser.
+        let desired = vec![2, 2, 0];
+        let benefit = vec![
+            vec![0.0, 1.0, 2.0],
+            vec![0.5, 0.0, 2.0],
+            vec![2.0, 1.0, 0.0],
+        ];
+        for _ in 0..10 {
+            let p = MigrationPlan::from_desired(&desired, &benefit, &mut rng);
+            // Exactly one of clients 0/1 got host 2.
+            assert!(p.dest(0) == 2 || p.dest(1) == 2);
+            // It is a permutation regardless.
+            let mut seen = [false; 3];
+            for i in 0..3 {
+                seen[p.dest(i)] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn random_subset_fixes_inactive_clients() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let active = [true, false, true, false, true];
+        for _ in 0..10 {
+            let p = MigrationPlan::random_subset(5, &active, &mut rng);
+            assert_eq!(p.dest(1), 1);
+            assert_eq!(p.dest(3), 3);
+            // Active destinations stay within the active set.
+            for (i, j) in p.moves() {
+                assert!(active[i] && active[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_assignment_maximizes_scores() {
+        // 0 prefers 1, 1 prefers 0, 2 prefers 2: a clean assignment exists.
+        let scores = vec![
+            vec![0.0, 5.0, 1.0],
+            vec![5.0, 0.0, 1.0],
+            vec![1.0, 1.0, 3.0],
+        ];
+        let p = MigrationPlan::greedy_assignment(&scores);
+        assert_eq!(p.dest(0), 1);
+        assert_eq!(p.dest(1), 0);
+        assert_eq!(p.dest(2), 2);
+    }
+
+    #[test]
+    fn greedy_assignment_masked_respects_mask() {
+        let scores = vec![
+            vec![0.0, 9.0, 9.0],
+            vec![9.0, 0.0, 9.0],
+            vec![9.0, 9.0, 0.0],
+        ];
+        let active = [true, false, true];
+        let p = MigrationPlan::greedy_assignment_masked(&scores, &active);
+        assert_eq!(p.dest(1), 1, "inactive client must keep its model");
+        // Actives swap (their mutual score 9 beats staying at 0).
+        assert_eq!(p.dest(0), 2);
+        assert_eq!(p.dest(2), 0);
+    }
+
+    #[test]
+    fn apply_routes_models() {
+        let p = MigrationPlan::new(vec![1, 2, 0]);
+        let models = vec!["a", "b", "c"];
+        // dest: a->1, b->2, c->0.
+        assert_eq!(p.apply(&models), vec!["c", "a", "b"]);
+    }
+}

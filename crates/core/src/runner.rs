@@ -1,0 +1,879 @@
+use std::sync::Arc;
+
+use fedmigr_data::distribution::l1_distance;
+use fedmigr_data::Dataset;
+use fedmigr_drl::qp::FlmmRelaxation;
+use fedmigr_drl::{AgentConfig, DdpgAgent, MigrationState, Transition};
+use fedmigr_net::{
+    transfer_time, transfer_time_with_latency, ClientCompute, ResourceBudget, ResourceMeter,
+    SimClock, Topology,
+};
+use fedmigr_nn::params::weighted_average;
+use fedmigr_nn::Model;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::client::FlClient;
+use crate::metrics::{EpochRecord, RunMetrics};
+use crate::migration::MigrationPlan;
+use crate::privacy::DpConfig;
+use crate::reward::{step_reward, terminal_reward, RewardConfig};
+use crate::scheme::{MigrationStrategy, Scheme};
+
+/// Configuration of one federated-learning run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// The scheme to execute.
+    pub scheme: Scheme,
+    /// Maximum number of training epochs (one local epoch on every client
+    /// per training epoch; the paper's τ = 1).
+    pub epochs: usize,
+    /// Global-aggregation interval in epochs for the migration-based
+    /// schemes and FedSwap (the paper's `M + 1 = 50`). FedAvg/FedProx
+    /// aggregate every epoch regardless.
+    pub agg_interval: usize,
+    /// Mini-batch size `b`.
+    pub batch_size: usize,
+    /// Optional cap on mini-batches per local epoch (speeds up large
+    /// parameter sweeps; `None` = full local pass).
+    pub max_batches_per_epoch: Option<usize>,
+    /// SGD learning rate η.
+    pub lr: f32,
+    /// Evaluate the (shadow-)aggregated global model every this many epochs.
+    pub eval_interval: usize,
+    /// Computation/bandwidth budgets `B_c`, `B_b` (Eq. 16).
+    pub budget: ResourceBudget,
+    /// Stop as soon as an evaluation reaches this accuracy.
+    pub target_accuracy: Option<f64>,
+    /// Local differential privacy applied to every transmitted model.
+    pub dp: Option<DpConfig>,
+    /// Fraction α of clients participating each epoch (the FedAvg client
+    /// sampling parameter; the paper's experiments use α = 1). Sampled
+    /// uniformly without replacement every epoch; non-participants neither
+    /// train nor communicate.
+    pub participation: f64,
+    /// Seed for client batch order, migration randomness and DP noise.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// A configuration with evaluation-scale defaults.
+    pub fn new(scheme: Scheme, epochs: usize) -> Self {
+        Self {
+            scheme,
+            epochs,
+            agg_interval: 10,
+            batch_size: 32,
+            max_batches_per_epoch: None,
+            lr: 0.05,
+            eval_interval: 10,
+            budget: ResourceBudget::unlimited(),
+            target_accuracy: None,
+            dp: None,
+            participation: 1.0,
+            seed: 7,
+        }
+    }
+}
+
+/// A reusable experiment: datasets, partition, topology, devices and the
+/// model architecture. `run` executes one scheme over this environment.
+pub struct Experiment {
+    train: Arc<Dataset>,
+    test: Arc<Dataset>,
+    partitions: Vec<Vec<usize>>,
+    topology: Topology,
+    compute: ClientCompute,
+    template: Model,
+}
+
+impl Experiment {
+    /// Builds an experiment.
+    ///
+    /// # Panics
+    /// Panics if the partition count disagrees with the topology or device
+    /// list, or any client has no data.
+    pub fn new(
+        train: Dataset,
+        test: Dataset,
+        partitions: Vec<Vec<usize>>,
+        topology: Topology,
+        compute: ClientCompute,
+        template: Model,
+    ) -> Self {
+        assert_eq!(partitions.len(), topology.num_clients(), "partition/topology mismatch");
+        assert_eq!(partitions.len(), compute.len(), "partition/device mismatch");
+        assert!(partitions.iter().all(|p| !p.is_empty()), "every client needs data");
+        Self { train: Arc::new(train), test: Arc::new(test), partitions, topology, compute, template }
+    }
+
+    /// Number of clients `K`.
+    pub fn num_clients(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The network topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Executes `cfg` and returns the collected metrics.
+    pub fn run(&self, cfg: &RunConfig) -> RunMetrics {
+        assert!(cfg.epochs > 0 && cfg.agg_interval > 0 && cfg.eval_interval > 0);
+        assert!(
+            cfg.participation > 0.0 && cfg.participation <= 1.0,
+            "participation must be in (0, 1]"
+        );
+        assert!(
+            cfg.participation >= 1.0 || !matches!(cfg.scheme, Scheme::Fixed(_)),
+            "fixed migration strategies require full participation"
+        );
+        let k = self.num_clients();
+        let mut template = self.template.clone();
+        let model_bytes = template.wire_bytes();
+        let mut global = template.params();
+
+        let mut clients: Vec<FlClient> = self
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(i, part)| {
+                FlClient::new(
+                    i,
+                    Arc::clone(&self.train),
+                    part.clone(),
+                    self.template.clone(),
+                    cfg.lr,
+                    cfg.seed.wrapping_add(1),
+                )
+            })
+            .collect();
+        for c in &mut clients {
+            c.set_params(&global, false);
+        }
+        let total_n: f64 = clients.iter().map(|c| c.num_samples() as f64).sum();
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x5851_F42D).wrapping_add(3));
+        let mut meter = ResourceMeter::new(cfg.budget);
+        let mut clock = SimClock::new();
+
+        let dists: Vec<Vec<f64>> = clients.iter().map(|c| c.label_dist().to_vec()).collect();
+        let population: Vec<f64> = {
+            let mut p = vec![0.0f64; dists[0].len()];
+            for (q, c) in dists.iter().zip(&clients) {
+                let w = c.num_samples() as f64 / total_n;
+                for (pi, qi) in p.iter_mut().zip(q) {
+                    *pi += w * qi;
+                }
+            }
+            p
+        };
+        // The *model mixture*: an exponentially decayed estimate of the
+        // label distribution each model has recently trained on. Migration
+        // permutes it; aggregation resets it to the population (the global
+        // model reflects everyone's data). The distance matrix D_t the DRL
+        // state and oracle use is `d_t[i][j] = ||mix_i - q_j||_1` — "the
+        // differences of data distributions among the clients after t
+        // epochs" (Sec. III-C): migrating a model towards data it has not
+        // seen recently is what shrinks its divergence (Eq. 13).
+        const MIX_ALPHA: f64 = 0.3;
+        let mut mix: Vec<Vec<f64>> = dists.clone();
+        let distance_matrix = |mix: &[Vec<f64>]| -> Vec<Vec<f64>> {
+            mix.iter()
+                .map(|m| dists.iter().map(|q| l1_distance(m, q)).collect())
+                .collect()
+        };
+
+        // Initial model distribution: server -> K clients over the WAN.
+        meter.record_c2s(k as u64 * model_bytes);
+        clock.advance(
+            k as f64
+                * transfer_time_with_latency(
+                    model_bytes,
+                    self.topology.c2s_bandwidth(0),
+                    self.topology.c2s_latency(),
+                ),
+        );
+
+        let featurizer = MigrationState::new(k);
+        let mut agent_ctx = match &cfg.scheme {
+            Scheme::FedMigr(fc) => {
+                let mut ac = AgentConfig::new(featurizer.dim(), k, fc.agent_seed);
+                ac.rho = fc.rho;
+                ac.noise_std = 0.15;
+                ac.xi = fc.replay_xi;
+                Some(AgentCtx {
+                    agent: DdpgAgent::new(ac),
+                    reward: RewardConfig {
+                        upsilon: fc.upsilon,
+                        terminal_bonus: fc.terminal_bonus,
+                    },
+                    lambda: fc.lambda,
+                    rho: fc.rho,
+                    resource_reward: fc.resource_reward,
+                    warmup_epochs: (fc.oracle_warmup_frac * cfg.epochs as f64) as usize,
+                    updates_per_epoch: fc.updates_per_epoch,
+                    pending: Vec::new(),
+                })
+            }
+            _ => None,
+        };
+
+        let mut records: Vec<EpochRecord> = Vec::with_capacity(cfg.epochs);
+        let mut link_migrations = vec![0u32; k * k];
+        let mut migrations_local = 0usize;
+        let mut migrations_global = 0usize;
+        let mut prev_loss: Option<f32> = None;
+        let mut last_epoch_usage = (0.0f64, 0.0f64);
+        let mut last_step_reward = -1.0f64;
+        let mut budget_exhausted = false;
+        let mut target_reached = false;
+
+        for epoch in 1..=cfg.epochs {
+            let traffic_before = meter.traffic().total();
+            let compute_before = meter.compute_cost();
+
+            // Sample the participating clients for this epoch (α K of K).
+            let active: Vec<bool> = if cfg.participation >= 1.0 {
+                vec![true; k]
+            } else {
+                let n_active =
+                    ((cfg.participation * k as f64).ceil() as usize).clamp(1, k);
+                let mut order: Vec<usize> = (0..k).collect();
+                order.shuffle(&mut rng);
+                let mut mask = vec![false; k];
+                for &i in order.iter().take(n_active) {
+                    mask[i] = true;
+                }
+                mask
+            };
+            let n_active = active.iter().filter(|&&a| a).count() as u64;
+
+            // (1) Local updating (Eq. 6), clients in parallel.
+            let prox = match cfg.scheme {
+                Scheme::FedProx { mu } => Some((global.clone(), mu)),
+                _ => None,
+            };
+            let losses = train_all(&mut clients, cfg, prox.as_ref(), &active);
+            for (i, (m, q)) in mix.iter_mut().zip(&dists).enumerate() {
+                if !active[i] {
+                    continue;
+                }
+                for (mi, qi) in m.iter_mut().zip(q) {
+                    *mi = (1.0 - MIX_ALPHA) * *mi + MIX_ALPHA * qi;
+                }
+            }
+            let dmat = distance_matrix(&mix);
+            let mut times = Vec::with_capacity(k);
+            for (i, c) in clients.iter().enumerate() {
+                if !active[i] {
+                    continue;
+                }
+                let samples = effective_samples(c.num_samples(), cfg);
+                meter.record_compute(self.compute.epoch_cost(i, samples));
+                times.push(self.compute.epoch_time(i, samples));
+            }
+            clock.advance_parallel(times);
+            let active_n: f32 = clients
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| active[i])
+                .map(|(_, c)| c.num_samples() as f32)
+                .sum();
+            let mean_loss = clients
+                .iter()
+                .zip(&losses)
+                .filter_map(|(c, l)| l.map(|l| l * (c.num_samples() as f32 / active_n)))
+                .sum::<f32>();
+            let _ = total_n;
+
+            // (2) Build decision states and settle last epoch's transitions.
+            let states: Option<Vec<Vec<f32>>> = agent_ctx.as_ref().map(|_| {
+                (0..k)
+                    .map(|i| {
+                        featurizer.build(
+                            epoch as f64 / cfg.epochs as f64,
+                            mean_loss as f64,
+                            prev_loss
+                                .map(|p| ((mean_loss - p) / p.max(1e-6)) as f64)
+                                .unwrap_or(0.0),
+                            meter.bandwidth_remaining_frac(),
+                            meter.compute_remaining_frac(),
+                            &dmat[i],
+                        )
+                    })
+                    .collect()
+            });
+            if let (Some(ctx), Some(states)) = (agent_ctx.as_mut(), states.as_ref()) {
+                let (cu, bu) = if ctx.resource_reward {
+                    last_epoch_usage
+                } else {
+                    (0.0, 0.0)
+                };
+                let reward = step_reward(
+                    &ctx.reward,
+                    prev_loss.map(|p| (mean_loss - p) as f64).unwrap_or(0.0),
+                    prev_loss.unwrap_or(mean_loss) as f64,
+                    cu,
+                    bu,
+                );
+                last_step_reward = reward;
+                for (state, action, client) in ctx.pending.drain(..) {
+                    ctx.agent.observe(Transition {
+                        state,
+                        action,
+                        reward: reward as f32,
+                        next_state: states[client].clone(),
+                        done: false,
+                    });
+                }
+            }
+
+            // (3) Communication: aggregation, server-side swap, or C2C
+            //     migration, depending on the scheme and epoch.
+            let is_agg = match cfg.scheme {
+                Scheme::FedAvg | Scheme::FedProx { .. } => true,
+                Scheme::FedAsync { .. } => false,
+                _ => epoch % cfg.agg_interval == 0,
+            };
+            if let Scheme::FedAsync { beta } = cfg.scheme {
+                // One participating client uploads; the server mixes its
+                // model into the global model and sends the result back.
+                let uploader = {
+                    let actives: Vec<usize> = (0..k).filter(|&i| active[i]).collect();
+                    actives[epoch % actives.len()]
+                };
+                meter.record_c2s(2 * model_bytes);
+                clock.advance(
+                    2.0 * transfer_time_with_latency(
+                        model_bytes,
+                        self.topology.c2s_bandwidth(epoch),
+                        self.topology.c2s_latency(),
+                    ),
+                );
+                let mut upload = clients[uploader].params();
+                if let Some(dp) = &cfg.dp {
+                    dp.apply(&mut upload, &mut rng);
+                }
+                for (g, u) in global.iter_mut().zip(&upload) {
+                    *g = (1.0 - beta) * *g + beta * u;
+                }
+                clients[uploader].set_params(&global, false);
+                mix[uploader].clone_from(&population);
+            } else if cfg.scheme.uploads_every_epoch() {
+                // Participating models go to the server (uploads + downloads).
+                meter.record_c2s(2 * n_active * model_bytes);
+                clock.advance(
+                    2.0 * n_active as f64
+                        * transfer_time_with_latency(
+                            model_bytes,
+                            self.topology.c2s_bandwidth(epoch),
+                            self.topology.c2s_latency(),
+                        ),
+                );
+                let mut uploads = collect_params(&mut clients, cfg, &mut rng);
+                if is_agg {
+                    global = aggregate_active(&clients, &uploads, &active);
+                    for (i, c) in clients.iter_mut().enumerate() {
+                        if active[i] {
+                            c.set_params(&global, false);
+                            mix[i].clone_from(&population);
+                        }
+                    }
+                } else {
+                    // FedSwap: the server swaps models "between any two of
+                    // all clients" — a few random disjoint pairs per round,
+                    // so mixing is slower than a full migration permutation.
+                    let plan = swap_pairs_plan(&active, k.div_ceil(4), &mut rng);
+                    uploads = plan.apply(&uploads);
+                    mix = plan.apply(&mix);
+                    for ((i, c), p) in clients.iter_mut().enumerate().zip(&uploads) {
+                        c.set_params(p, plan.dest(i) != i);
+                    }
+                }
+            } else if is_agg {
+                meter.record_c2s(2 * n_active * model_bytes);
+                clock.advance(
+                    2.0 * n_active as f64
+                        * transfer_time_with_latency(
+                            model_bytes,
+                            self.topology.c2s_bandwidth(epoch),
+                            self.topology.c2s_latency(),
+                        ),
+                );
+                let uploads = collect_params(&mut clients, cfg, &mut rng);
+                global = aggregate_active(&clients, &uploads, &active);
+                for (i, c) in clients.iter_mut().enumerate() {
+                    if active[i] {
+                        c.set_params(&global, false);
+                        mix[i].clone_from(&population);
+                    }
+                }
+            } else {
+                // C2C migration epoch.
+                let plan = match (&cfg.scheme, states.as_ref()) {
+                    (Scheme::RandMigr, _) => {
+                        MigrationPlan::random_subset(k, &active, &mut rng)
+                    }
+                    (Scheme::Fixed(MigrationStrategy::Random), _) => {
+                        MigrationPlan::random(k, &mut rng)
+                    }
+                    (Scheme::Fixed(MigrationStrategy::WithinLan), _) => {
+                        MigrationPlan::within_lan(&self.topology, &mut rng)
+                    }
+                    (Scheme::Fixed(MigrationStrategy::CrossLan), _) => {
+                        MigrationPlan::cross_lan(&self.topology, &mut rng)
+                    }
+                    (Scheme::FedMigr(_), Some(states)) => {
+                        let ctx = agent_ctx.as_mut().expect("FedMigr context");
+                        let rho = if epoch <= ctx.warmup_epochs { 1.0 } else { ctx.rho };
+                        ctx.agent.set_rho(rho);
+                        let (oracle, objective) =
+                            self.solve_oracle(&dmat, model_bytes, epoch, ctx.lambda);
+                        let desired: Vec<usize> = (0..k)
+                            .map(|i| ctx.agent.select_action(&states[i], Some(&oracle[i])))
+                            .collect();
+                        // Blend the relaxed-FLMM objective with the agent's
+                        // per-client desires, then recover a permutation by
+                        // globally greedy matching over the active clients.
+                        let mut scores = objective;
+                        for (i, &j) in desired.iter().enumerate() {
+                            scores[i][j] += 0.25;
+                        }
+                        let plan = MigrationPlan::greedy_assignment_masked(&scores, &active);
+                        for i in 0..k {
+                            if epoch <= ctx.warmup_epochs {
+                                // Pre-training: clone the oracle-driven
+                                // behaviour into the actor.
+                                ctx.agent.imitate(&states[i], plan.dest(i));
+                            }
+                            ctx.pending.push((states[i].clone(), plan.dest(i), i));
+                        }
+                        plan
+                    }
+                    _ => unreachable!("scheme/state combination"),
+                };
+                let params = collect_params(&mut clients, cfg, &mut rng);
+                let routed = plan.apply(&params);
+                let mut move_times = Vec::new();
+                for (i, j) in plan.moves() {
+                    let local = self.topology.same_lan(i, j);
+                    meter.record_c2c(model_bytes, local);
+                    move_times.push(transfer_time_with_latency(
+                        model_bytes,
+                        self.topology.c2c_bandwidth(i, j, epoch),
+                        self.topology.c2c_latency(i, j),
+                    ));
+                    link_migrations[i * k + j] += 1;
+                    if local {
+                        migrations_local += 1;
+                    } else {
+                        migrations_global += 1;
+                    }
+                }
+                clock.advance_parallel(move_times);
+                mix = plan.apply(&mix);
+                for (i, c) in clients.iter_mut().enumerate() {
+                    let migrated = routed[i] != params[i];
+                    c.set_params(&routed[i], migrated);
+                }
+            }
+
+            // (4) Evaluation of the (shadow-)aggregated global model.
+            let eval_due = epoch % cfg.eval_interval == 0 || epoch == cfg.epochs;
+            let accuracy = if eval_due {
+                let shadow = if cfg.scheme.is_async() {
+                    // FedAsync's global model lives on the server.
+                    global.clone()
+                } else {
+                    let uploads: Vec<Vec<f32>> =
+                        clients.iter_mut().map(|c| c.params()).collect();
+                    aggregate_active(&clients, &uploads, &vec![true; k])
+                };
+                Some(self.evaluate(&mut template, &shadow))
+            } else {
+                None
+            };
+
+            // (5) Agent learning.
+            if let Some(ctx) = agent_ctx.as_mut() {
+                for _ in 0..ctx.updates_per_epoch {
+                    ctx.agent.update();
+                }
+            }
+
+            // (6) Bookkeeping and stopping conditions.
+            let epoch_bw = (meter.traffic().total() - traffic_before) as f64;
+            let epoch_compute = meter.compute_cost() - compute_before;
+            last_epoch_usage = (
+                if cfg.budget.compute.is_finite() { epoch_compute / cfg.budget.compute } else { 0.0 },
+                if cfg.budget.bandwidth.is_finite() { epoch_bw / cfg.budget.bandwidth } else { 0.0 },
+            );
+            records.push(EpochRecord {
+                epoch,
+                train_loss: mean_loss,
+                test_accuracy: accuracy,
+                traffic: meter.traffic(),
+                sim_time: clock.now(),
+            });
+            prev_loss = Some(mean_loss);
+            if let (Some(target), Some(acc)) = (cfg.target_accuracy, accuracy) {
+                if acc >= target {
+                    target_reached = true;
+                    break;
+                }
+            }
+            if meter.exhausted() {
+                budget_exhausted = true;
+                break;
+            }
+        }
+
+        // Terminal transition flush (Eq. 18).
+        if let Some(ctx) = agent_ctx.as_mut() {
+            let terminal = terminal_reward(&ctx.reward, last_step_reward, !budget_exhausted);
+            for (state, action, client) in ctx.pending.drain(..) {
+                let next = state.clone();
+                let _ = client;
+                ctx.agent.observe(Transition {
+                    state,
+                    action,
+                    reward: terminal as f32,
+                    next_state: next,
+                    done: true,
+                });
+            }
+        }
+
+        RunMetrics {
+            scheme: cfg.scheme.name(),
+            records,
+            migrations_local,
+            migrations_global,
+            link_migrations,
+            budget_exhausted,
+            target_reached,
+        }
+    }
+
+    /// Solves the relaxed FLMM oracle for the current epoch: benefit is the
+    /// pairwise distribution difference, cost the normalized link price.
+    /// Returns `(relaxed solution rows, raw objective matrix)`.
+    fn solve_oracle(
+        &self,
+        dmat: &[Vec<f64>],
+        model_bytes: u64,
+        epoch: usize,
+        lambda: f64,
+    ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let k = dmat.len();
+        let mut cost = vec![vec![0.0f64; k]; k];
+        let mut max_cost = 0.0f64;
+        for (i, row) in cost.iter_mut().enumerate() {
+            for (j, c) in row.iter_mut().enumerate() {
+                if i != j {
+                    *c = transfer_time(model_bytes, self.topology.c2c_bandwidth(i, j, epoch));
+                    max_cost = max_cost.max(*c);
+                }
+            }
+        }
+        if max_cost > 0.0 {
+            for row in cost.iter_mut() {
+                for c in row.iter_mut() {
+                    *c /= max_cost;
+                }
+            }
+        }
+        let mut objective = vec![vec![0.0f64; k]; k];
+        for i in 0..k {
+            for j in 0..k {
+                objective[i][j] = dmat[i][j] - lambda * cost[i][j];
+            }
+        }
+        let relax = FlmmRelaxation {
+            benefit: dmat.to_vec(),
+            cost,
+            lambda,
+            entropy: 0.05,
+        };
+        (relax.solve(40, 0.4), objective)
+    }
+
+    /// Test accuracy of `params` loaded into `template`, evaluated in
+    /// batches over the server-held test split.
+    fn evaluate(&self, template: &mut Model, params: &[f32]) -> f64 {
+        template.set_params(params);
+        let n = self.test.len();
+        let mut correct_weighted = 0.0f64;
+        let mut seen = 0usize;
+        let indices: Vec<usize> = (0..n).collect();
+        for chunk in indices.chunks(64) {
+            let (x, labels) = self.test.batch(chunk);
+            let (_, acc) = template.evaluate(&x, &labels);
+            correct_weighted += acc * chunk.len() as f64;
+            seen += chunk.len();
+        }
+        correct_weighted / seen as f64
+    }
+}
+
+struct AgentCtx {
+    agent: DdpgAgent,
+    reward: RewardConfig,
+    lambda: f64,
+    rho: f64,
+    resource_reward: bool,
+    warmup_epochs: usize,
+    updates_per_epoch: usize,
+    /// Decisions awaiting their reward: `(state, executed destination,
+    /// deciding client)`.
+    pending: Vec<(Vec<f32>, usize, usize)>,
+}
+
+/// FedSwap's per-round action: swap the models of `pairs` random disjoint
+/// pairs among the participating clients.
+fn swap_pairs_plan(active: &[bool], pairs: usize, rng: &mut StdRng) -> MigrationPlan {
+    let k = active.len();
+    let mut order: Vec<usize> = (0..k).filter(|&i| active[i]).collect();
+    if order.len() < 2 {
+        return MigrationPlan::identity(k);
+    }
+    order.shuffle(rng);
+    let mut dest: Vec<usize> = (0..k).collect();
+    for pair in order.chunks(2).take(pairs.max(1)) {
+        if let [a, b] = *pair {
+            dest.swap(a, b);
+        }
+    }
+    MigrationPlan::new(dest)
+}
+
+fn effective_samples(n: usize, cfg: &RunConfig) -> usize {
+    match cfg.max_batches_per_epoch {
+        Some(b) => n.min(b * cfg.batch_size),
+        None => n,
+    }
+}
+
+/// Trains the participating clients for one local epoch, in parallel.
+/// Returns `None` for clients that sat the epoch out.
+fn train_all(
+    clients: &mut [FlClient],
+    cfg: &RunConfig,
+    prox: Option<&(Vec<f32>, f32)>,
+    active: &[bool],
+) -> Vec<Option<f32>> {
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .zip(active)
+            .map(|(c, &is_active)| {
+                let prox_ref = prox.map(|(g, mu)| (g.as_slice(), *mu));
+                is_active.then(|| {
+                    s.spawn(move |_| {
+                        c.train_epoch(cfg.batch_size, cfg.max_batches_per_epoch, prox_ref)
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.map(|h| h.join().expect("client thread panicked")))
+            .collect()
+    })
+    .expect("training scope panicked")
+}
+
+/// Reads every client's parameters, applying DP noise at the egress point
+/// if configured.
+fn collect_params(clients: &mut [FlClient], cfg: &RunConfig, rng: &mut StdRng) -> Vec<Vec<f32>> {
+    clients
+        .iter_mut()
+        .map(|c| {
+            let mut p = c.params();
+            if let Some(dp) = &cfg.dp {
+                dp.apply(&mut p, rng);
+            }
+            p
+        })
+        .collect()
+}
+
+/// FedAvg's weighted aggregation (Eq. 7) over the participating clients:
+/// weights are the local sample counts `n_k`.
+fn aggregate_active(clients: &[FlClient], uploads: &[Vec<f32>], active: &[bool]) -> Vec<f32> {
+    let entries: Vec<(&[f32], f64)> = uploads
+        .iter()
+        .zip(clients)
+        .zip(active)
+        .filter(|&(_, &a)| a)
+        .map(|((p, c), _)| (p.as_slice(), c.num_samples() as f64))
+        .collect();
+    weighted_average(&entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedmigr_data::{partition_iid, partition_shards, SyntheticConfig, SyntheticDataset};
+    use fedmigr_net::{DeviceTier, TopologyConfig};
+    use fedmigr_nn::zoo::{self, NetScale};
+
+    fn small_experiment(non_iid: bool) -> Experiment {
+        let data = SyntheticDataset::generate(&SyntheticConfig {
+            num_classes: 4,
+            train_per_class: 24,
+            test_per_class: 8,
+            channels: 1,
+            hw: 8,
+            noise_std: 0.6,
+            class_sep: 1.0,
+            atom_bank: 0,
+            atoms_per_class: 0,
+            private_frac: 0.0,
+            seed: 11,
+        });
+        let k = 4;
+        let parts = if non_iid {
+            partition_shards(&data.train, k, 1, 5)
+        } else {
+            partition_iid(&data.train, k, 5)
+        };
+        let topo = Topology::new(&TopologyConfig::default_edge(vec![2, 2], 5));
+        let model = zoo::mini_resnet(1, 8, 4, 1, NetScale::Small, 5);
+        Experiment::new(
+            data.train,
+            data.test,
+            parts,
+            topo,
+            ClientCompute::homogeneous(k, DeviceTier::Nx),
+            model,
+        )
+    }
+
+    fn quick_cfg(scheme: Scheme, epochs: usize) -> RunConfig {
+        let mut cfg = RunConfig::new(scheme, epochs);
+        cfg.agg_interval = 5;
+        cfg.eval_interval = 5;
+        cfg.batch_size = 16;
+        cfg.lr = 0.05;
+        cfg
+    }
+
+    #[test]
+    fn fedavg_learns_on_iid_data() {
+        let exp = small_experiment(false);
+        let m = exp.run(&quick_cfg(Scheme::FedAvg, 20));
+        assert_eq!(m.epochs(), 20);
+        assert!(m.final_accuracy() > 0.5, "accuracy {}", m.final_accuracy());
+        // FedAvg aggregates every epoch: 2K models + initial distribution.
+        assert_eq!(m.migrations_local + m.migrations_global, 0);
+        assert!(m.traffic().c2c_local == 0 && m.traffic().c2c_global == 0);
+    }
+
+    #[test]
+    fn randmigr_moves_models_over_c2c() {
+        let exp = small_experiment(true);
+        let m = exp.run(&quick_cfg(Scheme::RandMigr, 10));
+        assert!(m.migrations_local + m.migrations_global > 0);
+        assert!(m.traffic().c2c_local + m.traffic().c2c_global > 0);
+        // C2S only on aggregation epochs (plus initial distribution).
+        assert!(m.traffic().c2s < exp.run(&quick_cfg(Scheme::FedAvg, 10)).traffic().c2s);
+    }
+
+    #[test]
+    fn fedmigr_runs_and_trains_agent() {
+        let exp = small_experiment(true);
+        let m = exp.run(&quick_cfg(Scheme::fedmigr(3), 12));
+        assert_eq!(m.scheme, "FedMigr");
+        assert!(m.migrations_local + m.migrations_global > 0);
+        assert!(m.final_accuracy() > 0.2);
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_early() {
+        let exp = small_experiment(false);
+        let mut cfg = quick_cfg(Scheme::FedAvg, 50);
+        // Enough for the initial distribution and a couple of epochs only.
+        let bytes = 12.0 * 4.0 * 4.0 * 1000.0;
+        cfg.budget = ResourceBudget::bandwidth_only(bytes);
+        let m = exp.run(&cfg);
+        assert!(m.budget_exhausted);
+        assert!(m.epochs() < 50);
+    }
+
+    #[test]
+    fn target_accuracy_stops_early() {
+        let exp = small_experiment(false);
+        let mut cfg = quick_cfg(Scheme::FedAvg, 60);
+        cfg.target_accuracy = Some(0.4);
+        cfg.eval_interval = 2;
+        let m = exp.run(&cfg);
+        assert!(m.target_reached);
+        assert!(m.epochs() < 60);
+    }
+
+    #[test]
+    fn dp_noise_degrades_but_runs() {
+        let exp = small_experiment(false);
+        let mut cfg = quick_cfg(Scheme::FedAvg, 10);
+        cfg.dp = Some(DpConfig::with_epsilon(1.0)); // Very strong noise.
+        let noisy = exp.run(&cfg);
+        let clean = exp.run(&quick_cfg(Scheme::FedAvg, 10));
+        assert!(noisy.final_accuracy() <= clean.final_accuracy() + 0.1);
+    }
+
+    #[test]
+    fn fedasync_trades_traffic_for_accuracy() {
+        let exp = small_experiment(true);
+        let a_async = exp.run(&quick_cfg(Scheme::fedasync(), 16));
+        let a_avg = exp.run(&quick_cfg(Scheme::FedAvg, 16));
+        // One upload per epoch instead of K: much cheaper.
+        assert!(a_async.traffic().c2s < a_avg.traffic().c2s / 2);
+        // It still learns something, but non-IID hurts it (the paper's
+        // critique of asynchronous optimization).
+        assert!(a_async.final_accuracy() > 0.2);
+        assert!(a_async.final_accuracy() <= a_avg.final_accuracy() + 0.1);
+    }
+
+    #[test]
+    fn partial_participation_trains_a_subset_and_costs_less() {
+        let exp = small_experiment(false);
+        let mut cfg = quick_cfg(Scheme::FedAvg, 10);
+        cfg.participation = 0.5;
+        let m_half = exp.run(&cfg);
+        let m_full = exp.run(&quick_cfg(Scheme::FedAvg, 10));
+        // Half the clients -> roughly half the per-epoch C2S traffic.
+        assert!(m_half.traffic().c2s < m_full.traffic().c2s * 3 / 4);
+        assert!(m_half.final_accuracy() > 0.3, "partial run failed to learn");
+    }
+
+    #[test]
+    fn partial_participation_works_for_migration_schemes() {
+        let exp = small_experiment(true);
+        let mut cfg = quick_cfg(Scheme::fedmigr(3), 10);
+        cfg.participation = 0.75;
+        let m = exp.run(&cfg);
+        assert!(m.epochs() == 10);
+        assert!(m.migrations_local + m.migrations_global > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "full participation")]
+    fn fixed_strategies_require_full_participation() {
+        let exp = small_experiment(true);
+        let mut cfg = quick_cfg(Scheme::Fixed(crate::MigrationStrategy::Random), 4);
+        cfg.participation = 0.5;
+        let _ = exp.run(&cfg);
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_seed() {
+        let exp = small_experiment(true);
+        let a = exp.run(&quick_cfg(Scheme::RandMigr, 8));
+        let b = exp.run(&quick_cfg(Scheme::RandMigr, 8));
+        assert_eq!(a.final_accuracy(), b.final_accuracy());
+        assert_eq!(a.traffic(), b.traffic());
+    }
+}

@@ -1,0 +1,108 @@
+//! Cross-run comparison utilities: the computations the paper's tables do
+//! over a set of scheme runs (accuracy deltas, resource savings), exposed
+//! as a library API so downstream users don't re-implement them.
+
+use crate::metrics::RunMetrics;
+
+/// A comparison of several finished runs against a named baseline.
+pub struct SchemeComparison<'a> {
+    baseline: &'a RunMetrics,
+    others: Vec<&'a RunMetrics>,
+}
+
+impl<'a> SchemeComparison<'a> {
+    /// Builds a comparison. `baseline` is typically the FedAvg run.
+    pub fn new(baseline: &'a RunMetrics, others: Vec<&'a RunMetrics>) -> Self {
+        Self { baseline, others }
+    }
+
+    /// Accuracy improvement of each run over the baseline, in percentage
+    /// points (the paper's "+13% on average" figure is the mean of these).
+    pub fn accuracy_gains(&self) -> Vec<(String, f64)> {
+        let base = self.baseline.best_accuracy();
+        self.others
+            .iter()
+            .map(|m| (m.scheme.clone(), 100.0 * (m.best_accuracy() - base)))
+            .collect()
+    }
+
+    /// Mean accuracy gain over the baseline across all compared runs.
+    pub fn mean_accuracy_gain(&self) -> f64 {
+        let gains = self.accuracy_gains();
+        if gains.is_empty() {
+            return 0.0;
+        }
+        gains.iter().map(|(_, g)| g).sum::<f64>() / gains.len() as f64
+    }
+
+    /// Relative *global-communication* saving of each run vs the baseline
+    /// (fraction of C2S + cross-LAN bytes avoided — the paper's "42%
+    /// bandwidth reduction" metric). Positive = cheaper than baseline.
+    pub fn global_traffic_savings(&self) -> Vec<(String, f64)> {
+        let base = self.baseline.traffic().global().max(1) as f64;
+        self.others
+            .iter()
+            .map(|m| {
+                let frac = 1.0 - m.traffic().global() as f64 / base;
+                (m.scheme.clone(), frac)
+            })
+            .collect()
+    }
+
+    /// Relative completion-time saving of each run vs the baseline.
+    pub fn time_savings(&self) -> Vec<(String, f64)> {
+        let base = self.baseline.sim_time().max(1e-9);
+        self.others
+            .iter()
+            .map(|m| (m.scheme.clone(), 1.0 - m.sim_time() / base))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::EpochRecord;
+    use fedmigr_net::TrafficBreakdown;
+
+    fn run(scheme: &str, acc: f64, c2s: u64, c2c_global: u64, time: f64) -> RunMetrics {
+        RunMetrics {
+            scheme: scheme.into(),
+            records: vec![EpochRecord {
+                epoch: 1,
+                train_loss: 1.0,
+                test_accuracy: Some(acc),
+                traffic: TrafficBreakdown { c2s, c2c_local: 0, c2c_global },
+                sim_time: time,
+            }],
+            migrations_local: 0,
+            migrations_global: 0,
+            link_migrations: vec![],
+            budget_exhausted: false,
+            target_reached: false,
+        }
+    }
+
+    #[test]
+    fn gains_and_savings() {
+        let fedavg = run("FedAvg", 0.60, 1000, 0, 100.0);
+        let fedmigr = run("FedMigr", 0.73, 200, 100, 50.0);
+        let cmp = SchemeComparison::new(&fedavg, vec![&fedmigr]);
+        let gains = cmp.accuracy_gains();
+        assert_eq!(gains[0].0, "FedMigr");
+        assert!((gains[0].1 - 13.0).abs() < 1e-9);
+        assert!((cmp.mean_accuracy_gain() - 13.0).abs() < 1e-9);
+        let traffic = cmp.global_traffic_savings();
+        assert!((traffic[0].1 - 0.7).abs() < 1e-9, "300/1000 global bytes -> 70% saved");
+        let time = cmp.time_savings();
+        assert!((time[0].1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_comparison_is_safe() {
+        let base = run("FedAvg", 0.5, 10, 0, 1.0);
+        let cmp = SchemeComparison::new(&base, vec![]);
+        assert_eq!(cmp.mean_accuracy_gain(), 0.0);
+        assert!(cmp.accuracy_gains().is_empty());
+    }
+}

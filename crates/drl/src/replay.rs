@@ -1,0 +1,240 @@
+use rand::Rng;
+
+/// One experience tuple `z = (s_t, a_t, r_t, s_{t+1})`.
+#[derive(Clone, Debug)]
+pub struct Transition {
+    /// State features at decision time.
+    pub state: Vec<f32>,
+    /// Destination client chosen (index into the action space).
+    pub action: usize,
+    /// Reward observed after executing the action (Eq. 17/18).
+    pub reward: f32,
+    /// State features after the environment step.
+    pub next_state: Vec<f32>,
+    /// Whether this transition ended the episode.
+    pub done: bool,
+}
+
+/// Prioritized experience replay over a sum-tree.
+///
+/// Sampling probability follows Eq. (26): `P(z) = p_z^ξ / Σ_j p_j^ξ`, where
+/// the priority `p_z` combines TD error and action-gradient magnitude
+/// (Eq. 25, applied by the agent via [`PrioritizedReplay::update_priority`]).
+/// Importance-sampling weights follow Eq. (29), normalized by the batch
+/// maximum. A ring buffer bounds memory: the oldest transition is evicted
+/// once `capacity` is reached.
+pub struct PrioritizedReplay {
+    capacity: usize,
+    xi: f64,
+    beta: f64,
+    items: Vec<Transition>,
+    tree: Vec<f64>,
+    next_slot: usize,
+    max_priority: f64,
+}
+
+impl PrioritizedReplay {
+    /// Creates a buffer. `xi` is the prioritization exponent (0 = uniform
+    /// sampling); `beta` the importance-sampling exponent.
+    pub fn new(capacity: usize, xi: f64, beta: f64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(xi >= 0.0 && beta >= 0.0);
+        Self {
+            capacity,
+            xi,
+            beta,
+            items: Vec::with_capacity(capacity),
+            tree: vec![0.0; 2 * capacity],
+            next_slot: 0,
+            max_priority: 1.0,
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Adds a transition with the current maximum priority so new
+    /// experience is sampled at least once soon.
+    pub fn push(&mut self, t: Transition) {
+        let slot = self.next_slot;
+        if self.items.len() < self.capacity {
+            self.items.push(t);
+        } else {
+            self.items[slot] = t;
+        }
+        self.set_weight(slot, self.max_priority.powf(self.xi));
+        self.next_slot = (slot + 1) % self.capacity;
+    }
+
+    /// Updates the priority `p_z` of a transition after replaying it.
+    pub fn update_priority(&mut self, idx: usize, priority: f64) {
+        assert!(idx < self.items.len(), "index out of range");
+        let p = priority.max(1e-6);
+        self.max_priority = self.max_priority.max(p);
+        self.set_weight(idx, p.powf(self.xi));
+    }
+
+    /// Samples `batch` transitions. Returns `(index, &transition,
+    /// importance_weight)` triples; weights are normalized so the largest in
+    /// the batch is 1 (Eq. 29).
+    pub fn sample<R: Rng>(
+        &self,
+        batch: usize,
+        rng: &mut R,
+    ) -> Vec<(usize, &Transition, f64)> {
+        assert!(!self.items.is_empty(), "cannot sample from an empty buffer");
+        let total = self.tree[1];
+        let n = self.items.len() as f64;
+        let mut out = Vec::with_capacity(batch);
+        let mut max_w = 0.0f64;
+        let mut picks = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let target = rng.random::<f64>() * total;
+            let idx = self.locate(target);
+            let prob = self.tree[self.capacity + idx] / total;
+            let w = (n * prob).powf(-self.beta);
+            max_w = max_w.max(w);
+            picks.push((idx, w));
+        }
+        for (idx, w) in picks {
+            out.push((idx, &self.items[idx], w / max_w));
+        }
+        out
+    }
+
+    fn set_weight(&mut self, idx: usize, weight: f64) {
+        let mut node = self.capacity + idx;
+        self.tree[node] = weight;
+        while node > 1 {
+            node /= 2;
+            self.tree[node] = self.tree[2 * node] + self.tree[2 * node + 1];
+        }
+    }
+
+    /// Descends the sum-tree to the leaf covering cumulative mass `target`.
+    fn locate(&self, mut target: f64) -> usize {
+        let mut node = 1usize;
+        while node < self.capacity {
+            let left = 2 * node;
+            if target <= self.tree[left] || self.tree[left + 1] == 0.0 {
+                node = left;
+            } else {
+                target -= self.tree[left];
+                node = left + 1;
+            }
+        }
+        (node - self.capacity).min(self.items.len().saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(reward: f32) -> Transition {
+        Transition {
+            state: vec![0.0; 4],
+            action: 0,
+            reward,
+            next_state: vec![0.0; 4],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut buf = PrioritizedReplay::new(3, 0.6, 0.4);
+        for i in 0..5 {
+            buf.push(t(i as f32));
+        }
+        assert_eq!(buf.len(), 3);
+        let rewards: Vec<f32> = buf.items.iter().map(|x| x.reward).collect();
+        // Slots 0 and 1 were overwritten by items 3 and 4.
+        assert_eq!(rewards, vec![3.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn high_priority_items_sampled_more() {
+        let mut buf = PrioritizedReplay::new(8, 1.0, 0.0);
+        for i in 0..8 {
+            buf.push(t(i as f32));
+        }
+        for i in 0..8 {
+            buf.update_priority(i, if i == 3 { 100.0 } else { 1.0 });
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hits = 0;
+        let mut total = 0;
+        for _ in 0..200 {
+            for (idx, _, _) in buf.sample(4, &mut rng) {
+                total += 1;
+                if idx == 3 {
+                    hits += 1;
+                }
+            }
+        }
+        let frac = hits as f64 / total as f64;
+        assert!(frac > 0.7, "priority-100 item sampled only {frac} of the time");
+    }
+
+    #[test]
+    fn xi_zero_is_uniform() {
+        let mut buf = PrioritizedReplay::new(4, 0.0, 0.0);
+        for i in 0..4 {
+            buf.push(t(i as f32));
+        }
+        buf.update_priority(0, 1000.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 4];
+        for _ in 0..400 {
+            for (idx, _, _) in buf.sample(2, &mut rng) {
+                counts[idx] += 1;
+            }
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 1.6, "counts too skewed for uniform: {counts:?}");
+    }
+
+    #[test]
+    fn importance_weights_are_normalized_and_downweight_frequent() {
+        let mut buf = PrioritizedReplay::new(4, 1.0, 1.0);
+        for i in 0..4 {
+            buf.push(t(i as f32));
+        }
+        buf.update_priority(0, 10.0);
+        for i in 1..4 {
+            buf.update_priority(i, 1.0);
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = buf.sample(64, &mut rng);
+        let mut w_hot = f64::MAX;
+        let mut w_cold: f64 = 0.0;
+        for (idx, _, w) in &samples {
+            assert!(*w <= 1.0 + 1e-12);
+            if *idx == 0 {
+                w_hot = w_hot.min(*w);
+            } else {
+                w_cold = w_cold.max(*w);
+            }
+        }
+        assert!(w_hot < w_cold, "frequent item should carry smaller IS weight");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn sampling_empty_panics() {
+        let buf = PrioritizedReplay::new(4, 0.5, 0.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = buf.sample(1, &mut rng);
+    }
+}

@@ -1,0 +1,97 @@
+//! The DRL state `s_t = (t, w^t, F_t, D_t, R_t, G_t)` of Sec. III-C,
+//! featurized to a fixed-length vector.
+//!
+//! The raw state includes the full model parameters `w^t`; feeding millions
+//! of weights to the agent is neither practical nor useful, so — as is
+//! standard for experience-driven controllers — the featurizer keeps the
+//! training-progress scalars (epoch fraction, loss level and trend), the
+//! resource picture (`R_t` usage, `G_t` remaining budgets), and the row of
+//! the distribution-difference matrix `D_t` for the migrating client.
+
+/// Builder for per-decision state vectors of a fixed layout:
+/// `[t/T, loss, Δloss, bw_remaining, compute_remaining, d_{i,1..K}]`.
+#[derive(Clone, Debug)]
+pub struct MigrationState {
+    num_clients: usize,
+}
+
+impl MigrationState {
+    /// Creates a featurizer for `num_clients` clients.
+    pub fn new(num_clients: usize) -> Self {
+        assert!(num_clients > 0);
+        Self { num_clients }
+    }
+
+    /// Dimensionality of produced state vectors.
+    pub fn dim(&self) -> usize {
+        5 + self.num_clients
+    }
+
+    /// Builds the state for a migration decision about client `i`.
+    ///
+    /// * `epoch_frac` — `t / T` in `[0, 1]`,
+    /// * `loss` — current global loss `F_t` (clamped to a sane range),
+    /// * `dloss` — `(F_t - F_{t-1}) / F_{t-1}`, the loss trend in Eq. 17,
+    /// * `bw_remaining`, `compute_remaining` — `G_t` fractions in `[0, 1]`,
+    /// * `distance_row` — row `i` of `D_t` (length `K`).
+    pub fn build(
+        &self,
+        epoch_frac: f64,
+        loss: f64,
+        dloss: f64,
+        bw_remaining: f64,
+        compute_remaining: f64,
+        distance_row: &[f64],
+    ) -> Vec<f32> {
+        assert_eq!(
+            distance_row.len(),
+            self.num_clients,
+            "distance row must have one entry per client"
+        );
+        let mut s = Vec::with_capacity(self.dim());
+        s.push(epoch_frac.clamp(0.0, 1.0) as f32);
+        s.push(loss.clamp(0.0, 20.0) as f32 / 10.0);
+        s.push(dloss.clamp(-1.0, 1.0) as f32);
+        s.push(bw_remaining.clamp(0.0, 1.0) as f32);
+        s.push(compute_remaining.clamp(0.0, 1.0) as f32);
+        // L1 distance between distributions is at most 2.
+        s.extend(distance_row.iter().map(|&d| (d / 2.0) as f32));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_and_dim() {
+        let f = MigrationState::new(3);
+        assert_eq!(f.dim(), 8);
+        let s = f.build(0.5, 2.0, -0.1, 0.9, 0.8, &[0.0, 2.0, 1.0]);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s[0], 0.5);
+        assert_eq!(s[1], 0.2);
+        assert_eq!(s[5], 0.0);
+        assert_eq!(s[6], 1.0);
+        assert_eq!(s[7], 0.5);
+    }
+
+    #[test]
+    fn values_are_clamped() {
+        let f = MigrationState::new(1);
+        let s = f.build(2.0, 1e9, -5.0, 7.0, -3.0, &[0.5]);
+        assert_eq!(s[0], 1.0);
+        assert_eq!(s[1], 2.0);
+        assert_eq!(s[2], -1.0);
+        assert_eq!(s[3], 1.0);
+        assert_eq!(s[4], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per client")]
+    fn wrong_row_length_panics() {
+        let f = MigrationState::new(2);
+        let _ = f.build(0.0, 0.0, 0.0, 1.0, 1.0, &[0.0]);
+    }
+}

@@ -1,0 +1,63 @@
+/// Virtual wall-clock of a synchronous FL run.
+///
+/// In a synchronous round every client computes and communicates in
+/// parallel, so the round's duration is the *maximum* over participants;
+/// the clock advances by that maximum. [`SimClock::advance_parallel`]
+/// captures this directly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimClock {
+    now: f64,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advances by `seconds` (a serial phase).
+    pub fn advance(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0 && seconds.is_finite(), "invalid time delta {seconds}");
+        self.now += seconds;
+    }
+
+    /// Advances by the maximum of `durations` (a parallel phase); empty
+    /// input advances by zero.
+    pub fn advance_parallel(&mut self, durations: impl IntoIterator<Item = f64>) {
+        let max = durations.into_iter().fold(0.0f64, f64::max);
+        self.advance(max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_accumulate() {
+        let mut c = SimClock::new();
+        c.advance(1.5);
+        c.advance(0.5);
+        assert_eq!(c.now(), 2.0);
+    }
+
+    #[test]
+    fn parallel_takes_max() {
+        let mut c = SimClock::new();
+        c.advance_parallel([1.0, 3.0, 2.0]);
+        assert_eq!(c.now(), 3.0);
+        c.advance_parallel(std::iter::empty());
+        assert_eq!(c.now(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time delta")]
+    fn rejects_negative_delta() {
+        SimClock::new().advance(-1.0);
+    }
+}

@@ -1,0 +1,124 @@
+use fedmigr_tensor::Tensor;
+
+use crate::Layer;
+
+/// Average pooling over `[B, C, H, W]` inputs with a square window.
+///
+/// Unlike max pooling there is nothing to cache except the input shape:
+/// the backward pass spreads each output gradient uniformly over its
+/// window.
+#[derive(Clone)]
+pub struct AvgPool2d {
+    size: usize,
+    stride: usize,
+    input_shape: Vec<usize>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pooling layer.
+    pub fn new(size: usize, stride: usize) -> Self {
+        assert!(size > 0 && stride > 0, "pool size and stride must be positive");
+        Self { size, stride, input_shape: Vec::new() }
+    }
+
+    fn out_size(&self, in_size: usize) -> usize {
+        (in_size - self.size) / self.stride + 1
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 4, "AvgPool2d expects [B, C, H, W]");
+        let (b, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let (oh, ow) = (self.out_size(h), self.out_size(w));
+        let inv = 1.0 / (self.size * self.size) as f32;
+        let mut out = vec![0.0f32; b * c * oh * ow];
+        let data = input.data();
+        for bc in 0..b * c {
+            let plane = bc * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut sum = 0.0f32;
+                    for ky in 0..self.size {
+                        let iy = oy * self.stride + ky;
+                        for kx in 0..self.size {
+                            sum += data[plane + iy * w + ox * self.stride + kx];
+                        }
+                    }
+                    out[(bc * oh + oy) * ow + ox] = sum * inv;
+                }
+            }
+        }
+        self.input_shape = shape.to_vec();
+        Tensor::from_vec(vec![b, c, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (b, c, h, w) = (
+            self.input_shape[0],
+            self.input_shape[1],
+            self.input_shape[2],
+            self.input_shape[3],
+        );
+        let shape = grad_out.shape();
+        let (oh, ow) = (shape[2], shape[3]);
+        let inv = 1.0 / (self.size * self.size) as f32;
+        let mut grad_in = Tensor::zeros(&self.input_shape);
+        let dst = grad_in.data_mut();
+        let g = grad_out.data();
+        for bc in 0..b * c {
+            let plane = bc * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let gv = g[(bc * oh + oy) * ow + ox] * inv;
+                    for ky in 0..self.size {
+                        let iy = oy * self.stride + ky;
+                        for kx in 0..self.size {
+                            dst[plane + iy * w + ox * self.stride + kx] += gv;
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn name(&self) -> &'static str {
+        "AvgPool2d"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_windows() {
+        let mut pool = AvgPool2d::new(2, 2);
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 6.0]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data()[0], 3.0);
+    }
+
+    #[test]
+    fn backward_spreads_uniformly() {
+        let mut pool = AvgPool2d::new(2, 2);
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = pool.forward(&x, true);
+        let g = pool.backward(&Tensor::full(y.shape(), 4.0));
+        assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn shape_arithmetic() {
+        let mut pool = AvgPool2d::new(2, 2);
+        let y = pool.forward(&Tensor::zeros(&[2, 3, 8, 8]), true);
+        assert_eq!(y.shape(), &[2, 3, 4, 4]);
+    }
+}

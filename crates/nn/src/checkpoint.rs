@@ -1,0 +1,123 @@
+//! Model checkpointing: save/load parameter snapshots to disk.
+//!
+//! The format is deliberately simple and stable: a magic tag, a
+//! length-prefixed UTF-8 model name, and the little-endian parameter
+//! payload of [`crate::params::encode_params`]. Loading verifies both the
+//! name and the parameter count, so a checkpoint cannot be silently loaded
+//! into the wrong architecture.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::params::{decode_params, encode_params};
+use crate::Model;
+
+const MAGIC: &[u8; 8] = b"FEDMIGR1";
+
+/// Serializes a model snapshot to bytes.
+pub fn to_bytes(model: &mut Model) -> Bytes {
+    let params = model.params();
+    let name = model.name().as_bytes();
+    let payload = encode_params(&params);
+    let mut buf = BytesMut::with_capacity(8 + 4 + name.len() + payload.len());
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(name.len() as u32);
+    buf.put_slice(name);
+    buf.put_slice(&payload);
+    buf.freeze()
+}
+
+/// Restores a snapshot produced by [`to_bytes`] into `model`.
+///
+/// Returns an error if the header is malformed, the model name differs, or
+/// the parameter count does not match the target architecture.
+pub fn from_bytes(model: &mut Model, mut bytes: Bytes) -> io::Result<()> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if bytes.len() < 12 || &bytes[..8] != MAGIC {
+        return Err(bad("not a FedMigr checkpoint"));
+    }
+    bytes.advance(8);
+    let name_len = bytes.get_u32_le() as usize;
+    if bytes.len() < name_len {
+        return Err(bad("truncated checkpoint name"));
+    }
+    let name = bytes.split_to(name_len);
+    let name = std::str::from_utf8(&name).map_err(|_| bad("checkpoint name is not UTF-8"))?;
+    if name != model.name() {
+        return Err(bad(&format!(
+            "checkpoint is for model {name:?}, not {:?}",
+            model.name()
+        )));
+    }
+    let params = decode_params(bytes).ok_or_else(|| bad("corrupt parameter payload"))?;
+    if params.len() != model.num_params() {
+        return Err(bad(&format!(
+            "checkpoint has {} parameters, model has {}",
+            params.len(),
+            model.num_params()
+        )));
+    }
+    model.set_params(&params);
+    Ok(())
+}
+
+/// Saves a model snapshot to `path`.
+pub fn save(model: &mut Model, path: impl AsRef<Path>) -> io::Result<()> {
+    fs::write(path, to_bytes(model))
+}
+
+/// Loads a snapshot from `path` into `model`.
+pub fn load(model: &mut Model, path: impl AsRef<Path>) -> io::Result<()> {
+    let data = fs::read(path)?;
+    from_bytes(model, Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{self, NetScale};
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let mut a = zoo::c10_cnn(1, 8, NetScale::Small, 3);
+        let snapshot = to_bytes(&mut a);
+        let mut b = zoo::c10_cnn(1, 8, NetScale::Small, 99);
+        assert_ne!(a.params(), b.params());
+        from_bytes(&mut b, snapshot).unwrap();
+        assert_eq!(a.params(), b.params());
+    }
+
+    #[test]
+    fn round_trips_through_a_file() {
+        let dir = std::env::temp_dir().join("fedmigr-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.fmck");
+        let mut a = zoo::mlp(6, &[4], 3, 1);
+        save(&mut a, &path).unwrap();
+        let mut b = zoo::mlp(6, &[4], 3, 2);
+        load(&mut b, &path).unwrap();
+        assert_eq!(a.params(), b.params());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_architecture() {
+        let mut a = zoo::mlp(6, &[4], 3, 1);
+        let snapshot = to_bytes(&mut a);
+        let mut other_name = zoo::c10_cnn(1, 8, NetScale::Small, 1);
+        assert!(from_bytes(&mut other_name, snapshot.clone()).is_err());
+        let mut other_size = zoo::mlp(6, &[8], 3, 1);
+        // Same name "MLP" but different parameter count.
+        assert!(from_bytes(&mut other_size, snapshot).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut m = zoo::mlp(2, &[], 2, 0);
+        assert!(from_bytes(&mut m, Bytes::from_static(b"nonsense")).is_err());
+        assert!(from_bytes(&mut m, Bytes::from_static(b"FEDMIGR1\xff\xff\xff\xff")).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Softmax cross-entropy loss and classification accuracy.
+
+use fedmigr_tensor::{argmax_slice, log_softmax_rows, softmax_rows, Tensor};
+
+/// Mean softmax cross-entropy over a batch.
+///
+/// Returns `(loss, grad_logits)` where `grad_logits = (softmax - onehot) / B`
+/// — the gradient of the *mean* loss w.r.t. the logits, ready to feed into
+/// `Layer::backward`.
+///
+/// # Panics
+/// Panics if `labels.len() != logits.rows()` or any label is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (b, l) = (logits.rows(), logits.cols());
+    assert_eq!(labels.len(), b, "one label per logit row required");
+    let log_p = log_softmax_rows(logits);
+    let mut loss = 0.0f32;
+    for (r, &y) in labels.iter().enumerate() {
+        assert!(y < l, "label {y} out of range for {l} classes");
+        loss -= log_p.at2(r, y);
+    }
+    loss /= b as f32;
+
+    let mut grad = softmax_rows(logits);
+    let inv_b = 1.0 / b as f32;
+    for (r, &y) in labels.iter().enumerate() {
+        *grad.at2_mut(r, y) -= 1.0;
+    }
+    grad.scale_assign(inv_b);
+    (loss, grad)
+}
+
+/// Fraction of rows whose argmax matches the label.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    assert_eq!(labels.len(), logits.rows());
+    let correct = labels
+        .iter()
+        .enumerate()
+        .filter(|&(r, &y)| argmax_slice(logits.row(r)) == y)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_l_loss() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_small_loss() {
+        let logits = Tensor::from_vec(vec![1, 3], vec![10.0, 0.0, 0.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![2, 3], vec![1.0, -2.0, 0.5, 0.0, 0.1, 0.2]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]);
+        for r in 0..2 {
+            let s: f32 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_numerical() {
+        let logits = Tensor::from_vec(vec![1, 3], vec![0.3, -0.7, 1.1]);
+        let labels = [1usize];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &labels);
+            let (fm, _) = softmax_cross_entropy(&lm, &labels);
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - grad.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits = Tensor::from_vec(vec![2, 2], vec![0.9, 0.1, 0.2, 0.8]);
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 1]), 0.5);
+    }
+}

@@ -1,0 +1,188 @@
+use fedmigr_tensor::Tensor;
+
+use crate::optim::apply_prox_term;
+use crate::params::{grad_vector, param_vector, set_param_vector, wire_size};
+use crate::{accuracy, softmax_cross_entropy, Layer, Sequential, Sgd};
+
+/// A classification model: a [`Sequential`] network plus the metadata an FL
+/// client needs (per-sample input shape, class count, a human-readable name).
+#[derive(Clone)]
+pub struct Model {
+    net: Sequential,
+    input_shape: Vec<usize>,
+    num_classes: usize,
+    name: String,
+}
+
+impl Model {
+    /// Wraps a network. `input_shape` is per-sample (no batch dimension).
+    pub fn new(net: Sequential, input_shape: &[usize], num_classes: usize, name: &str) -> Self {
+        Self {
+            net,
+            input_shape: input_shape.to_vec(),
+            num_classes,
+            name: name.to_string(),
+        }
+    }
+
+    /// Per-sample input shape.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Model name (e.g. `"C10-CNN"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Mutable access to the underlying network.
+    pub fn net_mut(&mut self) -> &mut Sequential {
+        &mut self.net
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&mut self) -> usize {
+        self.net.param_count()
+    }
+
+    /// Size in bytes of this model on the wire (what migration/aggregation
+    /// transfers cost in the network simulator).
+    pub fn wire_bytes(&mut self) -> u64 {
+        wire_size(self.num_params())
+    }
+
+    /// Forward pass on a batch `[B, ...input_shape]`.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.net.forward(x, train)
+    }
+
+    /// Mean cross-entropy loss on a batch (inference mode, no grads).
+    pub fn loss(&mut self, x: &Tensor, labels: &[usize]) -> f32 {
+        let logits = self.net.forward(x, false);
+        softmax_cross_entropy(&logits, labels).0
+    }
+
+    /// Loss and accuracy on a batch (inference mode).
+    pub fn evaluate(&mut self, x: &Tensor, labels: &[usize]) -> (f32, f64) {
+        let logits = self.net.forward(x, false);
+        let (loss, _) = softmax_cross_entropy(&logits, labels);
+        (loss, accuracy(&logits, labels))
+    }
+
+    /// One SGD step on a mini-batch; returns the pre-step loss.
+    pub fn train_step(&mut self, x: &Tensor, labels: &[usize], opt: &mut Sgd) -> f32 {
+        self.train_step_inner(x, labels, opt, None)
+    }
+
+    /// One FedProx step: like [`Model::train_step`] but adds the proximal
+    /// gradient `mu * (w - w_global)` before the update.
+    pub fn train_step_prox(
+        &mut self,
+        x: &Tensor,
+        labels: &[usize],
+        opt: &mut Sgd,
+        global: &[f32],
+        mu: f32,
+    ) -> f32 {
+        self.train_step_inner(x, labels, opt, Some((global, mu)))
+    }
+
+    fn train_step_inner(
+        &mut self,
+        x: &Tensor,
+        labels: &[usize],
+        opt: &mut Sgd,
+        prox: Option<(&[f32], f32)>,
+    ) -> f32 {
+        let logits = self.net.forward(x, true);
+        let (loss, grad) = softmax_cross_entropy(&logits, labels);
+        self.net.zero_grad();
+        self.net.backward(&grad);
+        if let Some((global, mu)) = prox {
+            apply_prox_term(&mut self.net, global, mu);
+        }
+        opt.step(&mut self.net);
+        loss
+    }
+
+    /// Flattened parameters (the migrated/aggregated representation).
+    pub fn params(&mut self) -> Vec<f32> {
+        param_vector(&mut self.net)
+    }
+
+    /// Flattened accumulated gradients.
+    pub fn grads(&mut self) -> Vec<f32> {
+        grad_vector(&mut self.net)
+    }
+
+    /// Replaces all parameters from a flat vector.
+    pub fn set_params(&mut self, values: &[f32]) {
+        set_param_vector(&mut self.net, values);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn train_step_reduces_loss_on_fixed_batch() {
+        let mut model = zoo::mlp(4, &[8], 2, 0);
+        let x = Tensor::from_vec(vec![4, 4], vec![
+            1.0, 0.0, 0.0, 0.0, //
+            0.0, 1.0, 0.0, 0.0, //
+            0.0, 0.0, 1.0, 0.0, //
+            0.0, 0.0, 0.0, 1.0,
+        ]);
+        let labels = [0usize, 0, 1, 1];
+        let mut opt = Sgd::new(0.5);
+        let before = model.loss(&x, &labels);
+        for _ in 0..50 {
+            model.train_step(&x, &labels, &mut opt);
+        }
+        let after = model.loss(&x, &labels);
+        assert!(after < before * 0.5, "loss {before} -> {after}");
+        let (_, acc) = model.evaluate(&x, &labels);
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn set_params_round_trips() {
+        let mut model = zoo::mlp(4, &[8], 2, 0);
+        let p = model.params();
+        let zeros = vec![0.0f32; p.len()];
+        model.set_params(&zeros);
+        assert!(model.params().iter().all(|&x| x == 0.0));
+        model.set_params(&p);
+        assert_eq!(model.params(), p);
+    }
+
+    #[test]
+    fn prox_step_stays_closer_to_global() {
+        // Train two identical models on the same batch; the proximal one
+        // must end nearer the anchor (its starting parameters).
+        let x = Tensor::from_vec(vec![2, 4], vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+        let labels = [0usize, 1];
+        let mut plain = zoo::mlp(4, &[8], 2, 3);
+        let mut proxed = plain.clone();
+        let anchor = plain.params();
+        let mut o1 = Sgd::new(0.5);
+        let mut o2 = Sgd::new(0.5);
+        for _ in 0..30 {
+            plain.train_step(&x, &labels, &mut o1);
+            proxed.train_step_prox(&x, &labels, &mut o2, &anchor, 1.0);
+        }
+        let dist = |p: &[f32]| -> f32 {
+            p.iter().zip(&anchor).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt()
+        };
+        let dp = dist(&plain.params());
+        let dx = dist(&proxed.params());
+        assert!(dx < dp, "prox distance {dx} should be < plain distance {dp}");
+    }
+}

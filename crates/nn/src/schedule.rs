@@ -1,0 +1,80 @@
+//! Learning-rate schedules for long federated runs.
+
+/// A learning-rate schedule: maps an epoch index to a learning rate.
+#[derive(Clone, Debug)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant(f32),
+    /// Multiply by `gamma` every `every` epochs: `base * gamma^(e / every)`.
+    StepDecay {
+        /// Initial rate.
+        base: f32,
+        /// Decay factor per step (0 < gamma <= 1).
+        gamma: f32,
+        /// Epochs between decays.
+        every: usize,
+    },
+    /// Cosine annealing from `base` down to `floor` over `total` epochs.
+    Cosine {
+        /// Initial rate.
+        base: f32,
+        /// Final rate.
+        floor: f32,
+        /// Schedule length in epochs.
+        total: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at (0-based) `epoch`.
+    pub fn at(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::StepDecay { base, gamma, every } => {
+                assert!(every > 0, "decay interval must be positive");
+                base * gamma.powi((epoch / every) as i32)
+            }
+            LrSchedule::Cosine { base, floor, total } => {
+                assert!(total > 0, "schedule length must be positive");
+                let t = (epoch.min(total)) as f32 / total as f32;
+                floor + 0.5 * (base - floor) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant(0.1);
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(1000), 0.1);
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = LrSchedule::StepDecay { base: 0.1, gamma: 0.5, every: 10 };
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(9), 0.1);
+        assert!((s.at(10) - 0.05).abs() < 1e-9);
+        assert!((s.at(25) - 0.025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_starts_at_base_and_ends_at_floor() {
+        let s = LrSchedule::Cosine { base: 0.1, floor: 0.001, total: 100 };
+        assert!((s.at(0) - 0.1).abs() < 1e-6);
+        assert!((s.at(100) - 0.001).abs() < 1e-6);
+        assert!((s.at(200) - 0.001).abs() < 1e-6, "clamps beyond total");
+        // Monotone decreasing.
+        let mut prev = s.at(0);
+        for e in 1..=100 {
+            let lr = s.at(e);
+            assert!(lr <= prev + 1e-7);
+            prev = lr;
+        }
+    }
+}

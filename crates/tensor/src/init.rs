@@ -1,0 +1,29 @@
+//! Standard-deviation helpers for weight initialization.
+
+/// He (Kaiming) initialization standard deviation for ReLU networks:
+/// `sqrt(2 / fan_in)`.
+pub fn he_std(fan_in: usize) -> f32 {
+    (2.0 / fan_in as f32).sqrt()
+}
+
+/// Xavier (Glorot) initialization standard deviation:
+/// `sqrt(2 / (fan_in + fan_out))`.
+pub fn xavier_std(fan_in: usize, fan_out: usize) -> f32 {
+    (2.0 / (fan_in + fan_out) as f32).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_decreases_with_fan_in() {
+        assert!(he_std(16) > he_std(256));
+        assert!((he_std(2) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn xavier_is_symmetric() {
+        assert_eq!(xavier_std(64, 16), xavier_std(16, 64));
+    }
+}

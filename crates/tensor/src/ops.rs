@@ -1,0 +1,237 @@
+use crate::Tensor;
+
+impl Tensor {
+    /// Elementwise addition; shapes must match.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction; shapes must match.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product; shapes must match.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// In-place elementwise `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in add_assign");
+        for (a, b) in self.data_mut().iter_mut().zip(other.data()) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += alpha * other` (axpy).
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in axpy");
+        for (a, b) in self.data_mut().iter_mut().zip(other.data()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Returns `self * scalar`.
+    pub fn scale(&self, scalar: f32) -> Tensor {
+        Tensor::from_vec(self.shape().to_vec(), self.data().iter().map(|x| x * scalar).collect())
+    }
+
+    /// In-place multiplication by a scalar.
+    pub fn scale_assign(&mut self, scalar: f32) {
+        for x in self.data_mut() {
+            *x *= scalar;
+        }
+    }
+
+    /// Applies `f` elementwise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor::from_vec(self.shape().to_vec(), self.data().iter().map(|&x| f(x)).collect())
+    }
+
+    /// Sets every element to zero, preserving the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data_mut().fill(0.0);
+    }
+
+    /// 2-D matrix multiply: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// Implemented as an ikj loop so the inner traversal is contiguous in
+    /// both the right operand and the output.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape().len(), 2, "matmul lhs must be 2-D");
+        assert_eq!(other.shape().len(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        let a = self.data();
+        let b = other.data();
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &aip) in arow.iter().enumerate() {
+                if aip == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += aip * bv;
+                }
+            }
+        }
+        Tensor::from_vec(vec![m, n], out)
+    }
+
+    /// Transpose of a 2-D tensor.
+    pub fn transpose2(&self) -> Tensor {
+        let (m, n) = (self.rows(), self.cols());
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.at2(i, j);
+            }
+        }
+        Tensor::from_vec(vec![n, m], out)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.numel() as f32
+    }
+
+    /// Euclidean (L2) norm of the flattened tensor.
+    pub fn l2_norm(&self) -> f32 {
+        self.data().iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Column sums of a 2-D tensor: `[m, n] -> [n]`.
+    pub fn sum_axis0(&self) -> Tensor {
+        let (m, n) = (self.rows(), self.cols());
+        let mut out = vec![0.0f32; n];
+        for r in 0..m {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        Tensor::from_vec(vec![n], out)
+    }
+
+    /// Maximum element (NaN-free input assumed).
+    pub fn max(&self) -> f32 {
+        self.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (NaN-free input assumed).
+    pub fn min(&self) -> f32 {
+        self.data().iter().cloned().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Elementwise clamp into `[lo, hi]`.
+    pub fn clip(&self, lo: f32, hi: f32) -> Tensor {
+        assert!(lo <= hi, "invalid clip range");
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Dot product of two tensors of identical shape.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in dot");
+        self.data().iter().zip(other.data()).map(|(a, b)| a * b).sum()
+    }
+
+    fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in elementwise op");
+        let data = self
+            .data()
+            .iter()
+            .zip(other.data())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor::from_vec(self.shape().to_vec(), data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: &[usize], data: &[f32]) -> Tensor {
+        Tensor::from_vec(shape.to_vec(), data.to_vec())
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t(&[2, 2], &[1.0, 2.0, 3.0, 4.0]);
+        let b = t(&[2, 2], &[4.0, 3.0, 2.0, 1.0]);
+        assert_eq!(a.add(&b).data(), &[5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(a.sub(&b).data(), &[-3.0, -1.0, 1.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[4.0, 6.0, 6.0, 4.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(&[3], &[1.0, 1.0, 1.0]);
+        let b = t(&[3], &[1.0, 2.0, 3.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(&[3, 2], &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(&[2, 2], &[1.0, 2.0, 3.0, 4.0]);
+        let i = t(&[2, 2], &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_rejects_bad_dims() {
+        let a = t(&[2, 3], &[0.0; 6]);
+        let b = t(&[2, 3], &[0.0; 6]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose2().transpose2(), a);
+        assert_eq!(a.transpose2().at2(2, 1), 6.0);
+    }
+
+    #[test]
+    fn sum_axis0_sums_columns() {
+        let a = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.sum_axis0().data(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn min_max_clip_dot() {
+        let a = t(&[4], &[-2.0, 0.5, 3.0, 1.0]);
+        assert_eq!(a.max(), 3.0);
+        assert_eq!(a.min(), -2.0);
+        assert_eq!(a.clip(-1.0, 1.0).data(), &[-1.0, 0.5, 1.0, 1.0]);
+        let b = t(&[4], &[1.0, 2.0, 0.0, -1.0]);
+        assert_eq!(a.dot(&b), -2.0 + 1.0 + 0.0 - 1.0);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t(&[4], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert!((a.l2_norm() - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,99 @@
+//! Numerically stable row-wise softmax / log-softmax and argmax helpers.
+
+use crate::Tensor;
+
+/// Row-wise softmax of a 2-D tensor `[B, L]`.
+///
+/// Each row is shifted by its maximum before exponentiation so the result is
+/// stable for large logits.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    let (b, l) = (logits.rows(), logits.cols());
+    let mut out = vec![0.0f32; b * l];
+    for r in 0..b {
+        let row = logits.row(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let dest = &mut out[r * l..(r + 1) * l];
+        let mut sum = 0.0f32;
+        for (d, &x) in dest.iter_mut().zip(row) {
+            let e = (x - max).exp();
+            *d = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for d in dest.iter_mut() {
+            *d *= inv;
+        }
+    }
+    Tensor::from_vec(vec![b, l], out)
+}
+
+/// Row-wise log-softmax of a 2-D tensor `[B, L]`.
+pub fn log_softmax_rows(logits: &Tensor) -> Tensor {
+    let (b, l) = (logits.rows(), logits.cols());
+    let mut out = vec![0.0f32; b * l];
+    for r in 0..b {
+        let row = logits.row(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let lse = max + row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+        for (d, &x) in out[r * l..(r + 1) * l].iter_mut().zip(row) {
+            *d = x - lse;
+        }
+    }
+    Tensor::from_vec(vec![b, l], out)
+}
+
+/// Index of the maximum element of a slice (first on ties).
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn argmax_slice(xs: &[f32]) -> usize {
+    assert!(!xs.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let p = softmax_rows(&logits);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Larger logit gets larger probability.
+        assert!(p.at2(0, 2) > p.at2(0, 1));
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let logits = Tensor::from_vec(vec![1, 2], vec![1000.0, 999.0]);
+        let p = softmax_rows(&logits);
+        assert!(p.data().iter().all(|x| x.is_finite()));
+        assert!(p.at2(0, 0) > p.at2(0, 1));
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let logits = Tensor::from_vec(vec![1, 4], vec![0.5, -0.5, 2.0, 0.0]);
+        let ls = log_softmax_rows(&logits);
+        let p = softmax_rows(&logits);
+        for (a, b) in ls.data().iter().zip(p.data()) {
+            assert!((a - b.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax_slice(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax_slice(&[-5.0]), 0);
+    }
+}

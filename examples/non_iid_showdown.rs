@@ -1,0 +1,43 @@
+//! Non-IID showdown: the paper's headline comparison — FedAvg vs FedMigr
+//! (plus the RandMigr ablation) when every client holds a single class.
+//!
+//! ```sh
+//! cargo run --release --example non_iid_showdown
+//! ```
+
+use fedmigr::core::{Experiment, RunConfig, Scheme};
+use fedmigr::data::{partition_shards, SyntheticConfig, SyntheticDataset};
+use fedmigr::net::{ClientCompute, Topology, TopologyConfig};
+use fedmigr::nn::zoo::{c10_cnn, NetScale};
+
+fn main() {
+    let seed = 11;
+    let data = SyntheticDataset::generate(&SyntheticConfig::c10_like(80, seed));
+    let parts = partition_shards(&data.train, 10, 1, seed);
+    let exp = Experiment::new(
+        data.train,
+        data.test,
+        parts,
+        Topology::new(&TopologyConfig::c10_sim(seed)),
+        ClientCompute::testbed_mix(10),
+        c10_cnn(3, 8, NetScale::Small, seed),
+    );
+
+    println!("{:<10} {:>9} {:>12} {:>12} {:>9}", "scheme", "accuracy", "traffic(MB)", "C2S(MB)", "time(s)");
+    for scheme in [Scheme::FedAvg, Scheme::RandMigr, Scheme::fedmigr(seed)] {
+        let mut cfg = RunConfig::new(scheme.clone(), 100);
+        cfg.lr = 0.01;
+        cfg.seed = seed;
+        let m = exp.run(&cfg);
+        println!(
+            "{:<10} {:>8.1}% {:>12.2} {:>12.2} {:>9.0}",
+            scheme.name(),
+            100.0 * m.best_accuracy(),
+            m.traffic().total() as f64 / 1e6,
+            m.traffic().c2s as f64 / 1e6,
+            m.sim_time(),
+        );
+    }
+    println!("\nFedMigr should match or beat FedAvg's accuracy while moving");
+    println!("most bytes over cheap LAN links instead of the WAN.");
+}

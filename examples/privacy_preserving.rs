@@ -1,0 +1,45 @@
+//! Privacy-preserving FedMigr: every transmitted model is clipped (Eq. 30)
+//! and perturbed with Gaussian noise (Eq. 31) under an (ε, δ)-LDP budget.
+//!
+//! ```sh
+//! cargo run --release --example privacy_preserving
+//! ```
+
+use fedmigr::core::{DpConfig, Experiment, RunConfig, Scheme};
+use fedmigr::data::{partition_shards, SyntheticConfig, SyntheticDataset};
+use fedmigr::net::{ClientCompute, Topology, TopologyConfig};
+use fedmigr::nn::zoo::{c10_cnn, NetScale};
+
+fn main() {
+    let seed = 13;
+    let data = SyntheticDataset::generate(&SyntheticConfig::c10_like(60, seed));
+    let parts = partition_shards(&data.train, 10, 1, seed);
+    let exp = Experiment::new(
+        data.train,
+        data.test,
+        parts,
+        Topology::new(&TopologyConfig::c10_sim(seed)),
+        ClientCompute::testbed_mix(10),
+        c10_cnn(3, 8, NetScale::Small, seed),
+    );
+
+    println!("{:<12} {:>10} {:>10}", "budget", "sigma", "accuracy");
+    for eps in [f64::INFINITY, 4000.0, 2000.0] {
+        let mut cfg = RunConfig::new(Scheme::fedmigr(seed), 60);
+        cfg.lr = 0.01;
+        cfg.seed = seed;
+        let label = if eps.is_infinite() {
+            cfg.dp = None;
+            "eps = inf".to_string()
+        } else {
+            let dp = DpConfig::with_epsilon(eps);
+            cfg.dp = Some(dp);
+            format!("eps = {eps}")
+        };
+        let sigma = cfg.dp.map(|d| d.sigma()).unwrap_or(0.0);
+        let m = exp.run(&cfg);
+        println!("{label:<12} {sigma:>10.4} {:>9.1}%", 100.0 * m.best_accuracy());
+    }
+    println!("\nSmaller budgets add more noise per transmission; accuracy");
+    println!("degrades gracefully while migrated models stay private.");
+}

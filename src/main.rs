@@ -1,0 +1,230 @@
+//! `fedmigr` — command-line front end for the FedMigr experiment runner.
+//!
+//! ```text
+//! fedmigr --scheme fedmigr --partition shards --epochs 150 --csv run.csv
+//! ```
+//!
+//! Builds a synthetic federation (dataset, partition, MEC topology,
+//! devices), runs the selected scheme and prints a summary; `--csv` also
+//! writes the per-epoch curve for external plotting. Run with `--help` for
+//! the full flag list.
+
+use fedmigr::core::{DpConfig, Experiment, RunConfig, Scheme};
+use fedmigr::data::{
+    partition_dirichlet, partition_dominant, partition_iid, partition_missing_classes,
+    partition_shards, SyntheticConfig, SyntheticDataset,
+};
+use fedmigr::net::{ClientCompute, Topology, TopologyConfig};
+use fedmigr::nn::zoo::{self, NetScale};
+
+const HELP: &str = "\
+fedmigr — federated learning with intelligent model migration
+
+USAGE:
+    fedmigr [OPTIONS]
+
+OPTIONS:
+    --scheme <s>         fedavg | fedprox | fedswap | randmigr | fedmigr | fedasync
+                         (default fedmigr)
+    --partition <p>      iid | shards | dominant:<frac> | missing:<frac> |
+                         dirichlet:<alpha>   (default shards)
+    --classes <n>        number of classes (default 10)
+    --samples <n>        training samples per class (default 80)
+    --lans <a,b,..>      clients per LAN (default 4,3,3)
+    --epochs <n>         training epochs (default 150)
+    --agg <n>            aggregation interval for migration schemes (default 10)
+    --lr <f>             learning rate (default 0.01)
+    --batch <n>          mini-batch size (default 32)
+    --eval <n>           evaluation interval (default 10)
+    --participation <f>  client fraction per epoch (default 1.0)
+    --dp-eps <f>         enable (eps, 1e-5)-LDP on transmitted models
+    --target <f>         stop at this test accuracy
+    --seed <n>           master seed (default 7)
+    --csv <path>         write the per-epoch curve as CSV
+    --help               print this help
+";
+
+fn main() {
+    let args = Args::parse();
+    let data_cfg = SyntheticConfig {
+        num_classes: args.classes,
+        ..SyntheticConfig::c10_like(args.samples, args.seed)
+    };
+    let data = SyntheticDataset::generate(&data_cfg);
+    let k: usize = args.lans.iter().sum();
+    let parts = match args.partition.as_str() {
+        "iid" => partition_iid(&data.train, k, args.seed),
+        "shards" => {
+            let per = (data.train.num_classes() / k).max(1);
+            partition_shards(&data.train, k, per, args.seed)
+        }
+        p if p.starts_with("dominant:") => {
+            partition_dominant(&data.train, k, parse_suffix(p), args.seed)
+        }
+        p if p.starts_with("missing:") => {
+            partition_missing_classes(&data.train, k, parse_suffix(p), args.seed)
+        }
+        p if p.starts_with("dirichlet:") => {
+            partition_dirichlet(&data.train, k, parse_suffix(p), args.seed)
+        }
+        other => die(&format!("unknown partition {other:?}")),
+    };
+    let topo = Topology::new(&TopologyConfig::default_edge(args.lans.clone(), args.seed));
+    let exp = Experiment::new(
+        data.train,
+        data.test,
+        parts,
+        topo,
+        ClientCompute::testbed_mix(k),
+        zoo::c10_cnn(3, 8, NetScale::Small, args.seed),
+    );
+
+    let scheme = match args.scheme.as_str() {
+        "fedavg" => Scheme::FedAvg,
+        "fedprox" => Scheme::fedprox(),
+        "fedswap" => Scheme::FedSwap,
+        "randmigr" => Scheme::RandMigr,
+        "fedmigr" => Scheme::fedmigr(args.seed),
+        "fedasync" => Scheme::fedasync(),
+        other => die(&format!("unknown scheme {other:?}")),
+    };
+    let mut cfg = RunConfig::new(scheme, args.epochs);
+    cfg.agg_interval = args.agg;
+    cfg.lr = args.lr;
+    cfg.batch_size = args.batch;
+    cfg.eval_interval = args.eval;
+    cfg.participation = args.participation;
+    cfg.target_accuracy = args.target;
+    cfg.dp = args.dp_eps.map(DpConfig::with_epsilon);
+    cfg.seed = args.seed;
+
+    eprintln!(
+        "running {} on {k} clients ({} classes, partition {}) for up to {} epochs...",
+        cfg.scheme.name(),
+        args.classes,
+        args.partition,
+        args.epochs
+    );
+    let metrics = exp.run(&cfg);
+
+    println!("scheme:           {}", metrics.scheme);
+    println!("epochs run:       {}", metrics.epochs());
+    println!("best accuracy:    {:.2}%", 100.0 * metrics.best_accuracy());
+    println!("final accuracy:   {:.2}%", 100.0 * metrics.final_accuracy());
+    let t = metrics.traffic();
+    println!(
+        "traffic:          {:.2} MB total (C2S {:.2}, LAN C2C {:.2}, cross-LAN C2C {:.2})",
+        t.total() as f64 / 1e6,
+        t.c2s as f64 / 1e6,
+        t.c2c_local as f64 / 1e6,
+        t.c2c_global as f64 / 1e6
+    );
+    println!("virtual time:     {:.1} s", metrics.sim_time());
+    println!(
+        "migrations:       {} local, {} cross-LAN",
+        metrics.migrations_local, metrics.migrations_global
+    );
+    if metrics.target_reached {
+        println!("stopped early:    target accuracy reached");
+    }
+    if metrics.budget_exhausted {
+        println!("stopped early:    resource budget exhausted");
+    }
+    if let Some(path) = &args.csv {
+        std::fs::write(path, metrics.to_csv()).unwrap_or_else(|e| die(&format!("csv: {e}")));
+        eprintln!("wrote {path}");
+    }
+}
+
+struct Args {
+    scheme: String,
+    partition: String,
+    classes: usize,
+    samples: usize,
+    lans: Vec<usize>,
+    epochs: usize,
+    agg: usize,
+    lr: f32,
+    batch: usize,
+    eval: usize,
+    participation: f64,
+    dp_eps: Option<f64>,
+    target: Option<f64>,
+    seed: u64,
+    csv: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut out = Self {
+            scheme: "fedmigr".into(),
+            partition: "shards".into(),
+            classes: 10,
+            samples: 80,
+            lans: vec![4, 3, 3],
+            epochs: 150,
+            agg: 10,
+            lr: 0.01,
+            batch: 32,
+            eval: 10,
+            participation: 1.0,
+            dp_eps: None,
+            target: None,
+            seed: 7,
+            csv: None,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let flag = argv[i].as_str();
+            if flag == "--help" || flag == "-h" {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            let value = argv
+                .get(i + 1)
+                .unwrap_or_else(|| die(&format!("flag {flag} needs a value")));
+            match flag {
+                "--scheme" => out.scheme = value.clone(),
+                "--partition" => out.partition = value.clone(),
+                "--classes" => out.classes = parse(value, flag),
+                "--samples" => out.samples = parse(value, flag),
+                "--lans" => {
+                    out.lans = value
+                        .split(',')
+                        .map(|v| parse::<usize>(v, flag))
+                        .collect();
+                }
+                "--epochs" => out.epochs = parse(value, flag),
+                "--agg" => out.agg = parse(value, flag),
+                "--lr" => out.lr = parse(value, flag),
+                "--batch" => out.batch = parse(value, flag),
+                "--eval" => out.eval = parse(value, flag),
+                "--participation" => out.participation = parse(value, flag),
+                "--dp-eps" => out.dp_eps = Some(parse(value, flag)),
+                "--target" => out.target = Some(parse(value, flag)),
+                "--seed" => out.seed = parse(value, flag),
+                "--csv" => out.csv = Some(value.clone()),
+                other => die(&format!("unknown flag {other:?} (try --help)")),
+            }
+            i += 2;
+        }
+        out
+    }
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| die(&format!("bad value {value:?} for {flag}")))
+}
+
+fn parse_suffix(spec: &str) -> f64 {
+    let (_, v) = spec.split_once(':').expect("checked by caller");
+    v.parse().unwrap_or_else(|_| die(&format!("bad numeric suffix in {spec:?}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,125 @@
+//! End-to-end integration tests: every scheme runs over the full stack
+//! (synthetic data -> partition -> topology -> training -> migration ->
+//! aggregation) and the resource accounting obeys exact invariants.
+
+use fedmigr::core::{Experiment, RunConfig, Scheme};
+use fedmigr::data::{partition_shards, SyntheticConfig, SyntheticDataset};
+use fedmigr::net::{ClientCompute, DeviceTier, Topology, TopologyConfig};
+use fedmigr::nn::zoo::{self, NetScale};
+
+const K: usize = 4;
+
+fn experiment(seed: u64) -> Experiment {
+    let data = SyntheticDataset::generate(&SyntheticConfig {
+        num_classes: 4,
+        train_per_class: 24,
+        test_per_class: 8,
+        channels: 1,
+        hw: 8,
+        noise_std: 0.8,
+        class_sep: 1.0,
+        atom_bank: 6,
+        atoms_per_class: 2,
+        private_frac: 0.5,
+        seed,
+    });
+    let parts = partition_shards(&data.train, K, 1, seed);
+    Experiment::new(
+        data.train,
+        data.test,
+        parts,
+        Topology::new(&TopologyConfig::default_edge(vec![2, 2], seed)),
+        ClientCompute::homogeneous(K, DeviceTier::Nx),
+        zoo::c10_cnn(1, 8, NetScale::Small, seed),
+    )
+}
+
+fn model_bytes() -> u64 {
+    zoo::c10_cnn(1, 8, NetScale::Small, 5).wire_bytes()
+}
+
+fn config(scheme: Scheme, epochs: usize) -> RunConfig {
+    let mut cfg = RunConfig::new(scheme, epochs);
+    cfg.agg_interval = 4;
+    cfg.eval_interval = 4;
+    cfg.batch_size = 16;
+    cfg.lr = 0.02;
+    cfg.seed = 5;
+    cfg
+}
+
+#[test]
+fn fedavg_traffic_is_exactly_accounted() {
+    let epochs = 8;
+    let m = experiment(5).run(&config(Scheme::FedAvg, epochs));
+    let bytes = model_bytes();
+    // Initial distribution (K) plus 2K per epoch; no C2C at all.
+    let expected = bytes * K as u64 * (1 + 2 * epochs as u64);
+    assert_eq!(m.traffic().c2s, expected);
+    assert_eq!(m.traffic().c2c_local + m.traffic().c2c_global, 0);
+    assert_eq!(m.migrations_local + m.migrations_global, 0);
+}
+
+#[test]
+fn migration_traffic_matches_move_counts() {
+    let epochs = 8;
+    let m = experiment(5).run(&config(Scheme::RandMigr, epochs));
+    let bytes = model_bytes();
+    let moves = (m.migrations_local + m.migrations_global) as u64;
+    assert!(moves > 0, "random migration must move models");
+    assert_eq!(m.traffic().c2c_local + m.traffic().c2c_global, moves * bytes);
+    // C2S only for the initial distribution plus the 2 aggregation rounds.
+    let aggs = epochs as u64 / 4;
+    assert_eq!(m.traffic().c2s, bytes * K as u64 * (1 + 2 * aggs));
+    // The per-link matrix agrees with the totals.
+    let link_total: u64 = m.link_migrations.iter().map(|&c| c as u64).sum();
+    assert_eq!(link_total, moves);
+}
+
+#[test]
+fn fedswap_routes_everything_through_the_server() {
+    let m = experiment(5).run(&config(Scheme::FedSwap, 8));
+    assert_eq!(m.traffic().c2c_local + m.traffic().c2c_global, 0);
+    // Swaps happened (models marked as migrated) but over C2S.
+    assert!(m.traffic().c2s > 0);
+}
+
+#[test]
+fn every_scheme_completes_and_learns_something() {
+    for scheme in [
+        Scheme::FedAvg,
+        Scheme::fedprox(),
+        Scheme::FedSwap,
+        Scheme::RandMigr,
+        Scheme::fedmigr(5),
+    ] {
+        let name = scheme.name();
+        let m = experiment(5).run(&config(scheme, 12));
+        assert_eq!(m.epochs(), 12, "{name} truncated");
+        assert!(
+            m.final_accuracy() > 0.3,
+            "{name} accuracy too low: {}",
+            m.final_accuracy()
+        );
+        // Virtual time and traffic are monotone over epochs.
+        for w in m.records.windows(2) {
+            assert!(w[1].sim_time >= w[0].sim_time, "{name} time went backwards");
+            assert!(
+                w[1].traffic.total() >= w[0].traffic.total(),
+                "{name} traffic went backwards"
+            );
+        }
+    }
+}
+
+#[test]
+fn fedmigr_uses_cheaper_global_communication_than_fedavg() {
+    let avg = experiment(5).run(&config(Scheme::FedAvg, 12));
+    let migr = experiment(5).run(&config(Scheme::fedmigr(5), 12));
+    assert!(
+        migr.traffic().c2s < avg.traffic().c2s / 2,
+        "FedMigr C2S {} should be well below FedAvg {}",
+        migr.traffic().c2s,
+        avg.traffic().c2s
+    );
+}
