@@ -11,7 +11,9 @@ use std::hint::black_box;
 fn instance(k: usize) -> FlmmRelaxation {
     FlmmRelaxation {
         benefit: (0..k)
-            .map(|i| (0..k).map(|j| if i == j { 0.0 } else { ((i + j) % 7) as f64 / 3.5 }).collect())
+            .map(|i| {
+                (0..k).map(|j| if i == j { 0.0 } else { ((i + j) % 7) as f64 / 3.5 }).collect()
+            })
             .collect(),
         cost: (0..k)
             .map(|i| (0..k).map(|j| ((i * 31 + j * 17) % 10) as f64 / 10.0).collect())

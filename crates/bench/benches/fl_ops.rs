@@ -11,9 +11,8 @@ use std::hint::black_box;
 fn bench_fl_ops(c: &mut Criterion) {
     let dim = 25_000; // Roughly the small C10-CNN's parameter count.
     let k = 10;
-    let models: Vec<Vec<f32>> = (0..k)
-        .map(|i| (0..dim).map(|j| ((i * dim + j) as f32 * 1e-4).sin()).collect())
-        .collect();
+    let models: Vec<Vec<f32>> =
+        (0..k).map(|i| (0..dim).map(|j| ((i * dim + j) as f32 * 1e-4).sin()).collect()).collect();
 
     c.bench_function("aggregate_10x25k", |b| {
         b.iter(|| {
@@ -32,9 +31,7 @@ fn bench_fl_ops(c: &mut Criterion) {
 
     let mut rng = StdRng::seed_from_u64(1);
     let plan = MigrationPlan::random(k, &mut rng);
-    c.bench_function("migration_route_10x25k", |b| {
-        b.iter(|| black_box(plan.apply(&models)))
-    });
+    c.bench_function("migration_route_10x25k", |b| b.iter(|| black_box(plan.apply(&models))));
 
     let dp = DpConfig::with_epsilon(1000.0);
     c.bench_function("dp_clip_noise_25k", |b| {

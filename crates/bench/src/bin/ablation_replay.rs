@@ -3,7 +3,9 @@
 //!
 //! Usage: `ablation_replay [--scale smoke|paper]`
 
-use fedmigr_bench::{build_experiment, print_header, print_row, standard_config, Partition, Scale, Workload};
+use fedmigr_bench::{
+    build_experiment, print_header, print_row, standard_config, Partition, Scale, Workload,
+};
 use fedmigr_core::{FedMigrConfig, Scheme};
 
 fn main() {

@@ -6,8 +6,7 @@
 //! Usage: `ablation_reward [--scale smoke|paper]`
 
 use fedmigr_bench::{
-    build_experiment, fmt_mb, print_header, print_row, standard_config, Partition, Scale,
-    Workload,
+    build_experiment, fmt_mb, print_header, print_row, standard_config, Partition, Scale, Workload,
 };
 use fedmigr_core::{FedMigrConfig, Scheme};
 use fedmigr_net::ResourceBudget;

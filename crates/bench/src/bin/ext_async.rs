@@ -7,8 +7,7 @@
 //! Usage: `ext_async [--scale smoke|paper]`
 
 use fedmigr_bench::{
-    build_experiment, fmt_mb, print_header, print_row, standard_config, Partition, Scale,
-    Workload,
+    build_experiment, fmt_mb, print_header, print_row, standard_config, Partition, Scale, Workload,
 };
 use fedmigr_core::Scheme;
 

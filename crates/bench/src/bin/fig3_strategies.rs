@@ -17,10 +17,8 @@ fn main() {
     let scale = Scale::from_args();
     let seed = 23;
     let lan_sizes = [4usize, 3, 3];
-    let data = SyntheticDataset::generate(&SyntheticConfig::c10_like(
-        scale.train_per_class(),
-        seed,
-    ));
+    let data =
+        SyntheticDataset::generate(&SyntheticConfig::c10_like(scale.train_per_class(), seed));
     let parts = partition_lan_shards(&data.train, &lan_sizes, seed);
     let exp = Experiment::new(
         data.train,
@@ -32,11 +30,8 @@ fn main() {
     );
 
     println!("# Fig. 3: accuracy under fixed migration strategies (LAN-shared data)\n");
-    let strategies = [
-        MigrationStrategy::CrossLan,
-        MigrationStrategy::Random,
-        MigrationStrategy::WithinLan,
-    ];
+    let strategies =
+        [MigrationStrategy::CrossLan, MigrationStrategy::Random, MigrationStrategy::WithinLan];
     let mut curves = Vec::new();
     for strategy in strategies {
         let cfg = standard_config(Scheme::Fixed(strategy), scale, seed);
@@ -44,13 +39,8 @@ fn main() {
         curves.push((strategy.name(), m));
     }
     print_header(&["epoch", "cross-LAN", "random", "within-LAN"]);
-    let epochs: Vec<usize> = curves[0]
-        .1
-        .records
-        .iter()
-        .filter(|r| r.test_accuracy.is_some())
-        .map(|r| r.epoch)
-        .collect();
+    let epochs: Vec<usize> =
+        curves[0].1.records.iter().filter(|r| r.test_accuracy.is_some()).map(|r| r.epoch).collect();
     for e in epochs {
         let row: Vec<String> = std::iter::once(e.to_string())
             .chain(curves.iter().map(|(_, m)| {

@@ -43,13 +43,8 @@ fn main() {
         header.push(label);
     }
     print_header(&header);
-    let epochs: Vec<usize> = runs[0]
-        .1
-        .records
-        .iter()
-        .filter(|r| r.test_accuracy.is_some())
-        .map(|r| r.epoch)
-        .collect();
+    let epochs: Vec<usize> =
+        runs[0].1.records.iter().filter(|r| r.test_accuracy.is_some()).map(|r| r.epoch).collect();
     for e in epochs {
         let row: Vec<String> = std::iter::once(e.to_string())
             .chain(runs.iter().map(|(_, m)| {

@@ -28,7 +28,9 @@ fn main() {
     for k in [10usize, 20, 40, 60, 80, 100] {
         // A synthetic but structured instance: block distance pattern.
         let benefit: Vec<Vec<f64>> = (0..k)
-            .map(|i| (0..k).map(|j| if i == j { 0.0 } else { ((i + j) % 7) as f64 / 3.5 }).collect())
+            .map(|i| {
+                (0..k).map(|j| if i == j { 0.0 } else { ((i + j) % 7) as f64 / 3.5 }).collect()
+            })
             .collect();
         let cost: Vec<Vec<f64>> = (0..k)
             .map(|i| (0..k).map(|j| ((i * 31 + j * 17) % 10) as f64 / 10.0).collect())
@@ -46,9 +48,8 @@ fn main() {
         // (b) DRL inference: K actor forwards + greedy assignment.
         let featurizer = MigrationState::new(k);
         let mut agent = DdpgAgent::new(AgentConfig::new(featurizer.dim(), k, 1));
-        let states: Vec<Vec<f32>> = (0..k)
-            .map(|i| featurizer.build(0.5, 1.0, -0.01, 0.9, 0.9, &benefit[i]))
-            .collect();
+        let states: Vec<Vec<f32>> =
+            (0..k).map(|i| featurizer.build(0.5, 1.0, -0.01, 0.9, 0.9, &benefit[i])).collect();
         let t0 = Instant::now();
         for _ in 0..reps {
             let scores: Vec<Vec<f64>> = states

@@ -22,7 +22,10 @@ fn main() {
     let seed = 47;
     let exp = build_experiment(Workload::C10, Partition::Shards, scale, seed);
 
-    println!("# Fig. 7: epochs to reach {:.0}% accuracy (one-class-per-client non-IID)\n", 100.0 * target);
+    println!(
+        "# Fig. 7: epochs to reach {:.0}% accuracy (one-class-per-client non-IID)\n",
+        100.0 * target
+    );
     print_header(&["Scheme", "Epochs to target", "Best accuracy (%)"]);
     for scheme in all_schemes(seed) {
         let mut cfg = standard_config(scheme.clone(), scale, seed);

@@ -36,9 +36,10 @@ fn main() {
     for frac in [0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
         let budget = (max_traffic as f64 * frac) as u64;
         let row: Vec<String> = std::iter::once(format!("{:.1}", budget as f64 / 1e6))
-            .chain(runs.iter().map(|(_, m)| {
-                format!("{:.1}", 100.0 * m.accuracy_within_traffic(budget))
-            }))
+            .chain(
+                runs.iter()
+                    .map(|(_, m)| format!("{:.1}", 100.0 * m.accuracy_within_traffic(budget))),
+            )
             .collect();
         print_row(&row);
     }
@@ -50,9 +51,9 @@ fn main() {
     for frac in [0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
         let budget = max_time * frac;
         let row: Vec<String> = std::iter::once(format!("{budget:.0} s"))
-            .chain(runs.iter().map(|(_, m)| {
-                format!("{:.1}", 100.0 * m.accuracy_within_time(budget))
-            }))
+            .chain(
+                runs.iter().map(|(_, m)| format!("{:.1}", 100.0 * m.accuracy_within_time(budget))),
+            )
             .collect();
         print_row(&row);
     }

@@ -7,8 +7,7 @@
 //! Usage: `table1_motivation [--scale smoke|paper] [--target 0.70]`
 
 use fedmigr_bench::{
-    build_experiment, fmt_mb, print_header, print_row, standard_config, Partition, Scale,
-    Workload,
+    build_experiment, fmt_mb, print_header, print_row, standard_config, Partition, Scale, Workload,
 };
 use fedmigr_core::Scheme;
 
@@ -39,7 +38,11 @@ fn main() {
             scheme.name(),
             format!("{time:.0}"),
             fmt_mb(traffic),
-            if m.target_reached { "yes".into() } else { format!("no (best {:.1}%)", 100.0 * m.best_accuracy()) },
+            if m.target_reached {
+                "yes".into()
+            } else {
+                format!("no (best {:.1}%)", 100.0 * m.best_accuracy())
+            },
         ]);
     }
 }

@@ -25,17 +25,8 @@ fn main() {
     let seed = 61;
     let exp = build_experiment(Workload::C10, Partition::Shards, scale, seed);
 
-    println!(
-        "# Table III: traffic and time to reach {:.0}% accuracy (non-IID)\n",
-        100.0 * target
-    );
-    print_header(&[
-        "Scheme",
-        "Traffic (MB)",
-        "  of which C2S (MB)",
-        "Time (s)",
-        "Reached",
-    ]);
+    println!("# Table III: traffic and time to reach {:.0}% accuracy (non-IID)\n", 100.0 * target);
+    print_header(&["Scheme", "Traffic (MB)", "  of which C2S (MB)", "Time (s)", "Reached"]);
     for scheme in all_schemes(seed) {
         let mut cfg = standard_config(scheme.clone(), scale, seed);
         cfg.epochs = scale.epochs() * 2;

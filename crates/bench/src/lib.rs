@@ -144,7 +144,12 @@ pub enum Partition {
 }
 
 /// Builds the standard [`Experiment`] for a workload, scale and layout.
-pub fn build_experiment(workload: Workload, partition: Partition, scale: Scale, seed: u64) -> Experiment {
+pub fn build_experiment(
+    workload: Workload,
+    partition: Partition,
+    scale: Scale,
+    seed: u64,
+) -> Experiment {
     build_experiment_with_samples(workload, partition, scale, seed, None)
 }
 

@@ -21,7 +21,14 @@ pub struct FlClient {
 
 impl FlClient {
     /// Creates a client over `indices` of `data`.
-    pub fn new(id: usize, data: Arc<Dataset>, indices: Vec<usize>, model: Model, lr: f32, seed: u64) -> Self {
+    pub fn new(
+        id: usize,
+        data: Arc<Dataset>,
+        indices: Vec<usize>,
+        model: Model,
+        lr: f32,
+        seed: u64,
+    ) -> Self {
         assert!(!indices.is_empty(), "client {id} has no data");
         let label_dist = label_distribution(&data, &indices);
         Self {

@@ -1,6 +1,33 @@
 use fedmigr_net::TrafficBreakdown;
 use serde::Serialize;
 
+/// Fault-injection accounting for a run (all zero when the fault layer is
+/// disabled — see `fedmigr_net::FaultModel::none`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct FaultStats {
+    /// Client-epochs lost to crashes/dropouts (client was down).
+    pub client_drops: usize,
+    /// Client-epochs where a live client missed the round — cut by the
+    /// straggler deadline or unable to reach the server.
+    pub stale_client_epochs: usize,
+    /// Individual transfer retry attempts (successful or not).
+    pub transfer_retries: usize,
+    /// Migrations that fell back to a relay path (same-LAN peer or C2S).
+    pub rerouted_migrations: usize,
+    /// Migrations abandoned after every fallback failed; the model stayed
+    /// local for the epoch.
+    pub cancelled_migrations: usize,
+    /// Bytes burned on transfer attempts that did not complete.
+    pub wasted_bytes: u64,
+}
+
+impl FaultStats {
+    /// Whether any fault was observed at all.
+    pub fn any(&self) -> bool {
+        *self != Self::default()
+    }
+}
+
 /// Per-epoch measurements of a run.
 #[derive(Clone, Debug, Serialize)]
 pub struct EpochRecord {
@@ -15,6 +42,10 @@ pub struct EpochRecord {
     pub traffic: TrafficBreakdown,
     /// Cumulative virtual time (seconds) at the end of the epoch.
     pub sim_time: f64,
+    /// Clients down (crashed/dropped out) during this epoch.
+    pub dropped_clients: usize,
+    /// Live clients that missed this round (deadline-cut or unreachable).
+    pub stale_clients: usize,
 }
 
 /// Everything a run produced: per-epoch curves, migration statistics and
@@ -36,24 +67,19 @@ pub struct RunMetrics {
     pub budget_exhausted: bool,
     /// Whether the run ended because the target accuracy was reached.
     pub target_reached: bool,
+    /// Fault-injection accounting (all zero without a fault model).
+    pub fault: FaultStats,
 }
 
 impl RunMetrics {
     /// The last recorded test accuracy (0 if never evaluated).
     pub fn final_accuracy(&self) -> f64 {
-        self.records
-            .iter()
-            .rev()
-            .find_map(|r| r.test_accuracy)
-            .unwrap_or(0.0)
+        self.records.iter().rev().find_map(|r| r.test_accuracy).unwrap_or(0.0)
     }
 
     /// The best recorded test accuracy (0 if never evaluated).
     pub fn best_accuracy(&self) -> f64 {
-        self.records
-            .iter()
-            .filter_map(|r| r.test_accuracy)
-            .fold(0.0, f64::max)
+        self.records.iter().filter_map(|r| r.test_accuracy).fold(0.0, f64::max)
     }
 
     /// Total traffic at the end of the run.
@@ -73,10 +99,7 @@ impl RunMetrics {
 
     /// First epoch whose evaluation reached `target` accuracy, if any.
     pub fn epochs_to_accuracy(&self, target: f64) -> Option<usize> {
-        self.records
-            .iter()
-            .find(|r| r.test_accuracy.is_some_and(|a| a >= target))
-            .map(|r| r.epoch)
+        self.records.iter().find(|r| r.test_accuracy.is_some_and(|a| a >= target)).map(|r| r.epoch)
     }
 
     /// Cumulative traffic (bytes) when `target` accuracy was first reached.
@@ -115,16 +138,39 @@ impl RunMetrics {
             .fold(0.0, f64::max)
     }
 
+    /// Total client-epochs lost to dropouts across the run.
+    pub fn total_drops(&self) -> usize {
+        self.fault.client_drops
+    }
+
+    /// One-line human-readable fault summary for run logs, or `None` when
+    /// no fault was observed.
+    pub fn fault_summary(&self) -> Option<String> {
+        if !self.fault.any() {
+            return None;
+        }
+        let f = &self.fault;
+        Some(format!(
+            "faults: {} drop-epochs, {} stale, {} retries, {} rerouted, {} cancelled, {} wasted bytes",
+            f.client_drops,
+            f.stale_client_epochs,
+            f.transfer_retries,
+            f.rerouted_migrations,
+            f.cancelled_migrations,
+            f.wasted_bytes,
+        ))
+    }
+
     /// Renders the per-epoch records as CSV (for external plotting). The
     /// accuracy column is empty on non-evaluation epochs.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "epoch,train_loss,test_accuracy,c2s_bytes,c2c_local_bytes,c2c_global_bytes,sim_time_s\n",
+            "epoch,train_loss,test_accuracy,c2s_bytes,c2c_local_bytes,c2c_global_bytes,sim_time_s,dropped_clients,stale_clients\n",
         );
         for r in &self.records {
             let acc = r.test_accuracy.map(|a| format!("{a:.6}")).unwrap_or_default();
             out.push_str(&format!(
-                "{},{:.6},{},{},{},{},{:.3}\n",
+                "{},{:.6},{},{},{},{},{:.3},{},{}\n",
                 r.epoch,
                 r.train_loss,
                 acc,
@@ -132,6 +178,8 @@ impl RunMetrics {
                 r.traffic.c2c_local,
                 r.traffic.c2c_global,
                 r.sim_time,
+                r.dropped_clients,
+                r.stale_clients,
             ));
         }
         out
@@ -149,6 +197,8 @@ mod tests {
             test_accuracy: acc,
             traffic: TrafficBreakdown { c2s: bytes, c2c_local: 0, c2c_global: 0 },
             sim_time: time,
+            dropped_clients: 0,
+            stale_clients: 0,
         }
     }
 
@@ -166,6 +216,7 @@ mod tests {
             link_migrations: vec![],
             budget_exhausted: false,
             target_reached: false,
+            fault: FaultStats::default(),
         }
     }
 
@@ -217,9 +268,40 @@ mod tests {
             link_migrations: vec![],
             budget_exhausted: false,
             target_reached: false,
+            fault: FaultStats::default(),
         };
         assert_eq!(m.final_accuracy(), 0.0);
         assert_eq!(m.traffic().total(), 0);
         assert_eq!(m.sim_time(), 0.0);
+        assert!(m.fault_summary().is_none());
+    }
+
+    #[test]
+    fn fault_summary_reports_counters() {
+        let mut m = metrics();
+        assert!(m.fault_summary().is_none(), "clean run has no fault summary");
+        m.fault = FaultStats {
+            client_drops: 7,
+            stale_client_epochs: 3,
+            transfer_retries: 11,
+            rerouted_migrations: 2,
+            cancelled_migrations: 1,
+            wasted_bytes: 4096,
+        };
+        assert!(m.fault.any());
+        let s = m.fault_summary().unwrap();
+        for needle in
+            ["7 drop-epochs", "3 stale", "11 retries", "2 rerouted", "1 cancelled", "4096"]
+        {
+            assert!(s.contains(needle), "summary {s:?} missing {needle:?}");
+        }
+        assert_eq!(m.total_drops(), 7);
+    }
+
+    #[test]
+    fn csv_includes_fault_columns() {
+        let m = metrics();
+        let csv = m.to_csv();
+        assert!(csv.lines().next().unwrap().ends_with("dropped_clients,stale_clients"));
     }
 }

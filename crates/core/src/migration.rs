@@ -42,9 +42,17 @@ impl MigrationPlan {
     /// boundary (the Fig. 3 "within-LAN" strategy). Single-client LANs keep
     /// their model.
     pub fn within_lan(topo: &Topology, rng: &mut StdRng) -> Self {
+        Self::within_lan_masked(topo, &vec![true; topo.num_clients()], rng)
+    }
+
+    /// Like [`MigrationPlan::within_lan`], but only the clients marked
+    /// `true` in `active` take part in the rotation; dead or absent clients
+    /// are fixed points and are never chosen as destinations.
+    pub fn within_lan_masked(topo: &Topology, active: &[bool], rng: &mut StdRng) -> Self {
         let k = topo.num_clients();
+        assert_eq!(active.len(), k);
         let mut groups: Vec<Vec<usize>> = Vec::new();
-        for i in 0..k {
+        for i in (0..k).filter(|&i| active[i]) {
             let lan = topo.lan_of(i);
             if groups.len() <= lan {
                 groups.resize(lan + 1, Vec::new());
@@ -66,11 +74,18 @@ impl MigrationPlan {
     /// "cross-LAN" strategy): clients are matched greedily, in random
     /// order, to free clients of a different LAN whenever one exists.
     pub fn cross_lan(topo: &Topology, rng: &mut StdRng) -> Self {
+        Self::cross_lan_masked(topo, &vec![true; topo.num_clients()], rng)
+    }
+
+    /// Like [`MigrationPlan::cross_lan`], but matching happens only among
+    /// the clients marked `true` in `active`; the rest are fixed points.
+    pub fn cross_lan_masked(topo: &Topology, active: &[bool], rng: &mut StdRng) -> Self {
         let k = topo.num_clients();
-        let mut order: Vec<usize> = (0..k).collect();
+        assert_eq!(active.len(), k);
+        let mut order: Vec<usize> = (0..k).filter(|&i| active[i]).collect();
         order.shuffle(rng);
-        let mut free = vec![true; k];
-        let mut dest = vec![usize::MAX; k];
+        let mut free = active.to_vec();
+        let mut dest: Vec<usize> = (0..k).collect();
         for &i in &order {
             let mut candidates: Vec<usize> =
                 (0..k).filter(|&j| free[j] && !topo.same_lan(i, j)).collect();
@@ -169,9 +184,8 @@ impl MigrationPlan {
     /// followed by conflict fallback.
     pub fn greedy_assignment(scores: &[Vec<f64>]) -> Self {
         let k = scores.len();
-        let mut pairs: Vec<(usize, usize)> = (0..k)
-            .flat_map(|i| (0..k).map(move |j| (i, j)))
-            .collect();
+        let mut pairs: Vec<(usize, usize)> =
+            (0..k).flat_map(|i| (0..k).map(move |j| (i, j))).collect();
         pairs.sort_by(|&(ai, aj), &(bi, bj)| scores[bi][bj].total_cmp(&scores[ai][aj]));
         let mut dest = vec![usize::MAX; k];
         let mut taken = vec![false; k];
@@ -293,10 +307,7 @@ mod tests {
                 }
             }
         }
-        assert!(
-            crossing as f64 / total as f64 > 0.8,
-            "only {crossing}/{total} moves crossed LANs"
-        );
+        assert!(crossing as f64 / total as f64 > 0.8, "only {crossing}/{total} moves crossed LANs");
     }
 
     #[test]
@@ -304,11 +315,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         // Both 0 and 1 want host 2; benefit breaks the tie for the loser.
         let desired = vec![2, 2, 0];
-        let benefit = vec![
-            vec![0.0, 1.0, 2.0],
-            vec![0.5, 0.0, 2.0],
-            vec![2.0, 1.0, 0.0],
-        ];
+        let benefit = vec![vec![0.0, 1.0, 2.0], vec![0.5, 0.0, 2.0], vec![2.0, 1.0, 0.0]];
         for _ in 0..10 {
             let p = MigrationPlan::from_desired(&desired, &benefit, &mut rng);
             // Exactly one of clients 0/1 got host 2.
@@ -338,13 +345,62 @@ mod tests {
     }
 
     #[test]
+    fn within_lan_masked_skips_dead_clients() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut active = vec![true; 10];
+        active[1] = false;
+        active[5] = false;
+        for _ in 0..10 {
+            let p = MigrationPlan::within_lan_masked(&t, &active, &mut rng);
+            assert_eq!(p.dest(1), 1);
+            assert_eq!(p.dest(5), 5);
+            for (i, j) in p.moves() {
+                assert!(active[i] && active[j], "move {i}->{j} touches a dead client");
+                assert!(t.same_lan(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn cross_lan_masked_skips_dead_clients() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut active = vec![true; 10];
+        active[0] = false;
+        active[8] = false;
+        for _ in 0..10 {
+            let p = MigrationPlan::cross_lan_masked(&t, &active, &mut rng);
+            assert_eq!(p.dest(0), 0);
+            assert_eq!(p.dest(8), 8);
+            for (i, j) in p.moves() {
+                assert!(active[i] && active[j], "move {i}->{j} touches a dead client");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_variants_with_full_mask_match_unmasked() {
+        let t = topo();
+        let all = vec![true; 10];
+        let mut a = StdRng::seed_from_u64(21);
+        let mut b = StdRng::seed_from_u64(21);
+        for _ in 0..5 {
+            assert_eq!(
+                MigrationPlan::within_lan(&t, &mut a),
+                MigrationPlan::within_lan_masked(&t, &all, &mut b)
+            );
+            assert_eq!(
+                MigrationPlan::cross_lan(&t, &mut a),
+                MigrationPlan::cross_lan_masked(&t, &all, &mut b)
+            );
+        }
+    }
+
+    #[test]
     fn greedy_assignment_maximizes_scores() {
         // 0 prefers 1, 1 prefers 0, 2 prefers 2: a clean assignment exists.
-        let scores = vec![
-            vec![0.0, 5.0, 1.0],
-            vec![5.0, 0.0, 1.0],
-            vec![1.0, 1.0, 3.0],
-        ];
+        let scores = vec![vec![0.0, 5.0, 1.0], vec![5.0, 0.0, 1.0], vec![1.0, 1.0, 3.0]];
         let p = MigrationPlan::greedy_assignment(&scores);
         assert_eq!(p.dest(0), 1);
         assert_eq!(p.dest(1), 0);
@@ -353,11 +409,7 @@ mod tests {
 
     #[test]
     fn greedy_assignment_masked_respects_mask() {
-        let scores = vec![
-            vec![0.0, 9.0, 9.0],
-            vec![9.0, 0.0, 9.0],
-            vec![9.0, 9.0, 0.0],
-        ];
+        let scores = vec![vec![0.0, 9.0, 9.0], vec![9.0, 0.0, 9.0], vec![9.0, 9.0, 0.0]];
         let active = [true, false, true];
         let p = MigrationPlan::greedy_assignment_masked(&scores, &active);
         assert_eq!(p.dest(1), 1, "inactive client must keep its model");

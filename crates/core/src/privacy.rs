@@ -94,8 +94,7 @@ mod tests {
         let mut v = vec![0.0f32; n];
         cfg.apply(&mut v, &mut rng);
         let mean: f32 = v.iter().sum::<f32>() / n as f32;
-        let std: f32 =
-            (v.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32).sqrt();
+        let std: f32 = (v.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32).sqrt();
         let expected = cfg.sigma();
         assert!(mean.abs() < expected * 0.05, "mean {mean}");
         assert!((std / expected - 1.0).abs() < 0.05, "std {std} vs sigma {expected}");

@@ -5,8 +5,8 @@ use fedmigr_data::Dataset;
 use fedmigr_drl::qp::FlmmRelaxation;
 use fedmigr_drl::{AgentConfig, DdpgAgent, MigrationState, Transition};
 use fedmigr_net::{
-    transfer_time, transfer_time_with_latency, ClientCompute, ResourceBudget, ResourceMeter,
-    SimClock, Topology,
+    transfer_time, transfer_time_with_latency, try_transfer_time_with_latency, ClientCompute,
+    FaultConfig, FaultModel, ResourceBudget, ResourceMeter, SimClock, Topology,
 };
 use fedmigr_nn::params::weighted_average;
 use fedmigr_nn::Model;
@@ -15,7 +15,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::client::FlClient;
-use crate::metrics::{EpochRecord, RunMetrics};
+use crate::metrics::{EpochRecord, FaultStats, RunMetrics};
 use crate::migration::MigrationPlan;
 use crate::privacy::DpConfig;
 use crate::reward::{step_reward, terminal_reward, RewardConfig};
@@ -53,6 +53,11 @@ pub struct RunConfig {
     /// uniformly without replacement every epoch; non-participants neither
     /// train nor communicate.
     pub participation: f64,
+    /// Fault injection: client crashes/rejoins, stragglers, link outages
+    /// and degradation. The default ([`FaultConfig::none`]) disables every
+    /// fault process and is provably zero-cost (no extra randomness is
+    /// consumed and no behaviour changes).
+    pub fault: FaultConfig,
     /// Seed for client batch order, migration randomness and DP noise.
     pub seed: u64,
 }
@@ -72,6 +77,7 @@ impl RunConfig {
             target_accuracy: None,
             dp: None,
             participation: 1.0,
+            fault: FaultConfig::none(),
             seed: 7,
         }
     }
@@ -105,7 +111,14 @@ impl Experiment {
         assert_eq!(partitions.len(), topology.num_clients(), "partition/topology mismatch");
         assert_eq!(partitions.len(), compute.len(), "partition/device mismatch");
         assert!(partitions.iter().all(|p| !p.is_empty()), "every client needs data");
-        Self { train: Arc::new(train), test: Arc::new(test), partitions, topology, compute, template }
+        Self {
+            train: Arc::new(train),
+            test: Arc::new(test),
+            partitions,
+            topology,
+            compute,
+            template,
+        }
     }
 
     /// Number of clients `K`.
@@ -157,6 +170,12 @@ impl Experiment {
         let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x5851_F42D).wrapping_add(3));
         let mut meter = ResourceMeter::new(cfg.budget);
         let mut clock = SimClock::new();
+        let fault = FaultModel::new(cfg.fault.clone(), k);
+        let mut fault_stats = FaultStats::default();
+        // Exponential moving average of each client's observed downtime;
+        // the FedMigr oracle penalizes flaky destinations with it. Stays
+        // identically zero without fault injection.
+        let mut flaky = vec![0.0f64; k];
 
         let dists: Vec<Vec<f64>> = clients.iter().map(|c| c.label_dist().to_vec()).collect();
         let population: Vec<f64> = {
@@ -180,9 +199,7 @@ impl Experiment {
         const MIX_ALPHA: f64 = 0.3;
         let mut mix: Vec<Vec<f64>> = dists.clone();
         let distance_matrix = |mix: &[Vec<f64>]| -> Vec<Vec<f64>> {
-            mix.iter()
-                .map(|m| dists.iter().map(|q| l1_distance(m, q)).collect())
-                .collect()
+            mix.iter().map(|m| dists.iter().map(|q| l1_distance(m, q)).collect()).collect()
         };
 
         // Initial model distribution: server -> K clients over the WAN.
@@ -205,13 +222,11 @@ impl Experiment {
                 ac.xi = fc.replay_xi;
                 Some(AgentCtx {
                     agent: DdpgAgent::new(ac),
-                    reward: RewardConfig {
-                        upsilon: fc.upsilon,
-                        terminal_bonus: fc.terminal_bonus,
-                    },
+                    reward: RewardConfig { upsilon: fc.upsilon, terminal_bonus: fc.terminal_bonus },
                     lambda: fc.lambda,
                     rho: fc.rho,
                     resource_reward: fc.resource_reward,
+                    liveness_penalty: fc.liveness_penalty,
                     warmup_epochs: (fc.oracle_warmup_frac * cfg.epochs as f64) as usize,
                     updates_per_epoch: fc.updates_per_epoch,
                     pending: Vec::new(),
@@ -234,12 +249,13 @@ impl Experiment {
             let traffic_before = meter.traffic().total();
             let compute_before = meter.compute_cost();
 
-            // Sample the participating clients for this epoch (α K of K).
-            let active: Vec<bool> = if cfg.participation >= 1.0 {
+            // Sample the participating clients for this epoch (α K of K),
+            // then intersect with the fault schedule: crashed clients
+            // neither train nor communicate until they rejoin.
+            let mut active: Vec<bool> = if cfg.participation >= 1.0 {
                 vec![true; k]
             } else {
-                let n_active =
-                    ((cfg.participation * k as f64).ceil() as usize).clamp(1, k);
+                let n_active = ((cfg.participation * k as f64).ceil() as usize).clamp(1, k);
                 let mut order: Vec<usize> = (0..k).collect();
                 order.shuffle(&mut rng);
                 let mut mask = vec![false; k];
@@ -248,7 +264,29 @@ impl Experiment {
                 }
                 mask
             };
-            let n_active = active.iter().filter(|&&a| a).count() as u64;
+            let alive: Vec<bool> = (0..k).map(|i| fault.is_alive(i, epoch)).collect();
+            for (a, &up) in active.iter_mut().zip(&alive) {
+                *a = *a && up;
+            }
+            let dropped = alive.iter().filter(|&&up| !up).count();
+            fault_stats.client_drops += dropped;
+            for (f, &up) in flaky.iter_mut().zip(&alive) {
+                *f = 0.9 * *f + if up { 0.0 } else { 0.1 };
+            }
+            if active.iter().all(|&a| !a) {
+                // The entire population is down (or sampled out): the round
+                // is a no-op, but the run survives it.
+                records.push(EpochRecord {
+                    epoch,
+                    train_loss: prev_loss.unwrap_or(0.0),
+                    test_accuracy: None,
+                    traffic: meter.traffic(),
+                    sim_time: clock.now(),
+                    dropped_clients: dropped,
+                    stale_clients: 0,
+                });
+                continue;
+            }
 
             // (1) Local updating (Eq. 6), clients in parallel.
             let prox = match cfg.scheme {
@@ -266,15 +304,35 @@ impl Experiment {
             }
             let dmat = distance_matrix(&mix);
             let mut times = Vec::with_capacity(k);
+            let mut per_client_time = vec![0.0f64; k];
             for (i, c) in clients.iter().enumerate() {
                 if !active[i] {
                     continue;
                 }
                 let samples = effective_samples(c.num_samples(), cfg);
                 meter.record_compute(self.compute.epoch_cost(i, samples));
-                times.push(self.compute.epoch_time(i, samples));
+                let t = self.compute.epoch_time_slowed(i, samples, fault.slowdown(i, epoch));
+                per_client_time[i] = t;
+                times.push(t);
             }
-            clock.advance_parallel(times);
+            // Straggler deadline: the server waits at most a configured
+            // multiple of the *median* round time; later arrivals trained
+            // (and burned compute) but miss this round's communication.
+            let mut arrived = active.clone();
+            let mut stale = 0usize;
+            let round_time = times.iter().fold(0.0f64, |a, &b| a.max(b));
+            match fault.deadline(median(&times)) {
+                Some(deadline) => {
+                    for i in 0..k {
+                        if active[i] && per_client_time[i] > deadline {
+                            arrived[i] = false;
+                            stale += 1;
+                        }
+                    }
+                    clock.advance(round_time.min(deadline));
+                }
+                None => clock.advance(round_time),
+            }
             let active_n: f32 = clients
                 .iter()
                 .enumerate()
@@ -292,7 +350,7 @@ impl Experiment {
             let states: Option<Vec<Vec<f32>>> = agent_ctx.as_ref().map(|_| {
                 (0..k)
                     .map(|i| {
-                        featurizer.build(
+                        featurizer.build_with_liveness(
                             epoch as f64 / cfg.epochs as f64,
                             mean_loss as f64,
                             prev_loss
@@ -301,16 +359,13 @@ impl Experiment {
                             meter.bandwidth_remaining_frac(),
                             meter.compute_remaining_frac(),
                             &dmat[i],
+                            &alive,
                         )
                     })
                     .collect()
             });
             if let (Some(ctx), Some(states)) = (agent_ctx.as_mut(), states.as_ref()) {
-                let (cu, bu) = if ctx.resource_reward {
-                    last_epoch_usage
-                } else {
-                    (0.0, 0.0)
-                };
+                let (cu, bu) = if ctx.resource_reward { last_epoch_usage } else { (0.0, 0.0) };
                 let reward = step_reward(
                     &ctx.reward,
                     prev_loss.map(|p| (mean_loss - p) as f64).unwrap_or(0.0),
@@ -340,32 +395,64 @@ impl Experiment {
             if let Scheme::FedAsync { beta } = cfg.scheme {
                 // One participating client uploads; the server mixes its
                 // model into the global model and sends the result back.
-                let uploader = {
-                    let actives: Vec<usize> = (0..k).filter(|&i| active[i]).collect();
-                    actives[epoch % actives.len()]
+                let candidates: Vec<usize> = (0..k).filter(|&i| arrived[i]).collect();
+                let uploader = candidates.first().map(|_| candidates[epoch % candidates.len()]);
+                let synced = match uploader {
+                    Some(u) => {
+                        let mut only = vec![false; k];
+                        only[u] = true;
+                        let reach = c2s_reachable(
+                            &fault,
+                            &only,
+                            epoch,
+                            model_bytes,
+                            &mut clock,
+                            &mut fault_stats,
+                        );
+                        reach[u]
+                    }
+                    None => false,
                 };
-                meter.record_c2s(2 * model_bytes);
-                clock.advance(
-                    2.0 * transfer_time_with_latency(
-                        model_bytes,
-                        self.topology.c2s_bandwidth(epoch),
-                        self.topology.c2s_latency(),
-                    ),
-                );
-                let mut upload = clients[uploader].params();
-                if let Some(dp) = &cfg.dp {
-                    dp.apply(&mut upload, &mut rng);
+                if let (Some(uploader), true) = (uploader, synced) {
+                    meter.record_c2s(2 * model_bytes);
+                    clock.advance(
+                        2.0 * transfer_time_with_latency(
+                            model_bytes,
+                            self.topology.c2s_bandwidth(epoch),
+                            self.topology.c2s_latency(),
+                        ),
+                    );
+                    let mut upload = clients[uploader].params();
+                    if let Some(dp) = &cfg.dp {
+                        dp.apply(&mut upload, &mut rng);
+                    }
+                    for (g, u) in global.iter_mut().zip(&upload) {
+                        *g = (1.0 - beta) * *g + beta * u;
+                    }
+                    clients[uploader].set_params(&global, false);
+                    mix[uploader].clone_from(&population);
+                } else if uploader.is_some() {
+                    // The uploader never reached the server this epoch.
+                    stale += 1;
                 }
-                for (g, u) in global.iter_mut().zip(&upload) {
-                    *g = (1.0 - beta) * *g + beta * u;
-                }
-                clients[uploader].set_params(&global, false);
-                mix[uploader].clone_from(&population);
             } else if cfg.scheme.uploads_every_epoch() {
-                // Participating models go to the server (uploads + downloads).
-                meter.record_c2s(2 * n_active * model_bytes);
+                // Participating models go to the server (uploads +
+                // downloads) — those that can reach it; WAN outages retry
+                // with backoff and drop out of the round if they never get
+                // through.
+                let synced = c2s_reachable(
+                    &fault,
+                    &arrived,
+                    epoch,
+                    model_bytes,
+                    &mut clock,
+                    &mut fault_stats,
+                );
+                stale += arrived.iter().zip(&synced).filter(|&(&a, &s)| a && !s).count();
+                let n_synced = synced.iter().filter(|&&s| s).count() as u64;
+                meter.record_c2s(2 * n_synced * model_bytes);
                 clock.advance(
-                    2.0 * n_active as f64
+                    2.0 * n_synced as f64
                         * transfer_time_with_latency(
                             model_bytes,
                             self.topology.c2s_bandwidth(epoch),
@@ -374,18 +461,20 @@ impl Experiment {
                 );
                 let mut uploads = collect_params(&mut clients, cfg, &mut rng);
                 if is_agg {
-                    global = aggregate_active(&clients, &uploads, &active);
-                    for (i, c) in clients.iter_mut().enumerate() {
-                        if active[i] {
-                            c.set_params(&global, false);
-                            mix[i].clone_from(&population);
+                    if n_synced > 0 {
+                        global = aggregate_active(&clients, &uploads, &synced);
+                        for (i, c) in clients.iter_mut().enumerate() {
+                            if synced[i] {
+                                c.set_params(&global, false);
+                                mix[i].clone_from(&population);
+                            }
                         }
                     }
                 } else {
                     // FedSwap: the server swaps models "between any two of
                     // all clients" — a few random disjoint pairs per round,
                     // so mixing is slower than a full migration permutation.
-                    let plan = swap_pairs_plan(&active, k.div_ceil(4), &mut rng);
+                    let plan = swap_pairs_plan(&synced, k.div_ceil(4), &mut rng);
                     uploads = plan.apply(&uploads);
                     mix = plan.apply(&mix);
                     for ((i, c), p) in clients.iter_mut().enumerate().zip(&uploads) {
@@ -393,9 +482,19 @@ impl Experiment {
                     }
                 }
             } else if is_agg {
-                meter.record_c2s(2 * n_active * model_bytes);
+                let synced = c2s_reachable(
+                    &fault,
+                    &arrived,
+                    epoch,
+                    model_bytes,
+                    &mut clock,
+                    &mut fault_stats,
+                );
+                stale += arrived.iter().zip(&synced).filter(|&(&a, &s)| a && !s).count();
+                let n_synced = synced.iter().filter(|&&s| s).count() as u64;
+                meter.record_c2s(2 * n_synced * model_bytes);
                 clock.advance(
-                    2.0 * n_active as f64
+                    2.0 * n_synced as f64
                         * transfer_time_with_latency(
                             model_bytes,
                             self.topology.c2s_bandwidth(epoch),
@@ -403,34 +502,41 @@ impl Experiment {
                         ),
                 );
                 let uploads = collect_params(&mut clients, cfg, &mut rng);
-                global = aggregate_active(&clients, &uploads, &active);
-                for (i, c) in clients.iter_mut().enumerate() {
-                    if active[i] {
-                        c.set_params(&global, false);
-                        mix[i].clone_from(&population);
+                if n_synced > 0 {
+                    global = aggregate_active(&clients, &uploads, &synced);
+                    for (i, c) in clients.iter_mut().enumerate() {
+                        if synced[i] {
+                            c.set_params(&global, false);
+                            mix[i].clone_from(&population);
+                        }
                     }
                 }
             } else {
-                // C2C migration epoch.
+                // C2C migration epoch. Every planner is masked to the
+                // clients that are live *and* made this round's deadline,
+                // so plans never target a dead destination.
                 let plan = match (&cfg.scheme, states.as_ref()) {
-                    (Scheme::RandMigr, _) => {
-                        MigrationPlan::random_subset(k, &active, &mut rng)
-                    }
-                    (Scheme::Fixed(MigrationStrategy::Random), _) => {
-                        MigrationPlan::random(k, &mut rng)
+                    (Scheme::RandMigr, _) | (Scheme::Fixed(MigrationStrategy::Random), _) => {
+                        MigrationPlan::random_subset(k, &arrived, &mut rng)
                     }
                     (Scheme::Fixed(MigrationStrategy::WithinLan), _) => {
-                        MigrationPlan::within_lan(&self.topology, &mut rng)
+                        MigrationPlan::within_lan_masked(&self.topology, &arrived, &mut rng)
                     }
                     (Scheme::Fixed(MigrationStrategy::CrossLan), _) => {
-                        MigrationPlan::cross_lan(&self.topology, &mut rng)
+                        MigrationPlan::cross_lan_masked(&self.topology, &arrived, &mut rng)
                     }
                     (Scheme::FedMigr(_), Some(states)) => {
                         let ctx = agent_ctx.as_mut().expect("FedMigr context");
                         let rho = if epoch <= ctx.warmup_epochs { 1.0 } else { ctx.rho };
                         ctx.agent.set_rho(rho);
-                        let (oracle, objective) =
-                            self.solve_oracle(&dmat, model_bytes, epoch, ctx.lambda);
+                        let (oracle, objective) = self.solve_oracle(
+                            &dmat,
+                            model_bytes,
+                            epoch,
+                            ctx.lambda,
+                            &flaky,
+                            ctx.liveness_penalty,
+                        );
                         let desired: Vec<usize> = (0..k)
                             .map(|i| ctx.agent.select_action(&states[i], Some(&oracle[i])))
                             .collect();
@@ -441,42 +547,52 @@ impl Experiment {
                         for (i, &j) in desired.iter().enumerate() {
                             scores[i][j] += 0.25;
                         }
-                        let plan = MigrationPlan::greedy_assignment_masked(&scores, &active);
-                        for i in 0..k {
+                        let plan = MigrationPlan::greedy_assignment_masked(&scores, &arrived);
+                        for (i, state) in states.iter().enumerate() {
                             if epoch <= ctx.warmup_epochs {
                                 // Pre-training: clone the oracle-driven
                                 // behaviour into the actor.
-                                ctx.agent.imitate(&states[i], plan.dest(i));
+                                ctx.agent.imitate(state, plan.dest(i));
                             }
-                            ctx.pending.push((states[i].clone(), plan.dest(i), i));
+                            ctx.pending.push((state.clone(), plan.dest(i), i));
                         }
                         plan
                     }
                     _ => unreachable!("scheme/state combination"),
                 };
                 let params = collect_params(&mut clients, cfg, &mut rng);
-                let routed = plan.apply(&params);
+                // `src_of[j]` is the client whose model client `j` hosts
+                // after this round. A failed delivery leaves `j` on its own
+                // retained copy instead of breaking the permutation.
+                let mut src_of: Vec<usize> = (0..k).collect();
                 let mut move_times = Vec::new();
                 for (i, j) in plan.moves() {
-                    let local = self.topology.same_lan(i, j);
-                    meter.record_c2c(model_bytes, local);
-                    move_times.push(transfer_time_with_latency(
+                    let (delivered, time) = self.deliver(
+                        &fault,
+                        &alive,
+                        i,
+                        j,
+                        epoch,
                         model_bytes,
-                        self.topology.c2c_bandwidth(i, j, epoch),
-                        self.topology.c2c_latency(i, j),
-                    ));
-                    link_migrations[i * k + j] += 1;
-                    if local {
-                        migrations_local += 1;
-                    } else {
-                        migrations_global += 1;
+                        &mut meter,
+                        &mut fault_stats,
+                    );
+                    move_times.push(time);
+                    if delivered {
+                        src_of[j] = i;
+                        link_migrations[i * k + j] += 1;
+                        if self.topology.same_lan(i, j) {
+                            migrations_local += 1;
+                        } else {
+                            migrations_global += 1;
+                        }
                     }
                 }
                 clock.advance_parallel(move_times);
-                mix = plan.apply(&mix);
-                for (i, c) in clients.iter_mut().enumerate() {
-                    let migrated = routed[i] != params[i];
-                    c.set_params(&routed[i], migrated);
+                mix = src_of.iter().map(|&s| mix[s].clone()).collect();
+                for (j, c) in clients.iter_mut().enumerate() {
+                    let migrated = params[src_of[j]] != params[j];
+                    c.set_params(&params[src_of[j]], migrated);
                 }
             }
 
@@ -487,8 +603,7 @@ impl Experiment {
                     // FedAsync's global model lives on the server.
                     global.clone()
                 } else {
-                    let uploads: Vec<Vec<f32>> =
-                        clients.iter_mut().map(|c| c.params()).collect();
+                    let uploads: Vec<Vec<f32>> = clients.iter_mut().map(|c| c.params()).collect();
                     aggregate_active(&clients, &uploads, &vec![true; k])
                 };
                 Some(self.evaluate(&mut template, &shadow))
@@ -507,15 +622,26 @@ impl Experiment {
             let epoch_bw = (meter.traffic().total() - traffic_before) as f64;
             let epoch_compute = meter.compute_cost() - compute_before;
             last_epoch_usage = (
-                if cfg.budget.compute.is_finite() { epoch_compute / cfg.budget.compute } else { 0.0 },
-                if cfg.budget.bandwidth.is_finite() { epoch_bw / cfg.budget.bandwidth } else { 0.0 },
+                if cfg.budget.compute.is_finite() {
+                    epoch_compute / cfg.budget.compute
+                } else {
+                    0.0
+                },
+                if cfg.budget.bandwidth.is_finite() {
+                    epoch_bw / cfg.budget.bandwidth
+                } else {
+                    0.0
+                },
             );
+            fault_stats.stale_client_epochs += stale;
             records.push(EpochRecord {
                 epoch,
                 train_loss: mean_loss,
                 test_accuracy: accuracy,
                 traffic: meter.traffic(),
                 sim_time: clock.now(),
+                dropped_clients: dropped,
+                stale_clients: stale,
             });
             prev_loss = Some(mean_loss);
             if let (Some(target), Some(acc)) = (cfg.target_accuracy, accuracy) {
@@ -554,11 +680,14 @@ impl Experiment {
             link_migrations,
             budget_exhausted,
             target_reached,
+            fault: fault_stats,
         }
     }
 
     /// Solves the relaxed FLMM oracle for the current epoch: benefit is the
-    /// pairwise distribution difference, cost the normalized link price.
+    /// pairwise distribution difference minus a flakiness penalty on the
+    /// destination, cost the normalized link price. With no observed
+    /// downtime (`flaky` all zero) the penalty vanishes entirely.
     /// Returns `(relaxed solution rows, raw objective matrix)`.
     fn solve_oracle(
         &self,
@@ -566,6 +695,8 @@ impl Experiment {
         model_bytes: u64,
         epoch: usize,
         lambda: f64,
+        flaky: &[f64],
+        liveness_penalty: f64,
     ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
         let k = dmat.len();
         let mut cost = vec![vec![0.0f64; k]; k];
@@ -585,19 +716,101 @@ impl Experiment {
                 }
             }
         }
+        let benefit: Vec<Vec<f64>> = dmat
+            .iter()
+            .map(|row| row.iter().zip(flaky).map(|(&d, &f)| d - liveness_penalty * f).collect())
+            .collect();
         let mut objective = vec![vec![0.0f64; k]; k];
         for i in 0..k {
             for j in 0..k {
-                objective[i][j] = dmat[i][j] - lambda * cost[i][j];
+                objective[i][j] = benefit[i][j] - lambda * cost[i][j];
             }
         }
-        let relax = FlmmRelaxation {
-            benefit: dmat.to_vec(),
-            cost,
-            lambda,
-            entropy: 0.05,
-        };
+        let relax = FlmmRelaxation { benefit, cost, lambda, entropy: 0.05 };
         (relax.solve(40, 0.4), objective)
+    }
+
+    /// Delivers one planned migration `i -> j` under the fault model,
+    /// charging bytes to `meter` and returning `(delivered, seconds)`. The
+    /// policy is: direct C2C with bounded exponential-backoff retries, then
+    /// relay through the best live peer in the destination's LAN, then a
+    /// C2S round-trip through the server, and finally cancellation (the
+    /// model stays where it is for one epoch).
+    #[allow(clippy::too_many_arguments)]
+    fn deliver(
+        &self,
+        fault: &FaultModel,
+        alive: &[bool],
+        i: usize,
+        j: usize,
+        epoch: usize,
+        model_bytes: u64,
+        meter: &mut ResourceMeter,
+        stats: &mut FaultStats,
+    ) -> (bool, f64) {
+        // A downed link presents as zero effective bandwidth, which the
+        // `try_` transfer API maps to `None` instead of a panic.
+        let eff = |a: usize, b: usize| -> f64 {
+            if fault.link_up(a, b, epoch) {
+                self.topology.c2c_bandwidth(a, b, epoch) * fault.link_quality(a, b, epoch)
+            } else {
+                0.0
+            }
+        };
+        let latency = self.topology.c2c_latency(i, j);
+        // (a) Direct transfer over the planned link.
+        if let Some(t) = try_transfer_time_with_latency(model_bytes, eff(i, j), latency) {
+            meter.record_c2c(model_bytes, self.topology.same_lan(i, j));
+            return (true, t);
+        }
+        stats.wasted_bytes += model_bytes;
+        // (b) Bounded retries with exponential backoff on the same link.
+        let policy = fault.retry();
+        let mut elapsed = 0.0;
+        for attempt in 1..=policy.max_retries {
+            stats.transfer_retries += 1;
+            elapsed += policy.backoff(attempt);
+            if fault.retry_succeeds(i, j, epoch, attempt) {
+                meter.record_c2c(model_bytes, self.topology.same_lan(i, j));
+                let bw = self.topology.c2c_bandwidth(i, j, epoch) * fault.link_quality(i, j, epoch);
+                return (true, elapsed + transfer_time_with_latency(model_bytes, bw, latency));
+            }
+            stats.wasted_bytes += model_bytes;
+        }
+        // (c) Relay through the live same-LAN peer of `j` with the best
+        // bottleneck bandwidth on the two-hop path.
+        let relay = (0..self.num_clients())
+            .filter(|&r| r != i && r != j && alive[r] && self.topology.same_lan(r, j))
+            .filter(|&r| eff(i, r) > 0.0 && eff(r, j) > 0.0)
+            .max_by(|&a, &b| eff(i, a).min(eff(a, j)).total_cmp(&eff(i, b).min(eff(b, j))));
+        if let Some(r) = relay {
+            meter.record_c2c(model_bytes, self.topology.same_lan(i, r));
+            meter.record_c2c(model_bytes, true);
+            stats.rerouted_migrations += 1;
+            let t =
+                transfer_time_with_latency(model_bytes, eff(i, r), self.topology.c2c_latency(i, r))
+                    + transfer_time_with_latency(
+                        model_bytes,
+                        eff(r, j),
+                        self.topology.c2c_latency(r, j),
+                    );
+            return (true, elapsed + t);
+        }
+        // (d) Last resort: bounce the model off the server over the WAN.
+        if fault.c2s_up(i, epoch) && fault.c2s_up(j, epoch) {
+            meter.record_c2s(2 * model_bytes);
+            stats.rerouted_migrations += 1;
+            let t = 2.0
+                * transfer_time_with_latency(
+                    model_bytes,
+                    self.topology.c2s_bandwidth(epoch),
+                    self.topology.c2s_latency(),
+                );
+            return (true, elapsed + t);
+        }
+        // (e) Give up; the destination keeps its local copy this epoch.
+        stats.cancelled_migrations += 1;
+        (false, elapsed)
     }
 
     /// Test accuracy of `params` loaded into `template`, evaluated in
@@ -624,6 +837,7 @@ struct AgentCtx {
     lambda: f64,
     rho: f64,
     resource_reward: bool,
+    liveness_penalty: f64,
     warmup_epochs: usize,
     updates_per_epoch: usize,
     /// Decisions awaiting their reward: `(state, executed destination,
@@ -649,6 +863,54 @@ fn swap_pairs_plan(active: &[bool], pairs: usize, rng: &mut StdRng) -> Migration
     MigrationPlan::new(dest)
 }
 
+/// Determines which of the `arrived` clients can reach the server this
+/// epoch: WAN outages retry with exponential backoff (charged serially to
+/// the clock — the WAN is the shared bottleneck) and give up after the
+/// policy's retry budget. Transparent when fault injection is off.
+fn c2s_reachable(
+    fault: &FaultModel,
+    arrived: &[bool],
+    epoch: usize,
+    model_bytes: u64,
+    clock: &mut SimClock,
+    stats: &mut FaultStats,
+) -> Vec<bool> {
+    if !fault.enabled() {
+        return arrived.to_vec();
+    }
+    let policy = fault.retry();
+    let mut synced = vec![false; arrived.len()];
+    let mut backoff_total = 0.0f64;
+    for i in (0..arrived.len()).filter(|&i| arrived[i]) {
+        if fault.c2s_up(i, epoch) {
+            synced[i] = true;
+            continue;
+        }
+        stats.wasted_bytes += model_bytes;
+        for attempt in 1..=policy.max_retries {
+            stats.transfer_retries += 1;
+            backoff_total += policy.backoff(attempt);
+            if fault.retry_succeeds(i, usize::MAX, epoch, attempt) {
+                synced[i] = true;
+                break;
+            }
+            stats.wasted_bytes += model_bytes;
+        }
+    }
+    clock.advance(backoff_total);
+    synced
+}
+
+/// Median of `xs` (upper median for even lengths); 0 when empty.
+fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
 fn effective_samples(n: usize, cfg: &RunConfig) -> usize {
     match cfg.max_batches_per_epoch {
         Some(b) => n.min(b * cfg.batch_size),
@@ -664,25 +926,21 @@ fn train_all(
     prox: Option<&(Vec<f32>, f32)>,
     active: &[bool],
 ) -> Vec<Option<f32>> {
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = clients
             .iter_mut()
             .zip(active)
             .map(|(c, &is_active)| {
                 let prox_ref = prox.map(|(g, mu)| (g.as_slice(), *mu));
                 is_active.then(|| {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         c.train_epoch(cfg.batch_size, cfg.max_batches_per_epoch, prox_ref)
                     })
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.map(|h| h.join().expect("client thread panicked")))
-            .collect()
+        handles.into_iter().map(|h| h.map(|h| h.join().expect("client thread panicked"))).collect()
     })
-    .expect("training scope panicked")
 }
 
 /// Reads every client's parameters, applying DP noise at the egress point
@@ -875,5 +1133,57 @@ mod tests {
         let b = exp.run(&quick_cfg(Scheme::RandMigr, 8));
         assert_eq!(a.final_accuracy(), b.final_accuracy());
         assert_eq!(a.traffic(), b.traffic());
+    }
+
+    #[test]
+    fn explicit_no_fault_config_matches_default() {
+        let exp = small_experiment(true);
+        let base = exp.run(&quick_cfg(Scheme::RandMigr, 8));
+        let mut cfg = quick_cfg(Scheme::RandMigr, 8);
+        cfg.fault = fedmigr_net::FaultConfig::none();
+        cfg.fault.seed = 99; // irrelevant: no fault process is enabled
+        let m = exp.run(&cfg);
+        assert_eq!(m.final_accuracy(), base.final_accuracy());
+        assert_eq!(m.traffic(), base.traffic());
+        assert_eq!(m.sim_time(), base.sim_time());
+        assert!(!m.fault.any(), "no-fault run must observe zero faults");
+        assert!(m.records.iter().all(|r| r.dropped_clients == 0 && r.stale_clients == 0));
+    }
+
+    #[test]
+    fn faulty_migration_run_completes_and_accounts() {
+        let exp = small_experiment(true);
+        let mut cfg = quick_cfg(Scheme::RandMigr, 12);
+        cfg.fault = fedmigr_net::FaultConfig::edge_churn(0.4, 17);
+        let m = exp.run(&cfg);
+        assert_eq!(m.epochs(), 12, "faults must not end the run early");
+        assert!(m.fault.any(), "40% churn over 12 epochs should register");
+        let recorded_drops: usize = m.records.iter().map(|r| r.dropped_clients).sum();
+        assert_eq!(recorded_drops, m.fault.client_drops);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let exp = small_experiment(true);
+        let mut cfg = quick_cfg(Scheme::fedmigr(3), 10);
+        cfg.fault = fedmigr_net::FaultConfig::edge_churn(0.3, 5);
+        let a = exp.run(&cfg);
+        let b = exp.run(&cfg);
+        assert_eq!(a.final_accuracy(), b.final_accuracy());
+        assert_eq!(a.traffic(), b.traffic());
+        assert_eq!(a.fault, b.fault);
+    }
+
+    #[test]
+    fn fedavg_survives_wan_outages() {
+        let exp = small_experiment(false);
+        let mut cfg = quick_cfg(Scheme::FedAvg, 12);
+        cfg.fault = fedmigr_net::FaultConfig::none();
+        cfg.fault.c2s_outage_prob = 0.6;
+        cfg.fault.seed = 2;
+        let m = exp.run(&cfg);
+        assert_eq!(m.epochs(), 12);
+        assert!(m.fault.transfer_retries > 0, "60% WAN outage should force retries: {:?}", m.fault);
+        assert!(m.fault.wasted_bytes > 0);
     }
 }

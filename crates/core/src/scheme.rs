@@ -51,6 +51,12 @@ pub struct FedMigrConfig {
     /// Whether the reward includes the resource terms of Eq. 17 (the
     /// reward-shaping ablation disables them).
     pub resource_reward: bool,
+    /// Penalty weight on targeting *flaky* destinations: the exploration
+    /// oracle subtracts `liveness_penalty x flakiness(j)` from every
+    /// `(i, j)` score, where `flakiness` is an exponential moving average
+    /// of observed per-client downtime. Zero-cost without fault injection
+    /// (the EMA stays identically zero).
+    pub liveness_penalty: f64,
     /// Seed for the agent.
     pub agent_seed: u64,
 }
@@ -67,6 +73,7 @@ impl FedMigrConfig {
             updates_per_epoch: 1,
             replay_xi: 0.6,
             resource_reward: true,
+            liveness_penalty: 0.5,
             agent_seed,
         }
     }

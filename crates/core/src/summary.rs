@@ -2,7 +2,7 @@
 //! over a set of scheme runs (accuracy deltas, resource savings), exposed
 //! as a library API so downstream users don't re-implement them.
 
-use crate::metrics::RunMetrics;
+use crate::metrics::{FaultStats, RunMetrics};
 
 /// A comparison of several finished runs against a named baseline.
 pub struct SchemeComparison<'a> {
@@ -20,10 +20,7 @@ impl<'a> SchemeComparison<'a> {
     /// points (the paper's "+13% on average" figure is the mean of these).
     pub fn accuracy_gains(&self) -> Vec<(String, f64)> {
         let base = self.baseline.best_accuracy();
-        self.others
-            .iter()
-            .map(|m| (m.scheme.clone(), 100.0 * (m.best_accuracy() - base)))
-            .collect()
+        self.others.iter().map(|m| (m.scheme.clone(), 100.0 * (m.best_accuracy() - base))).collect()
     }
 
     /// Mean accuracy gain over the baseline across all compared runs.
@@ -52,9 +49,22 @@ impl<'a> SchemeComparison<'a> {
     /// Relative completion-time saving of each run vs the baseline.
     pub fn time_savings(&self) -> Vec<(String, f64)> {
         let base = self.baseline.sim_time().max(1e-9);
-        self.others
-            .iter()
-            .map(|m| (m.scheme.clone(), 1.0 - m.sim_time() / base))
+        self.others.iter().map(|m| (m.scheme.clone(), 1.0 - m.sim_time() / base)).collect()
+    }
+
+    /// Fault-robustness comparison: for every run (baseline included), the
+    /// fraction of all transferred bytes wasted on failed attempts and the
+    /// fraction of client-epochs lost to drops or staleness. Lower is more
+    /// robust; under `FaultModel::none` every entry is zero.
+    pub fn reliability_report(&self) -> Vec<(String, FaultStats, f64)> {
+        std::iter::once(&self.baseline)
+            .chain(self.others.iter())
+            .map(|m| {
+                let total = m.traffic().total() + m.fault.wasted_bytes;
+                let wasted_frac =
+                    if total == 0 { 0.0 } else { m.fault.wasted_bytes as f64 / total as f64 };
+                (m.scheme.clone(), m.fault, wasted_frac)
+            })
             .collect()
     }
 }
@@ -74,12 +84,15 @@ mod tests {
                 test_accuracy: Some(acc),
                 traffic: TrafficBreakdown { c2s, c2c_local: 0, c2c_global },
                 sim_time: time,
+                dropped_clients: 0,
+                stale_clients: 0,
             }],
             migrations_local: 0,
             migrations_global: 0,
             link_migrations: vec![],
             budget_exhausted: false,
             target_reached: false,
+            fault: FaultStats::default(),
         }
     }
 
@@ -96,6 +109,22 @@ mod tests {
         assert!((traffic[0].1 - 0.7).abs() < 1e-9, "300/1000 global bytes -> 70% saved");
         let time = cmp.time_savings();
         assert!((time[0].1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reliability_report_ranks_waste() {
+        let clean = run("FedAvg", 0.6, 900, 100, 100.0);
+        let mut faulty = run("FedMigr", 0.7, 500, 100, 80.0);
+        faulty.fault.wasted_bytes = 400; // 400 / (600 + 400)
+        faulty.fault.cancelled_migrations = 2;
+        let cmp = SchemeComparison::new(&clean, vec![&faulty]);
+        let report = cmp.reliability_report();
+        assert_eq!(report.len(), 2);
+        assert_eq!(report[0].0, "FedAvg");
+        assert_eq!(report[0].2, 0.0);
+        assert_eq!(report[1].0, "FedMigr");
+        assert!((report[1].2 - 0.4).abs() < 1e-9);
+        assert_eq!(report[1].1.cancelled_migrations, 2);
     }
 
     #[test]

@@ -99,12 +99,7 @@ mod tests {
 
     fn tiny() -> Dataset {
         // 4 samples of shape [2], labels 0,1,0,1.
-        Dataset::new(
-            vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1, 3.0, 3.1],
-            vec![2],
-            vec![0, 1, 0, 1],
-            2,
-        )
+        Dataset::new(vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1, 3.0, 3.1], vec![2], vec![0, 1, 0, 1], 2)
     }
 
     #[test]

@@ -96,11 +96,7 @@ pub fn virtual_distribution(
 /// L1 distance of its label distribution to the population before and
 /// after `m` uniform migrations among `k` clients. The paper's convergence
 /// argument is exactly that `after <= before` for every client.
-pub fn contraction_report(
-    ds: &Dataset,
-    partitions: &[Vec<usize>],
-    m: usize,
-) -> Vec<(f64, f64)> {
+pub fn contraction_report(ds: &Dataset, partitions: &[Vec<usize>], m: usize) -> Vec<(f64, f64)> {
     let k = partitions.len();
     let pop_counts = ds.class_counts();
     let n: f64 = pop_counts.iter().map(|&c| c as f64).sum();
@@ -126,8 +122,7 @@ pub fn mean_divergence(client_dists: &[Vec<f64>], population: &[f64]) -> f64 {
     if client_dists.is_empty() {
         return 0.0;
     }
-    client_dists.iter().map(|q| l1_distance(q, population)).sum::<f64>()
-        / client_dists.len() as f64
+    client_dists.iter().map(|q| l1_distance(q, population)).sum::<f64>() / client_dists.len() as f64
 }
 
 #[cfg(test)]

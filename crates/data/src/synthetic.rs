@@ -69,7 +69,12 @@ impl SyntheticConfig {
     /// ImageNet-100 stand-in: 100 classes, 3x8x8 images (the paper itself
     /// downsizes ImageNet to a 100-class subset for edge devices).
     pub fn imagenet100_like(train_per_class: usize, seed: u64) -> Self {
-        Self { num_classes: 100, noise_std: 3.3, atom_bank: 24, ..Self::c10_like(train_per_class, seed) }
+        Self {
+            num_classes: 100,
+            noise_std: 3.3,
+            atom_bank: 24,
+            ..Self::c10_like(train_per_class, seed)
+        }
     }
 }
 
@@ -129,9 +134,8 @@ fn make_prototypes(config: &SyntheticConfig, rng: &mut StdRng) -> Vec<Tensor> {
             .map(|_| smooth_prototype(config.channels, config.hw, rng).scale(config.class_sep))
             .collect();
     }
-    let atoms: Vec<Tensor> = (0..config.atom_bank)
-        .map(|_| smooth_prototype(config.channels, config.hw, rng))
-        .collect();
+    let atoms: Vec<Tensor> =
+        (0..config.atom_bank).map(|_| smooth_prototype(config.channels, config.hw, rng)).collect();
     let m = config.atoms_per_class.max(1).min(config.atom_bank);
     let shared_w = (1.0 - config.private_frac).max(0.0).sqrt();
     let private_w = config.private_frac.max(0.0).sqrt();

@@ -281,9 +281,7 @@ impl DdpgAgent {
 
         // TD target h = r + γ Q'(s', π'(s')) (Eq. 21).
         let next_probs = softmax_rows(&self.actor_target.forward(&next_states, false));
-        let next_q = self
-            .critic_target
-            .forward(&concat_cols(&next_states, &next_probs), false);
+        let next_q = self.critic_target.forward(&concat_cols(&next_states, &next_probs), false);
         let mut targets = Vec::with_capacity(b);
         for i in 0..b {
             let bootstrap = if dones[i] { 0.0 } else { self.config.gamma * next_q.data()[i] };
@@ -310,18 +308,14 @@ impl DdpgAgent {
         let actor_critic_in = concat_cols(&states, &probs);
         let _q_pi = self.critic.forward(&actor_critic_in, false);
         self.critic.net_mut().zero_grad();
-        let grad_in = self
-            .critic
-            .net_mut()
-            .backward(&Tensor::full(&[b, 1], -1.0 / b as f32));
+        let grad_in = self.critic.net_mut().backward(&Tensor::full(&[b, 1], -1.0 / b as f32));
         // Slice out ∂(−Q)/∂a and chain through the softmax.
         let mut grad_action = vec![0.0f32; b * k];
         let mut grad_action_norms = vec![0.0f32; b];
         for i in 0..b {
             let row = &grad_in.data()[i * (s_dim + k) + s_dim..(i + 1) * (s_dim + k)];
             grad_action[i * k..(i + 1) * k].copy_from_slice(row);
-            grad_action_norms[i] =
-                row.iter().map(|x| x * x).sum::<f32>().sqrt() * b as f32;
+            grad_action_norms[i] = row.iter().map(|x| x * x).sum::<f32>().sqrt() * b as f32;
         }
         let grad_logits = softmax_backward(&probs, &grad_action, b, k);
         self.actor.net_mut().zero_grad();
@@ -344,10 +338,9 @@ impl DdpgAgent {
 
     fn soft_update_targets(&mut self) {
         let tau = self.config.tau;
-        for (net, target) in [
-            (&mut self.actor, &mut self.actor_target),
-            (&mut self.critic, &mut self.critic_target),
-        ] {
+        for (net, target) in
+            [(&mut self.actor, &mut self.actor_target), (&mut self.critic, &mut self.critic_target)]
+        {
             let src = param_vector(net.net_mut());
             let mut dst = param_vector(target.net_mut());
             for (d, s) in dst.iter_mut().zip(&src) {

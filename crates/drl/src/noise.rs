@@ -54,8 +54,8 @@ mod tests {
     #[test]
     fn mean_reverts_to_mu() {
         let noise = OuNoise::new(1, 0.5, 3.0, 0.0, 1); // No diffusion.
-        // Start away from mu by resetting then forcing: state starts at mu,
-        // so instead use a fresh process with mu 3 but state from mu 0.
+                                                       // Start away from mu by resetting then forcing: state starts at mu,
+                                                       // so instead use a fresh process with mu 3 but state from mu 0.
         let mut from_zero = OuNoise::new(1, 0.5, 3.0, 0.0, 1);
         from_zero.state[0] = 0.0;
         for _ in 0..50 {

@@ -64,8 +64,7 @@ impl FlmmRelaxation {
         let mut p = vec![vec![1.0 / k as f64; k]; k];
         let decay = 1.0 - step * self.entropy;
         for _ in 0..iters {
-            for i in 0..k {
-                let row = &mut p[i];
+            for (i, row) in p.iter_mut().enumerate() {
                 let mut max_log = f64::NEG_INFINITY;
                 let mut logs = vec![0.0f64; k];
                 for j in 0..k {
@@ -140,12 +139,7 @@ mod tests {
 
     #[test]
     fn simplex_projection_sums_to_one_and_is_nonnegative() {
-        let cases = vec![
-            vec![10.0, -5.0, 3.0],
-            vec![-1.0, -2.0, -3.0],
-            vec![0.0; 5],
-            vec![100.0],
-        ];
+        let cases = vec![vec![10.0, -5.0, 3.0], vec![-1.0, -2.0, -3.0], vec![0.0; 5], vec![100.0]];
         for mut v in cases {
             project_simplex(&mut v);
             assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{v:?}");
@@ -165,16 +159,8 @@ mod tests {
         // 3 clients: 0 and 1 have very different data (benefit 2.0), 2 is
         // similar to both; all links cheap except 0 -> 1 reverse direction.
         FlmmRelaxation {
-            benefit: vec![
-                vec![0.0, 2.0, 0.5],
-                vec![2.0, 0.0, 0.5],
-                vec![0.5, 0.5, 0.0],
-            ],
-            cost: vec![
-                vec![0.0, 0.1, 0.1],
-                vec![0.1, 0.0, 0.1],
-                vec![0.1, 0.1, 0.0],
-            ],
+            benefit: vec![vec![0.0, 2.0, 0.5], vec![2.0, 0.0, 0.5], vec![0.5, 0.5, 0.0]],
+            cost: vec![vec![0.0, 0.1, 0.1], vec![0.1, 0.0, 0.1], vec![0.1, 0.1, 0.0]],
             lambda: 1.0,
             entropy: 0.05,
         }

@@ -84,11 +84,7 @@ impl PrioritizedReplay {
     /// Samples `batch` transitions. Returns `(index, &transition,
     /// importance_weight)` triples; weights are normalized so the largest in
     /// the batch is 1 (Eq. 29).
-    pub fn sample<R: Rng>(
-        &self,
-        batch: usize,
-        rng: &mut R,
-    ) -> Vec<(usize, &Transition, f64)> {
+    pub fn sample<R: Rng>(&self, batch: usize, rng: &mut R) -> Vec<(usize, &Transition, f64)> {
         assert!(!self.items.is_empty(), "cannot sample from an empty buffer");
         let total = self.tree[1];
         let n = self.items.len() as f64;
@@ -141,13 +137,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn t(reward: f32) -> Transition {
-        Transition {
-            state: vec![0.0; 4],
-            action: 0,
-            reward,
-            next_state: vec![0.0; 4],
-            done: false,
-        }
+        Transition { state: vec![0.0; 4], action: 0, reward, next_state: vec![0.0; 4], done: false }
     }
 
     #[test]

@@ -5,11 +5,14 @@
 //! of weights to the agent is neither practical nor useful, so — as is
 //! standard for experience-driven controllers — the featurizer keeps the
 //! training-progress scalars (epoch fraction, loss level and trend), the
-//! resource picture (`R_t` usage, `G_t` remaining budgets), and the row of
-//! the distribution-difference matrix `D_t` for the migrating client.
+//! resource picture (`R_t` usage, `G_t` remaining budgets), the row of
+//! the distribution-difference matrix `D_t` for the migrating client, and a
+//! liveness picture (population health + per-peer up/down flags) so the
+//! policy can route around fault-injected dropouts.
 
 /// Builder for per-decision state vectors of a fixed layout:
-/// `[t/T, loss, Δloss, bw_remaining, compute_remaining, d_{i,1..K}]`.
+/// `[t/T, loss, Δloss, bw_remaining, compute_remaining, alive_frac,
+///   d_{i,1..K}, live_{1..K}]`.
 #[derive(Clone, Debug)]
 pub struct MigrationState {
     num_clients: usize,
@@ -24,10 +27,13 @@ impl MigrationState {
 
     /// Dimensionality of produced state vectors.
     pub fn dim(&self) -> usize {
-        5 + self.num_clients
+        6 + 2 * self.num_clients
     }
 
-    /// Builds the state for a migration decision about client `i`.
+    /// Builds the state for a migration decision about client `i`, assuming
+    /// a fully live population (every liveness feature 1.0). Convenience
+    /// wrapper over [`Self::build_with_liveness`] for fault-free call
+    /// sites.
     ///
     /// * `epoch_frac` — `t / T` in `[0, 1]`,
     /// * `loss` — current global loss `F_t` (clamped to a sane range),
@@ -43,19 +49,50 @@ impl MigrationState {
         compute_remaining: f64,
         distance_row: &[f64],
     ) -> Vec<f32> {
+        let all_live = vec![true; self.num_clients];
+        self.build_with_liveness(
+            epoch_frac,
+            loss,
+            dloss,
+            bw_remaining,
+            compute_remaining,
+            distance_row,
+            &all_live,
+        )
+    }
+
+    /// Builds the state for a migration decision about client `i` with
+    /// explicit liveness: `live[j]` is whether client `j` is up this epoch.
+    /// The vector gains the live fraction of the population plus one 0/1
+    /// flag per peer, letting the policy learn to avoid dead destinations.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_liveness(
+        &self,
+        epoch_frac: f64,
+        loss: f64,
+        dloss: f64,
+        bw_remaining: f64,
+        compute_remaining: f64,
+        distance_row: &[f64],
+        live: &[bool],
+    ) -> Vec<f32> {
         assert_eq!(
             distance_row.len(),
             self.num_clients,
             "distance row must have one entry per client"
         );
+        assert_eq!(live.len(), self.num_clients, "liveness must have one entry per client");
+        let alive = live.iter().filter(|&&l| l).count();
         let mut s = Vec::with_capacity(self.dim());
         s.push(epoch_frac.clamp(0.0, 1.0) as f32);
         s.push(loss.clamp(0.0, 20.0) as f32 / 10.0);
         s.push(dloss.clamp(-1.0, 1.0) as f32);
         s.push(bw_remaining.clamp(0.0, 1.0) as f32);
         s.push(compute_remaining.clamp(0.0, 1.0) as f32);
+        s.push(alive as f32 / self.num_clients as f32);
         // L1 distance between distributions is at most 2.
         s.extend(distance_row.iter().map(|&d| (d / 2.0) as f32));
+        s.extend(live.iter().map(|&l| if l { 1.0f32 } else { 0.0 }));
         s
     }
 }
@@ -67,14 +104,26 @@ mod tests {
     #[test]
     fn layout_and_dim() {
         let f = MigrationState::new(3);
-        assert_eq!(f.dim(), 8);
+        assert_eq!(f.dim(), 12);
         let s = f.build(0.5, 2.0, -0.1, 0.9, 0.8, &[0.0, 2.0, 1.0]);
-        assert_eq!(s.len(), 8);
+        assert_eq!(s.len(), 12);
         assert_eq!(s[0], 0.5);
         assert_eq!(s[1], 0.2);
-        assert_eq!(s[5], 0.0);
-        assert_eq!(s[6], 1.0);
-        assert_eq!(s[7], 0.5);
+        assert_eq!(s[5], 1.0, "fully live population");
+        assert_eq!(s[6], 0.0);
+        assert_eq!(s[7], 1.0);
+        assert_eq!(s[8], 0.5);
+        assert_eq!(&s[9..], &[1.0, 1.0, 1.0], "default liveness flags are all up");
+    }
+
+    #[test]
+    fn liveness_features_reflect_down_clients() {
+        let f = MigrationState::new(4);
+        let s =
+            f.build_with_liveness(0.1, 1.0, 0.0, 1.0, 1.0, &[0.0; 4], &[true, false, true, false]);
+        assert_eq!(s.len(), f.dim());
+        assert_eq!(s[5], 0.5, "half the population is live");
+        assert_eq!(&s[10..], &[1.0, 0.0, 1.0, 0.0]);
     }
 
     #[test]
@@ -93,5 +142,12 @@ mod tests {
     fn wrong_row_length_panics() {
         let f = MigrationState::new(2);
         let _ = f.build(0.0, 0.0, 0.0, 1.0, 1.0, &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per client")]
+    fn wrong_liveness_length_panics() {
+        let f = MigrationState::new(2);
+        let _ = f.build_with_liveness(0.0, 0.0, 0.0, 1.0, 1.0, &[0.0, 0.0], &[true]);
     }
 }

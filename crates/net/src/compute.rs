@@ -35,9 +35,8 @@ impl ClientCompute {
     /// The test-bed mix: alternating TX2 and NX devices (the paper uses 15
     /// of each among 30 devices).
     pub fn testbed_mix(k: usize) -> Self {
-        let tiers = (0..k)
-            .map(|i| if i % 2 == 0 { DeviceTier::Tx2 } else { DeviceTier::Nx })
-            .collect();
+        let tiers =
+            (0..k).map(|i| if i % 2 == 0 { DeviceTier::Tx2 } else { DeviceTier::Nx }).collect();
         Self { tiers }
     }
 
@@ -59,6 +58,14 @@ impl ClientCompute {
     /// Seconds for client `i` to run one local epoch over `samples` samples.
     pub fn epoch_time(&self, i: usize, samples: usize) -> f64 {
         samples as f64 / self.tiers[i].samples_per_second()
+    }
+
+    /// [`Self::epoch_time`] with a fault-injected straggler multiplier
+    /// layered on (see [`crate::FaultModel::slowdown`]); `slowdown` must be
+    /// at least 1.
+    pub fn epoch_time_slowed(&self, i: usize, samples: usize, slowdown: f64) -> f64 {
+        assert!(slowdown >= 1.0, "slowdown must be >= 1");
+        self.epoch_time(i, samples) * slowdown
     }
 
     /// Computation *cost* `c_k` of one epoch on client `i` — proportional to

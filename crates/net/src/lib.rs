@@ -21,26 +21,50 @@
 mod budget;
 mod clock;
 mod compute;
+pub mod fault;
 mod topology;
 
 pub use budget::{ResourceBudget, ResourceMeter, TrafficBreakdown};
 pub use clock::SimClock;
 pub use compute::{ClientCompute, DeviceTier};
+pub use fault::{FaultConfig, FaultModel, RetryPolicy};
 pub use topology::{LinkClass, Topology, TopologyConfig};
 
+/// Seconds to move `bytes` over a link of `bandwidth` bytes/second, or
+/// `None` when the link is effectively down (`bandwidth` zero, negative, or
+/// NaN — e.g. a fault-injected outage).
+pub fn try_transfer_time(bytes: u64, bandwidth: f64) -> Option<f64> {
+    if bandwidth > 0.0 {
+        Some(bytes as f64 / bandwidth)
+    } else {
+        None
+    }
+}
+
+/// Transfer time including a one-way propagation latency, or `None` when
+/// the link is down. See [`try_transfer_time`].
+pub fn try_transfer_time_with_latency(bytes: u64, bandwidth: f64, latency: f64) -> Option<f64> {
+    assert!(latency >= 0.0, "latency must be non-negative");
+    try_transfer_time(bytes, bandwidth).map(|t| latency + t)
+}
+
 /// Seconds to move `bytes` over a link of `bandwidth` bytes/second.
+///
+/// Convenience wrapper over [`try_transfer_time`] for call sites that never
+/// see fault-injected links.
 ///
 /// # Panics
 /// Panics if `bandwidth` is not strictly positive.
 pub fn transfer_time(bytes: u64, bandwidth: f64) -> f64 {
-    assert!(bandwidth > 0.0, "bandwidth must be positive");
-    bytes as f64 / bandwidth
+    try_transfer_time(bytes, bandwidth).expect("bandwidth must be positive")
 }
 
 /// Transfer time including a one-way propagation latency.
+///
+/// # Panics
+/// Panics if `bandwidth` is not strictly positive.
 pub fn transfer_time_with_latency(bytes: u64, bandwidth: f64, latency: f64) -> f64 {
-    assert!(latency >= 0.0, "latency must be non-negative");
-    latency + transfer_time(bytes, bandwidth)
+    try_transfer_time_with_latency(bytes, bandwidth, latency).expect("bandwidth must be positive")
 }
 
 #[cfg(test)]
@@ -63,5 +87,15 @@ mod tests {
     fn latency_adds_a_constant() {
         assert_eq!(transfer_time_with_latency(100, 50.0, 0.5), 2.5);
         assert_eq!(transfer_time_with_latency(0, 50.0, 0.1), 0.1);
+    }
+
+    #[test]
+    fn try_variants_signal_downed_links_instead_of_panicking() {
+        assert_eq!(try_transfer_time(100, 50.0), Some(2.0));
+        assert_eq!(try_transfer_time(100, 0.0), None);
+        assert_eq!(try_transfer_time(100, -1.0), None);
+        assert_eq!(try_transfer_time(100, f64::NAN), None);
+        assert_eq!(try_transfer_time_with_latency(100, 50.0, 0.5), Some(2.5));
+        assert_eq!(try_transfer_time_with_latency(100, 0.0, 0.5), None);
     }
 }

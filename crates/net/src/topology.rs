@@ -103,7 +103,7 @@ impl Topology {
         assert!((0.0..1.0).contains(&config.jitter), "jitter must be in [0, 1)");
         let mut lan_of = Vec::with_capacity(k);
         for (lan, &size) in config.lan_sizes.iter().enumerate() {
-            lan_of.extend(std::iter::repeat(lan).take(size));
+            lan_of.extend(std::iter::repeat_n(lan, size));
         }
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut c2c = vec![0.0f64; k * k];
@@ -159,15 +159,23 @@ impl Topology {
     }
 
     /// C2C bandwidth between clients `i` and `j` at `epoch`, in
-    /// bytes/second. Zero-distance (`i == j`) transfers are free; callers
-    /// should skip them.
+    /// bytes/second, or `None` for the degenerate `i == j` "link" (a
+    /// self-transfer costs nothing; callers should skip it).
+    pub fn try_c2c_bandwidth(&self, i: usize, j: usize, epoch: usize) -> Option<f64> {
+        if i == j {
+            return None;
+        }
+        Some(self.c2c_bandwidth[i * self.k + j] * self.jitter_factor(epoch, i * self.k + j))
+    }
+
+    /// C2C bandwidth between clients `i` and `j` at `epoch`, in
+    /// bytes/second.
     ///
     /// # Panics
-    /// Panics if `i == j` (such a transfer costs nothing and indicates a
-    /// bookkeeping bug upstream).
+    /// Panics if `i == j`, which indicates a bookkeeping bug upstream; use
+    /// [`Self::try_c2c_bandwidth`] on paths where that can occur.
     pub fn c2c_bandwidth(&self, i: usize, j: usize, epoch: usize) -> f64 {
-        assert_ne!(i, j, "self-transfer has no link");
-        self.c2c_bandwidth[i * self.k + j] * self.jitter_factor(epoch, i * self.k + j)
+        self.try_c2c_bandwidth(i, j, epoch).expect("self-transfer has no link")
     }
 
     /// One-way propagation latency of the C2S path in seconds.

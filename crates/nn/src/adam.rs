@@ -110,12 +110,15 @@ mod tests {
 
     #[test]
     fn optimizes_a_small_classifier_faster_than_tiny_sgd() {
-        let x = Tensor::from_vec(vec![4, 4], vec![
-            2.0, 0.0, 0.0, 0.0, //
-            0.0, 2.0, 0.0, 0.0, //
-            0.0, 0.0, 2.0, 0.0, //
-            0.0, 0.0, 0.0, 2.0,
-        ]);
+        let x = Tensor::from_vec(
+            vec![4, 4],
+            vec![
+                2.0, 0.0, 0.0, 0.0, //
+                0.0, 2.0, 0.0, 0.0, //
+                0.0, 0.0, 2.0, 0.0, //
+                0.0, 0.0, 0.0, 2.0,
+            ],
+        );
         let labels = [0usize, 0, 1, 1];
         let mut model = zoo::mlp(4, &[8], 2, 1);
         let mut opt = Adam::new(0.05);

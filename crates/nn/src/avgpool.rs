@@ -55,12 +55,8 @@ impl Layer for AvgPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (b, c, h, w) = (
-            self.input_shape[0],
-            self.input_shape[1],
-            self.input_shape[2],
-            self.input_shape[3],
-        );
+        let (b, c, h, w) =
+            (self.input_shape[0], self.input_shape[1], self.input_shape[2], self.input_shape[3]);
         let shape = grad_out.shape();
         let (oh, ow) = (shape[2], shape[3]);
         let inv = 1.0 / (self.size * self.size) as f32;

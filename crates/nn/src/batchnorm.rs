@@ -89,7 +89,8 @@ impl Layer for BatchNorm2d {
                 let mut var = 0.0f32;
                 for bi in 0..b {
                     let plane = (bi * c + ch) * s;
-                    var += data[plane..plane + s].iter().map(|x| (x - mean) * (x - mean)).sum::<f32>();
+                    var +=
+                        data[plane..plane + s].iter().map(|x| (x - mean) * (x - mean)).sum::<f32>();
                 }
                 var /= n;
                 let inv_std = 1.0 / (var + self.eps).sqrt();
@@ -142,9 +143,9 @@ impl Layer for BatchNorm2d {
             let mut sum_dy_xhat = 0.0f32;
             for bi in 0..b {
                 let plane = (bi * c + ch) * s;
-                for i in plane..plane + s {
-                    sum_dy += g[i];
-                    sum_dy_xhat += g[i] * self.x_hat[i];
+                for (gi, xh) in g[plane..plane + s].iter().zip(&self.x_hat[plane..plane + s]) {
+                    sum_dy += gi;
+                    sum_dy_xhat += gi * xh;
                 }
             }
             self.grad_beta.data_mut()[ch] += sum_dy;
@@ -155,8 +156,8 @@ impl Layer for BatchNorm2d {
             for bi in 0..b {
                 let plane = (bi * c + ch) * s;
                 for i in plane..plane + s {
-                    grad_in[i] = gamma * inv_std / n
-                        * (n * g[i] - sum_dy - self.x_hat[i] * sum_dy_xhat);
+                    grad_in[i] =
+                        gamma * inv_std / n * (n * g[i] - sum_dy - self.x_hat[i] * sum_dy_xhat);
                 }
             }
         }
@@ -228,9 +229,8 @@ mod tests {
         // Weighted objective so the gradient isn't identically zero (a sum
         // is invariant to normalization up to gamma/beta).
         let w = Tensor::randn(x.shape(), 1.0, &mut rng);
-        let objective = |bn: &mut BatchNorm2d, x: &Tensor| -> f32 {
-            bn.forward(x, true).mul(&w).sum()
-        };
+        let objective =
+            |bn: &mut BatchNorm2d, x: &Tensor| -> f32 { bn.forward(x, true).mul(&w).sum() };
         let y = bn.forward(&x, true);
         bn.zero_grad();
         let gx = bn.backward(&w.clone());

@@ -47,10 +47,7 @@ pub fn from_bytes(model: &mut Model, mut bytes: Bytes) -> io::Result<()> {
     let name = bytes.split_to(name_len);
     let name = std::str::from_utf8(&name).map_err(|_| bad("checkpoint name is not UTF-8"))?;
     if name != model.name() {
-        return Err(bad(&format!(
-            "checkpoint is for model {name:?}, not {:?}",
-            model.name()
-        )));
+        return Err(bad(&format!("checkpoint is for model {name:?}, not {:?}", model.name())));
     }
     let params = decode_params(bytes).ok_or_else(|| bad("corrupt parameter payload"))?;
     if params.len() != model.num_params() {

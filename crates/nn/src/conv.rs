@@ -160,10 +160,7 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cols = self
-            .cached_cols
-            .as_ref()
-            .expect("Conv2d::backward called before forward");
+        let cols = self.cached_cols.as_ref().expect("Conv2d::backward called before forward");
         let [b, oc, oh, ow] = four(grad_out.shape());
         assert_eq!(oc, self.out_channels);
         // Rearrange grad [B, OC, OH, OW] -> [B*OH*OW, OC].

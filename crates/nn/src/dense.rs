@@ -61,10 +61,7 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("Dense::backward called before forward");
+        let input = self.cached_input.as_ref().expect("Dense::backward called before forward");
         // dW = x^T g, db = sum_rows(g), dx = g W^T
         self.grad_weight.add_assign(&input.transpose2().matmul(grad_out));
         let (b, o) = (grad_out.rows(), grad_out.cols());

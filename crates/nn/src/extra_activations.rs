@@ -27,12 +27,8 @@ impl Layer for Tanh {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         assert_eq!(grad_out.numel(), self.output.len(), "Tanh backward before forward");
-        let data = grad_out
-            .data()
-            .iter()
-            .zip(&self.output)
-            .map(|(&g, &y)| g * (1.0 - y * y))
-            .collect();
+        let data =
+            grad_out.data().iter().zip(&self.output).map(|(&g, &y)| g * (1.0 - y * y)).collect();
         Tensor::from_vec(grad_out.shape().to_vec(), data)
     }
 
@@ -68,12 +64,8 @@ impl Layer for Sigmoid {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         assert_eq!(grad_out.numel(), self.output.len(), "Sigmoid backward before forward");
-        let data = grad_out
-            .data()
-            .iter()
-            .zip(&self.output)
-            .map(|(&g, &y)| g * y * (1.0 - y))
-            .collect();
+        let data =
+            grad_out.data().iter().zip(&self.output).map(|(&g, &y)| g * y * (1.0 - y)).collect();
         Tensor::from_vec(grad_out.shape().to_vec(), data)
     }
 
@@ -99,8 +91,8 @@ mod tests {
             xp.data_mut()[i] += eps;
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let num = (layer.forward(&xp, true).sum() - layer.forward(&xm, true).sum())
-                / (2.0 * eps);
+            let num =
+                (layer.forward(&xp, true).sum() - layer.forward(&xm, true).sum()) / (2.0 * eps);
             assert!(
                 (num - g.data()[i]).abs() < 1e-2,
                 "gradient mismatch at {i}: {num} vs {}",

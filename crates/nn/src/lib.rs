@@ -40,8 +40,8 @@ mod avgpool;
 mod batchnorm;
 pub mod checkpoint;
 mod conv;
-mod extra_activations;
 mod dense;
+mod extra_activations;
 mod layer;
 mod loss;
 mod model;
@@ -58,8 +58,8 @@ pub use adam::Adam;
 pub use avgpool::AvgPool2d;
 pub use batchnorm::BatchNorm2d;
 pub use conv::Conv2d;
-pub use extra_activations::{Sigmoid, Tanh};
 pub use dense::Dense;
+pub use extra_activations::{Sigmoid, Tanh};
 pub use layer::Layer;
 pub use loss::{accuracy, softmax_cross_entropy};
 pub use model::Model;

@@ -33,11 +33,8 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
 /// Fraction of rows whose argmax matches the label.
 pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
     assert_eq!(labels.len(), logits.rows());
-    let correct = labels
-        .iter()
-        .enumerate()
-        .filter(|&(r, &y)| argmax_slice(logits.row(r)) == y)
-        .count();
+    let correct =
+        labels.iter().enumerate().filter(|&(r, &y)| argmax_slice(logits.row(r)) == y).count();
     correct as f64 / labels.len() as f64
 }
 

@@ -17,12 +17,7 @@ pub struct Model {
 impl Model {
     /// Wraps a network. `input_shape` is per-sample (no batch dimension).
     pub fn new(net: Sequential, input_shape: &[usize], num_classes: usize, name: &str) -> Self {
-        Self {
-            net,
-            input_shape: input_shape.to_vec(),
-            num_classes,
-            name: name.to_string(),
-        }
+        Self { net, input_shape: input_shape.to_vec(), num_classes, name: name.to_string() }
     }
 
     /// Per-sample input shape.
@@ -134,12 +129,15 @@ mod tests {
     #[test]
     fn train_step_reduces_loss_on_fixed_batch() {
         let mut model = zoo::mlp(4, &[8], 2, 0);
-        let x = Tensor::from_vec(vec![4, 4], vec![
-            1.0, 0.0, 0.0, 0.0, //
-            0.0, 1.0, 0.0, 0.0, //
-            0.0, 0.0, 1.0, 0.0, //
-            0.0, 0.0, 0.0, 1.0,
-        ]);
+        let x = Tensor::from_vec(
+            vec![4, 4],
+            vec![
+                1.0, 0.0, 0.0, 0.0, //
+                0.0, 1.0, 0.0, 0.0, //
+                0.0, 0.0, 1.0, 0.0, //
+                0.0, 0.0, 0.0, 1.0,
+            ],
+        );
         let labels = [0usize, 0, 1, 1];
         let mut opt = Sgd::new(0.5);
         let before = model.loss(&x, &labels);

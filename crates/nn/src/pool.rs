@@ -119,10 +119,8 @@ mod tests {
     #[test]
     fn multi_channel_planes_are_independent() {
         let mut pool = MaxPool2d::new(2, 2);
-        let x = Tensor::from_vec(
-            vec![1, 2, 2, 2],
-            vec![1.0, 2.0, 3.0, 4.0, 40.0, 30.0, 20.0, 10.0],
-        );
+        let x =
+            Tensor::from_vec(vec![1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 40.0, 30.0, 20.0, 10.0]);
         let y = pool.forward(&x, true);
         assert_eq!(y.data(), &[4.0, 40.0]);
     }

@@ -70,10 +70,7 @@ mod tests {
     fn zero_path_weights_make_block_a_relu_identity() {
         let mut block = ResidualBlock::new(2, 0);
         block.visit_params(&mut |p, _| p.fill_zero());
-        let x = Tensor::from_vec(
-            vec![1, 2, 1, 2],
-            vec![1.0, -1.0, 2.0, -2.0],
-        );
+        let x = Tensor::from_vec(vec![1, 2, 1, 2], vec![1.0, -1.0, 2.0, -2.0]);
         let y = block.forward(&x, true);
         assert_eq!(y.data(), &[1.0, 0.0, 2.0, 0.0]);
     }
@@ -93,8 +90,8 @@ mod tests {
             xp.data_mut()[i] += eps;
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let num = (block.forward(&xp, true).sum() - block.forward(&xm, true).sum())
-                / (2.0 * eps);
+            let num =
+                (block.forward(&xp, true).sum() - block.forward(&xm, true).sum()) / (2.0 * eps);
             assert!(
                 (num - gx.data()[i]).abs() < 0.1,
                 "grad mismatch at {i}: numeric {num} vs analytic {}",

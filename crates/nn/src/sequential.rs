@@ -77,9 +77,8 @@ mod tests {
 
     #[test]
     fn forward_composes_layers() {
-        let mut net = Sequential::new().push(Dense::new(4, 8, 0)).push(Relu::new()).push(
-            Dense::new(8, 2, 1),
-        );
+        let mut net =
+            Sequential::new().push(Dense::new(4, 8, 0)).push(Relu::new()).push(Dense::new(8, 2, 1));
         let x = Tensor::ones(&[3, 4]);
         let y = net.forward(&x, true);
         assert_eq!(y.shape(), &[3, 2]);

@@ -77,7 +77,7 @@ fn cnn(
     seed: u64,
     name: &str,
 ) -> Model {
-    assert!(hw % 4 == 0, "input side must be divisible by 4 (two 2x2 pools)");
+    assert!(hw.is_multiple_of(4), "input side must be divisible by 4 (two 2x2 pools)");
     let (c1, c2) = scale.conv_widths();
     let fc = scale.fc_width();
     let spatial = hw / 4;
@@ -110,22 +110,22 @@ pub fn mini_resnet(
     scale: NetScale,
     seed: u64,
 ) -> Model {
-    assert!(hw % 2 == 0, "input side must be even (one 2x2 pool)");
+    assert!(hw.is_multiple_of(2), "input side must be even (one 2x2 pool)");
     let width = match scale {
         NetScale::Paper => 32,
         NetScale::Small => 8,
     };
-    let mut net = Sequential::new()
-        .push(Conv2d::new(in_channels, width, 3, 1, 1, seed))
-        .push(Relu::new());
+    let mut net =
+        Sequential::new().push(Conv2d::new(in_channels, width, 3, 1, 1, seed)).push(Relu::new());
     for b in 0..blocks {
         net = net.push(ResidualBlock::new(width, seed + 10 + 2 * b as u64));
     }
     let spatial = hw / 2;
-    net = net
-        .push(MaxPool2d::new(2, 2))
-        .push(Flatten::new())
-        .push(Dense::new(width * spatial * spatial, classes, seed + 100));
+    net = net.push(MaxPool2d::new(2, 2)).push(Flatten::new()).push(Dense::new(
+        width * spatial * spatial,
+        classes,
+        seed + 100,
+    ));
     Model::new(net, &[in_channels, hw, hw], classes, "Res-ImageNet")
 }
 
@@ -133,7 +133,7 @@ pub fn mini_resnet(
 /// layers with interleaved max pooling and two fully-connected layers,
 /// following AlexNet's conv-heavy-then-dense shape at reduced scale.
 pub fn alexnet_lite(in_channels: usize, hw: usize, scale: NetScale, seed: u64) -> Model {
-    assert!(hw % 4 == 0, "input side must be divisible by 4");
+    assert!(hw.is_multiple_of(4), "input side must be divisible by 4");
     let (c1, c2) = scale.conv_widths();
     let c3 = c2;
     let fc = scale.fc_width();

@@ -146,12 +146,7 @@ impl Tensor {
 
     fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in elementwise op");
-        let data = self
-            .data()
-            .iter()
-            .zip(other.data())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let data = self.data().iter().zip(other.data()).map(|(&a, &b)| f(a, b)).collect();
         Tensor::from_vec(self.shape().to_vec(), data)
     }
 }

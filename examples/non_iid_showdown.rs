@@ -23,7 +23,10 @@ fn main() {
         c10_cnn(3, 8, NetScale::Small, seed),
     );
 
-    println!("{:<10} {:>9} {:>12} {:>12} {:>9}", "scheme", "accuracy", "traffic(MB)", "C2S(MB)", "time(s)");
+    println!(
+        "{:<10} {:>9} {:>12} {:>12} {:>9}",
+        "scheme", "accuracy", "traffic(MB)", "C2S(MB)", "time(s)"
+    );
     for scheme in [Scheme::FedAvg, Scheme::RandMigr, Scheme::fedmigr(seed)] {
         let mut cfg = RunConfig::new(scheme.clone(), 100);
         cfg.lr = 0.01;

@@ -1,0 +1,14 @@
+//! Workspace-local stand-in for `serde`: marker traits plus no-op derives.
+//!
+//! The repository annotates config structs with `#[derive(Serialize,
+//! Deserialize)]` for downstream consumers but never serializes through
+//! serde itself, so the shim only needs the names to resolve. See
+//! `shims/README.md` for why external crates are vendored.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives for the workspace-local serde
+//! shim. The repository only uses the derives as declarative decoration
+//! (nothing is actually serialized through serde), so expanding to nothing
+//! is sufficient and keeps the offline build dependency-free.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the shim's `Serialize` is a marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the shim's `Deserialize` is a marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -14,7 +14,7 @@ use fedmigr::data::{
     partition_dirichlet, partition_dominant, partition_iid, partition_missing_classes,
     partition_shards, SyntheticConfig, SyntheticDataset,
 };
-use fedmigr::net::{ClientCompute, Topology, TopologyConfig};
+use fedmigr::net::{ClientCompute, FaultConfig, Topology, TopologyConfig};
 use fedmigr::nn::zoo::{self, NetScale};
 
 const HELP: &str = "\
@@ -39,6 +39,9 @@ OPTIONS:
     --participation <f>  client fraction per epoch (default 1.0)
     --dp-eps <f>         enable (eps, 1e-5)-LDP on transmitted models
     --target <f>         stop at this test accuracy
+    --dropout <f>        inject edge churn at this dropout rate in [0, 1)
+                         (crashes, stragglers, link/WAN outages; default off)
+    --fault-seed <n>     seed of the fault schedule (default 13)
     --seed <n>           master seed (default 7)
     --csv <path>         write the per-epoch curve as CSV
     --help               print this help
@@ -96,6 +99,12 @@ fn main() {
     cfg.participation = args.participation;
     cfg.target_accuracy = args.target;
     cfg.dp = args.dp_eps.map(DpConfig::with_epsilon);
+    if let Some(dropout) = args.dropout {
+        if !(0.0..1.0).contains(&dropout) {
+            die(&format!("--dropout must be in [0, 1), got {dropout}"));
+        }
+        cfg.fault = FaultConfig::edge_churn(dropout, args.fault_seed);
+    }
     cfg.seed = args.seed;
 
     eprintln!(
@@ -124,6 +133,9 @@ fn main() {
         "migrations:       {} local, {} cross-LAN",
         metrics.migrations_local, metrics.migrations_global
     );
+    if let Some(faults) = metrics.fault_summary() {
+        println!("{faults}");
+    }
     if metrics.target_reached {
         println!("stopped early:    target accuracy reached");
     }
@@ -150,6 +162,8 @@ struct Args {
     participation: f64,
     dp_eps: Option<f64>,
     target: Option<f64>,
+    dropout: Option<f64>,
+    fault_seed: u64,
     seed: u64,
     csv: Option<String>,
 }
@@ -170,6 +184,8 @@ impl Args {
             participation: 1.0,
             dp_eps: None,
             target: None,
+            dropout: None,
+            fault_seed: 13,
             seed: 7,
             csv: None,
         };
@@ -181,19 +197,15 @@ impl Args {
                 print!("{HELP}");
                 std::process::exit(0);
             }
-            let value = argv
-                .get(i + 1)
-                .unwrap_or_else(|| die(&format!("flag {flag} needs a value")));
+            let value =
+                argv.get(i + 1).unwrap_or_else(|| die(&format!("flag {flag} needs a value")));
             match flag {
                 "--scheme" => out.scheme = value.clone(),
                 "--partition" => out.partition = value.clone(),
                 "--classes" => out.classes = parse(value, flag),
                 "--samples" => out.samples = parse(value, flag),
                 "--lans" => {
-                    out.lans = value
-                        .split(',')
-                        .map(|v| parse::<usize>(v, flag))
-                        .collect();
+                    out.lans = value.split(',').map(|v| parse::<usize>(v, flag)).collect();
                 }
                 "--epochs" => out.epochs = parse(value, flag),
                 "--agg" => out.agg = parse(value, flag),
@@ -203,6 +215,8 @@ impl Args {
                 "--participation" => out.participation = parse(value, flag),
                 "--dp-eps" => out.dp_eps = Some(parse(value, flag)),
                 "--target" => out.target = Some(parse(value, flag)),
+                "--dropout" => out.dropout = Some(parse(value, flag)),
+                "--fault-seed" => out.fault_seed = parse(value, flag),
                 "--seed" => out.seed = parse(value, flag),
                 "--csv" => out.csv = Some(value.clone()),
                 other => die(&format!("unknown flag {other:?} (try --help)")),
@@ -214,9 +228,7 @@ impl Args {
 }
 
 fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {
-    value
-        .parse()
-        .unwrap_or_else(|_| die(&format!("bad value {value:?} for {flag}")))
+    value.parse().unwrap_or_else(|_| die(&format!("bad value {value:?} for {flag}")))
 }
 
 fn parse_suffix(spec: &str) -> f64 {

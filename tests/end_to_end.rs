@@ -86,28 +86,17 @@ fn fedswap_routes_everything_through_the_server() {
 
 #[test]
 fn every_scheme_completes_and_learns_something() {
-    for scheme in [
-        Scheme::FedAvg,
-        Scheme::fedprox(),
-        Scheme::FedSwap,
-        Scheme::RandMigr,
-        Scheme::fedmigr(5),
-    ] {
+    for scheme in
+        [Scheme::FedAvg, Scheme::fedprox(), Scheme::FedSwap, Scheme::RandMigr, Scheme::fedmigr(5)]
+    {
         let name = scheme.name();
         let m = experiment(5).run(&config(scheme, 12));
         assert_eq!(m.epochs(), 12, "{name} truncated");
-        assert!(
-            m.final_accuracy() > 0.3,
-            "{name} accuracy too low: {}",
-            m.final_accuracy()
-        );
+        assert!(m.final_accuracy() > 0.3, "{name} accuracy too low: {}", m.final_accuracy());
         // Virtual time and traffic are monotone over epochs.
         for w in m.records.windows(2) {
             assert!(w[1].sim_time >= w[0].sim_time, "{name} time went backwards");
-            assert!(
-                w[1].traffic.total() >= w[0].traffic.total(),
-                "{name} traffic went backwards"
-            );
+            assert!(w[1].traffic.total() >= w[0].traffic.total(), "{name} traffic went backwards");
         }
     }
 }

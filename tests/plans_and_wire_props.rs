@@ -39,8 +39,8 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let plan = MigrationPlan::random_subset(k, &mask, &mut rng);
         prop_assert!(is_permutation(&plan));
-        for i in 0..k {
-            if !mask[i] {
+        for (i, &active) in mask.iter().enumerate() {
+            if !active {
                 prop_assert_eq!(plan.dest(i), i);
             }
         }
