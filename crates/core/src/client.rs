@@ -17,6 +17,10 @@ pub struct FlClient {
     rng: StdRng,
     label_dist: Vec<f64>,
     migrations_received: usize,
+    /// Training-time label remap (the label-flip poisoning attack).
+    /// `None` = honest training. The dataset itself is shared through an
+    /// `Arc` and stays immutable; only this client's view is poisoned.
+    label_map: Option<Vec<usize>>,
 }
 
 impl FlClient {
@@ -40,7 +44,18 @@ impl FlClient {
             rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9)),
             label_dist,
             migrations_received: 0,
+            label_map: None,
         }
+    }
+
+    /// Installs a training-time label remap (`map[true_label] =
+    /// poisoned_label`), the label-flip attack. The advertised
+    /// [`FlClient::label_dist`] is deliberately left untouched: the
+    /// attacker *lies* about its marginal, so distribution-aware planners
+    /// see nothing unusual.
+    pub fn set_label_map(&mut self, map: Vec<usize>) {
+        assert_eq!(map.len(), self.label_dist.len(), "label map must cover every class");
+        self.label_map = Some(map);
     }
 
     /// Client id.
@@ -83,18 +98,41 @@ impl FlClient {
             if batches >= limit {
                 break;
             }
-            let (x, labels) = self.data.batch(chunk);
+            let (x, mut labels) = self.data.batch(chunk);
+            if let Some(map) = &self.label_map {
+                labels = fedmigr_data::apply_label_map(&labels, map);
+            }
             let loss = match prox {
                 Some((global, mu)) => {
                     self.model.train_step_prox(&x, &labels, &mut self.opt, global, mu)
                 }
                 None => self.model.train_step(&x, &labels, &mut self.opt),
             };
-            total += loss;
-            batches += 1;
+            // A non-finite batch loss skipped the optimizer step (see
+            // `Model::train_step_inner`); keep it out of the mean too so a
+            // poisoned model doesn't propagate NaN into the DRL state and
+            // reward signals.
+            if loss.is_finite() {
+                total += loss;
+                batches += 1;
+            }
         }
-        assert!(batches > 0, "client {} trained zero batches", self.id);
-        total / batches as f32
+        assert!(
+            batches > 0 || self.model.non_finite_batches() > 0,
+            "client {} trained zero batches",
+            self.id
+        );
+        if batches == 0 {
+            0.0
+        } else {
+            total / batches as f32
+        }
+    }
+
+    /// Drains the model's count of training batches skipped for a NaN/Inf
+    /// loss (see `fedmigr_nn::Model::take_non_finite_batches`).
+    pub fn take_non_finite_batches(&mut self) -> u64 {
+        self.model.take_non_finite_batches()
     }
 
     /// Mean loss of the current local model over the local data (no update).
@@ -161,6 +199,38 @@ mod tests {
         // With a cap of 1 the epoch still runs and reports a finite loss.
         let loss = c.train_epoch(8, Some(1), None);
         assert!(loss.is_finite());
+    }
+
+    #[test]
+    fn label_flip_poisons_training_but_not_the_advertised_marginal() {
+        let mut honest = make_client();
+        let mut flipped = make_client();
+        let marginal_before = flipped.label_dist().to_vec();
+        flipped.set_label_map(fedmigr_data::flip_label_map(10));
+        assert_eq!(flipped.label_dist(), marginal_before.as_slice(), "attacker lies about q_k");
+        for _ in 0..5 {
+            honest.train_epoch(16, None, None);
+            flipped.train_epoch(16, None, None);
+        }
+        // The honest model fits the true labels; the flipped model fits
+        // anti-labels, so its loss on the *true* data is much worse.
+        assert!(
+            flipped.local_loss() > honest.local_loss(),
+            "flipped {} vs honest {}",
+            flipped.local_loss(),
+            honest.local_loss()
+        );
+    }
+
+    #[test]
+    fn poisoned_model_reports_zero_loss_without_panicking() {
+        let mut c = make_client();
+        let n = c.params().len();
+        c.set_params(&vec![f32::NAN; n], false);
+        let loss = c.train_epoch(16, Some(2), None);
+        assert_eq!(loss, 0.0, "no finite batch -> neutral mean loss");
+        assert!(c.take_non_finite_batches() > 0);
+        assert_eq!(c.take_non_finite_batches(), 0, "counter drains");
     }
 
     #[test]

@@ -46,6 +46,7 @@
 //! println!("final accuracy {:.1}%", 100.0 * metrics.final_accuracy());
 //! ```
 
+mod aggregate;
 mod client;
 mod metrics;
 mod migration;
@@ -55,9 +56,10 @@ mod runner;
 mod scheme;
 mod summary;
 
+pub use aggregate::Aggregator;
 pub use client::FlClient;
-pub use metrics::{EpochRecord, RunMetrics};
-pub use migration::MigrationPlan;
+pub use metrics::{EpochRecord, FaultStats, RobustStats, RunMetrics};
+pub use migration::{MigrationPlan, Quarantine, QuarantineConfig};
 pub use privacy::DpConfig;
 pub use reward::{step_reward, terminal_reward, RewardConfig};
 pub use runner::{Experiment, RunConfig};

@@ -28,6 +28,41 @@ impl FaultStats {
     }
 }
 
+/// Byzantine-defense accounting for a run (all zero when no adversary is
+/// configured and the plain FedAvg aggregator is in use).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct RobustStats {
+    /// Migrated models rejected by the quarantine (non-finite or
+    /// norm-anomalous); the receiver kept its own model instead.
+    pub rejected_migrations: usize,
+    /// Client updates excluded by the aggregation rule (trimmed by
+    /// TrimmedMean, outside the Krum/MultiKrum selection, or screened for
+    /// non-finiteness before a robust rule ran).
+    pub trimmed_clients: usize,
+    /// Client updates whose norm was clipped by NormClip.
+    pub clipped_norms: usize,
+    /// Uploads containing NaN/Inf coordinates seen at the aggregator.
+    pub nan_uploads: usize,
+    /// Local training batches skipped because the loss went NaN/Inf.
+    pub nan_batches: u64,
+}
+
+impl RobustStats {
+    /// Whether any defense fired at all.
+    pub fn any(&self) -> bool {
+        *self != Self::default()
+    }
+
+    /// Accumulates another epoch's counters into this run total.
+    pub fn absorb(&mut self, other: &RobustStats) {
+        self.rejected_migrations += other.rejected_migrations;
+        self.trimmed_clients += other.trimmed_clients;
+        self.clipped_norms += other.clipped_norms;
+        self.nan_uploads += other.nan_uploads;
+        self.nan_batches += other.nan_batches;
+    }
+}
+
 /// Per-epoch measurements of a run.
 #[derive(Clone, Debug, Serialize)]
 pub struct EpochRecord {
@@ -46,6 +81,8 @@ pub struct EpochRecord {
     pub dropped_clients: usize,
     /// Live clients that missed this round (deadline-cut or unreachable).
     pub stale_clients: usize,
+    /// Migrated models rejected by the quarantine during this epoch.
+    pub rejected_migrations: usize,
 }
 
 /// Everything a run produced: per-epoch curves, migration statistics and
@@ -69,6 +106,8 @@ pub struct RunMetrics {
     pub target_reached: bool,
     /// Fault-injection accounting (all zero without a fault model).
     pub fault: FaultStats,
+    /// Byzantine-defense accounting (all zero without adversary/defenses).
+    pub robust: RobustStats,
 }
 
 impl RunMetrics {
@@ -161,16 +200,29 @@ impl RunMetrics {
         ))
     }
 
+    /// One-line human-readable defense summary for run logs, or `None`
+    /// when no defense fired.
+    pub fn robust_summary(&self) -> Option<String> {
+        if !self.robust.any() {
+            return None;
+        }
+        let r = &self.robust;
+        Some(format!(
+            "defenses: {} rejected migrations, {} trimmed clients, {} clipped norms, {} NaN uploads, {} NaN batches",
+            r.rejected_migrations, r.trimmed_clients, r.clipped_norms, r.nan_uploads, r.nan_batches,
+        ))
+    }
+
     /// Renders the per-epoch records as CSV (for external plotting). The
     /// accuracy column is empty on non-evaluation epochs.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "epoch,train_loss,test_accuracy,c2s_bytes,c2c_local_bytes,c2c_global_bytes,sim_time_s,dropped_clients,stale_clients\n",
+            "epoch,train_loss,test_accuracy,c2s_bytes,c2c_local_bytes,c2c_global_bytes,sim_time_s,dropped_clients,stale_clients,rejected_migrations\n",
         );
         for r in &self.records {
             let acc = r.test_accuracy.map(|a| format!("{a:.6}")).unwrap_or_default();
             out.push_str(&format!(
-                "{},{:.6},{},{},{},{},{:.3},{},{}\n",
+                "{},{:.6},{},{},{},{},{:.3},{},{},{}\n",
                 r.epoch,
                 r.train_loss,
                 acc,
@@ -180,9 +232,20 @@ impl RunMetrics {
                 r.sim_time,
                 r.dropped_clients,
                 r.stale_clients,
+                r.rejected_migrations,
             ));
         }
         out
+    }
+
+    /// Renders the run-level `RobustStats` as a one-row CSV (used by the
+    /// determinism tests: same attack seed ⇒ byte-identical output).
+    pub fn robust_csv(&self) -> String {
+        let r = &self.robust;
+        format!(
+            "rejected_migrations,trimmed_clients,clipped_norms,nan_uploads,nan_batches\n{},{},{},{},{}\n",
+            r.rejected_migrations, r.trimmed_clients, r.clipped_norms, r.nan_uploads, r.nan_batches,
+        )
     }
 }
 
@@ -199,6 +262,7 @@ mod tests {
             sim_time: time,
             dropped_clients: 0,
             stale_clients: 0,
+            rejected_migrations: 0,
         }
     }
 
@@ -217,6 +281,7 @@ mod tests {
             budget_exhausted: false,
             target_reached: false,
             fault: FaultStats::default(),
+            robust: RobustStats::default(),
         }
     }
 
@@ -269,6 +334,7 @@ mod tests {
             budget_exhausted: false,
             target_reached: false,
             fault: FaultStats::default(),
+            robust: RobustStats::default(),
         };
         assert_eq!(m.final_accuracy(), 0.0);
         assert_eq!(m.traffic().total(), 0);
@@ -299,9 +365,55 @@ mod tests {
     }
 
     #[test]
-    fn csv_includes_fault_columns() {
+    fn csv_includes_fault_and_robust_columns() {
         let m = metrics();
         let csv = m.to_csv();
-        assert!(csv.lines().next().unwrap().ends_with("dropped_clients,stale_clients"));
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("dropped_clients,stale_clients,rejected_migrations"));
+    }
+
+    #[test]
+    fn robust_summary_and_csv_report_counters() {
+        let mut m = metrics();
+        assert!(m.robust_summary().is_none(), "clean run has no defense summary");
+        m.robust = RobustStats {
+            rejected_migrations: 4,
+            trimmed_clients: 9,
+            clipped_norms: 2,
+            nan_uploads: 1,
+            nan_batches: 5,
+        };
+        assert!(m.robust.any());
+        let s = m.robust_summary().unwrap();
+        for needle in ["4 rejected", "9 trimmed", "2 clipped", "1 NaN uploads", "5 NaN batches"] {
+            assert!(s.contains(needle), "summary {s:?} missing {needle:?}");
+        }
+        let csv = m.robust_csv();
+        assert_eq!(
+            csv,
+            "rejected_migrations,trimmed_clients,clipped_norms,nan_uploads,nan_batches\n4,9,2,1,5\n"
+        );
+    }
+
+    #[test]
+    fn robust_stats_absorb_accumulates() {
+        let mut total = RobustStats::default();
+        let epoch = RobustStats {
+            rejected_migrations: 1,
+            trimmed_clients: 2,
+            clipped_norms: 3,
+            nan_uploads: 4,
+            nan_batches: 5,
+        };
+        total.absorb(&epoch);
+        total.absorb(&epoch);
+        assert_eq!(total.rejected_migrations, 2);
+        assert_eq!(total.trimmed_clients, 4);
+        assert_eq!(total.clipped_norms, 6);
+        assert_eq!(total.nan_uploads, 8);
+        assert_eq!(total.nan_batches, 10);
     }
 }

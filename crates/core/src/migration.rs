@@ -1,4 +1,7 @@
+use std::collections::VecDeque;
+
 use fedmigr_net::Topology;
+use fedmigr_tensor::{all_finite, l2_distance_slice};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -241,6 +244,139 @@ impl MigrationPlan {
     }
 }
 
+/// Tunables of the migration [`Quarantine`].
+#[derive(Clone, Copy, Debug)]
+pub struct QuarantineConfig {
+    /// Accepted-migration distances kept in the rolling window.
+    pub window: usize,
+    /// The norm-anomaly rule arms only after this many accepted
+    /// migrations; before that only the finite-ness screen applies (early
+    /// training produces wildly varying distances).
+    pub min_history: usize,
+    /// A migration is rejected when its distance to the resident model
+    /// exceeds `median + mad_multiplier * MAD` of the window.
+    pub mad_multiplier: f64,
+    /// EMA weight of a rejection on the source's suspicion score:
+    /// `s <- (1 - gain) * s + gain`.
+    pub suspicion_gain: f64,
+    /// Per-epoch multiplicative decay of suspicion scores, so a peer that
+    /// stops misbehaving (or was wrongly accused once) is rehabilitated.
+    pub suspicion_decay: f64,
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> Self {
+        Self {
+            window: 64,
+            min_history: 8,
+            mad_multiplier: 6.0,
+            suspicion_gain: 0.5,
+            suspicion_decay: 0.98,
+        }
+    }
+}
+
+/// Receiver-side screening of migrated models.
+///
+/// Before a client adopts a model that arrived over C2C migration, the
+/// model is screened: (1) every coordinate must be finite — a NaN model is
+/// rejected outright; (2) once enough history exists, the L2 distance
+/// between the incoming model and the receiver's resident model must not be
+/// anomalously large relative to the running median/MAD of recently
+/// *accepted* migration distances. A rejected model is simply not adopted
+/// (the receiver keeps its own), the event is counted, and the source's
+/// *suspicion* score rises — a `[0, 1]` EMA that the FedMigr oracle and the
+/// DDPG state consume to steer migrations away from poisoned sources,
+/// exactly as `liveness_penalty` steers them away from dead ones.
+#[derive(Clone, Debug)]
+pub struct Quarantine {
+    config: QuarantineConfig,
+    norms: VecDeque<f64>,
+    suspicion: Vec<f64>,
+    rejected: usize,
+}
+
+impl Quarantine {
+    /// Creates a quarantine for `num_clients` clients.
+    ///
+    /// # Panics
+    /// Panics on degenerate configuration (empty window, out-of-range gain
+    /// or decay).
+    pub fn new(config: QuarantineConfig, num_clients: usize) -> Self {
+        assert!(config.window > 0, "window must be positive");
+        assert!(config.mad_multiplier > 0.0, "mad_multiplier must be positive");
+        assert!((0.0..=1.0).contains(&config.suspicion_gain), "suspicion_gain must be in [0,1]");
+        assert!((0.0..=1.0).contains(&config.suspicion_decay), "suspicion_decay must be in [0,1]");
+        Self { config, norms: VecDeque::new(), suspicion: vec![0.0; num_clients], rejected: 0 }
+    }
+
+    /// Screens a model migrated from `src` against the receiver's
+    /// `resident` parameters. Returns `true` when the model may be adopted;
+    /// `false` means reject (count it, keep the resident model, raise
+    /// suspicion on `src`).
+    pub fn screen(&mut self, src: usize, incoming: &[f32], resident: &[f32]) -> bool {
+        if !all_finite(incoming) {
+            self.reject(src);
+            return false;
+        }
+        let dist = l2_distance_slice(incoming, resident);
+        if self.norms.len() >= self.config.min_history {
+            let (median, mad) = median_mad(self.norms.make_contiguous());
+            // Floor the MAD so a freakishly tight window (e.g. IID clients
+            // in lockstep) doesn't reject ordinary variation.
+            let spread = mad.max(0.1 * median).max(1e-8);
+            if dist > median + self.config.mad_multiplier * spread {
+                self.reject(src);
+                return false;
+            }
+        }
+        if self.norms.len() == self.config.window {
+            self.norms.pop_front();
+        }
+        self.norms.push_back(dist);
+        true
+    }
+
+    fn reject(&mut self, src: usize) {
+        self.rejected += 1;
+        let g = self.config.suspicion_gain;
+        if let Some(s) = self.suspicion.get_mut(src) {
+            *s = (1.0 - g) * *s + g;
+        }
+    }
+
+    /// Decays every suspicion score; call once per epoch.
+    pub fn end_epoch(&mut self) {
+        for s in &mut self.suspicion {
+            *s *= self.config.suspicion_decay;
+        }
+    }
+
+    /// Per-client suspicion scores in `[0, 1]`.
+    pub fn suspicion(&self) -> &[f64] {
+        &self.suspicion
+    }
+
+    /// Total migrations rejected so far.
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+}
+
+/// Median and median-absolute-deviation of a slice (which it sorts a copy
+/// of). Returns `(0, 0)` for an empty slice.
+fn median_mad(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    let mut devs: Vec<f64> = sorted.iter().map(|x| (x - median).abs()).collect();
+    devs.sort_by(f64::total_cmp);
+    (median, devs[devs.len() / 2])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,5 +560,68 @@ mod tests {
         let models = vec!["a", "b", "c"];
         // dest: a->1, b->2, c->0.
         assert_eq!(p.apply(&models), vec!["c", "a", "b"]);
+    }
+
+    #[test]
+    fn quarantine_rejects_non_finite_models_immediately() {
+        let mut q = Quarantine::new(QuarantineConfig::default(), 4);
+        let resident = vec![0.0f32; 8];
+        let mut poisoned = vec![0.1f32; 8];
+        poisoned[3] = f32::NAN;
+        assert!(!q.screen(2, &poisoned, &resident));
+        assert_eq!(q.rejected(), 1);
+        assert!(q.suspicion()[2] > 0.0, "rejection must raise suspicion");
+        assert_eq!(q.suspicion()[0], 0.0);
+    }
+
+    #[test]
+    fn quarantine_accepts_benign_stream_and_rejects_outlier() {
+        let mut q = Quarantine::new(QuarantineConfig::default(), 4);
+        let resident = vec![0.0f32; 16];
+        // Benign migrations land at distance ~1 from the resident model.
+        for i in 0..20 {
+            let mut m = vec![0.0f32; 16];
+            m[i % 16] = 1.0 + 0.01 * (i % 5) as f32;
+            assert!(q.screen(i % 3, &m, &resident), "benign migration {i} rejected");
+        }
+        assert_eq!(q.rejected(), 0);
+        // A sign-flip-scale outlier (distance ~400) must be rejected.
+        let outlier = vec![100.0f32; 16];
+        assert!(!q.screen(3, &outlier, &resident));
+        assert_eq!(q.rejected(), 1);
+        assert!(q.suspicion()[3] > 0.4);
+    }
+
+    #[test]
+    fn quarantine_is_permissive_before_history_builds() {
+        let mut q = Quarantine::new(QuarantineConfig::default(), 2);
+        let resident = vec![0.0f32; 4];
+        // First (finite) migration is huge, but there's no history yet:
+        // only the finite-ness screen applies.
+        let big = vec![1000.0f32; 4];
+        assert!(q.screen(0, &big, &resident));
+        assert_eq!(q.rejected(), 0);
+    }
+
+    #[test]
+    fn suspicion_decays_over_epochs() {
+        let mut q = Quarantine::new(QuarantineConfig::default(), 2);
+        let resident = vec![0.0f32; 4];
+        let nan = vec![f32::NAN; 4];
+        assert!(!q.screen(1, &nan, &resident));
+        let before = q.suspicion()[1];
+        for _ in 0..50 {
+            q.end_epoch();
+        }
+        let after = q.suspicion()[1];
+        assert!(after < before * 0.5, "suspicion {before} should decay, got {after}");
+    }
+
+    #[test]
+    fn median_mad_of_known_values() {
+        let (m, d) = median_mad(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+        assert_eq!(m, 3.0);
+        assert_eq!(d, 1.0);
+        assert_eq!(median_mad(&[]), (0.0, 0.0));
     }
 }

@@ -5,18 +5,19 @@ use fedmigr_data::Dataset;
 use fedmigr_drl::qp::FlmmRelaxation;
 use fedmigr_drl::{AgentConfig, DdpgAgent, MigrationState, Transition};
 use fedmigr_net::{
-    transfer_time, transfer_time_with_latency, try_transfer_time_with_latency, ClientCompute,
-    FaultConfig, FaultModel, ResourceBudget, ResourceMeter, SimClock, Topology,
+    transfer_time, transfer_time_with_latency, try_transfer_time_with_latency, AttackConfig,
+    AttackModel, ClientCompute, FaultConfig, FaultModel, ResourceBudget, ResourceMeter, SimClock,
+    Topology,
 };
-use fedmigr_nn::params::weighted_average;
 use fedmigr_nn::Model;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::aggregate::Aggregator;
 use crate::client::FlClient;
-use crate::metrics::{EpochRecord, FaultStats, RunMetrics};
-use crate::migration::MigrationPlan;
+use crate::metrics::{EpochRecord, FaultStats, RobustStats, RunMetrics};
+use crate::migration::{MigrationPlan, Quarantine, QuarantineConfig};
 use crate::privacy::DpConfig;
 use crate::reward::{step_reward, terminal_reward, RewardConfig};
 use crate::scheme::{MigrationStrategy, Scheme};
@@ -58,6 +59,16 @@ pub struct RunConfig {
     /// fault process and is provably zero-cost (no extra randomness is
     /// consumed and no behaviour changes).
     pub fault: FaultConfig,
+    /// Byzantine adversary: a seeded fraction of clients corrupts every
+    /// model they transmit (uploads *and* migrations). The default
+    /// ([`AttackConfig::none`]) marks nobody Byzantine and is provably
+    /// zero-cost — corruption is hash-based and never consumes the run's
+    /// RNG stream.
+    pub attack: AttackConfig,
+    /// Server-side aggregation rule. [`Aggregator::FedAvg`] (the default)
+    /// is bit-identical to the pre-defense sample-weighted mean; the robust
+    /// rules bound the influence of Byzantine uploads.
+    pub aggregator: Aggregator,
     /// Seed for client batch order, migration randomness and DP noise.
     pub seed: u64,
 }
@@ -78,6 +89,8 @@ impl RunConfig {
             dp: None,
             participation: 1.0,
             fault: FaultConfig::none(),
+            attack: AttackConfig::none(),
+            aggregator: Aggregator::FedAvg,
             seed: 7,
         }
     }
@@ -177,6 +190,24 @@ impl Experiment {
         // identically zero without fault injection.
         let mut flaky = vec![0.0f64; k];
 
+        let attack = AttackModel::new(cfg.attack.clone(), k);
+        // The migration quarantine exists only under an active adversary:
+        // a benign run must stay byte-identical to the pre-defense path,
+        // and screening benign migrations risks false positives for
+        // nothing.
+        let mut quarantine =
+            attack.enabled().then(|| Quarantine::new(QuarantineConfig::default(), k));
+        let mut robust_total = RobustStats::default();
+        if attack.flips_labels() {
+            let num_classes = clients[0].label_dist().len();
+            let map = fedmigr_data::flip_label_map(num_classes);
+            for (i, c) in clients.iter_mut().enumerate() {
+                if attack.is_byzantine(i) {
+                    c.set_label_map(map.clone());
+                }
+            }
+        }
+
         let dists: Vec<Vec<f64>> = clients.iter().map(|c| c.label_dist().to_vec()).collect();
         let population: Vec<f64> = {
             let mut p = vec![0.0f64; dists[0].len()];
@@ -227,6 +258,7 @@ impl Experiment {
                     rho: fc.rho,
                     resource_reward: fc.resource_reward,
                     liveness_penalty: fc.liveness_penalty,
+                    suspicion_penalty: fc.suspicion_penalty,
                     warmup_epochs: (fc.oracle_warmup_frac * cfg.epochs as f64) as usize,
                     updates_per_epoch: fc.updates_per_epoch,
                     pending: Vec::new(),
@@ -248,6 +280,7 @@ impl Experiment {
         for epoch in 1..=cfg.epochs {
             let traffic_before = meter.traffic().total();
             let compute_before = meter.compute_cost();
+            let mut robust_epoch = RobustStats::default();
 
             // Sample the participating clients for this epoch (α K of K),
             // then intersect with the fault schedule: crashed clients
@@ -284,6 +317,7 @@ impl Experiment {
                     sim_time: clock.now(),
                     dropped_clients: dropped,
                     stale_clients: 0,
+                    rejected_migrations: 0,
                 });
                 continue;
             }
@@ -294,6 +328,8 @@ impl Experiment {
                 _ => None,
             };
             let losses = train_all(&mut clients, cfg, prox.as_ref(), &active);
+            robust_epoch.nan_batches +=
+                clients.iter_mut().map(|c| c.take_non_finite_batches()).sum::<u64>();
             for (i, (m, q)) in mix.iter_mut().zip(&dists).enumerate() {
                 if !active[i] {
                     continue;
@@ -347,10 +383,14 @@ impl Experiment {
             let _ = total_n;
 
             // (2) Build decision states and settle last epoch's transitions.
+            let suspicion: Vec<f64> = match &quarantine {
+                Some(q) => q.suspicion().to_vec(),
+                None => vec![0.0; k],
+            };
             let states: Option<Vec<Vec<f32>>> = agent_ctx.as_ref().map(|_| {
                 (0..k)
                     .map(|i| {
-                        featurizer.build_with_liveness(
+                        featurizer.build_with_health(
                             epoch as f64 / cfg.epochs as f64,
                             mean_loss as f64,
                             prev_loss
@@ -360,6 +400,7 @@ impl Experiment {
                             meter.compute_remaining_frac(),
                             &dmat[i],
                             &alive,
+                            &suspicion,
                         )
                     })
                     .collect()
@@ -426,8 +467,20 @@ impl Experiment {
                     if let Some(dp) = &cfg.dp {
                         dp.apply(&mut upload, &mut rng);
                     }
-                    for (g, u) in global.iter_mut().zip(&upload) {
-                        *g = (1.0 - beta) * *g + beta * u;
+                    attack.corrupt_upload(uploader, epoch, &mut upload);
+                    // FedAsync has no multi-upload round to robustify, but
+                    // a non-finite upload is still screened out whenever a
+                    // robust aggregator is configured.
+                    let usable =
+                        cfg.aggregator == Aggregator::FedAvg || fedmigr_tensor::all_finite(&upload);
+                    if !usable {
+                        robust_epoch.nan_uploads += 1;
+                        robust_epoch.trimmed_clients += 1;
+                    }
+                    if usable {
+                        for (g, u) in global.iter_mut().zip(&upload) {
+                            *g = (1.0 - beta) * *g + beta * u;
+                        }
                     }
                     clients[uploader].set_params(&global, false);
                     mix[uploader].clone_from(&population);
@@ -459,10 +512,17 @@ impl Experiment {
                             self.topology.c2s_latency(),
                         ),
                 );
-                let mut uploads = collect_params(&mut clients, cfg, &mut rng);
+                let mut uploads = collect_params(&mut clients, cfg, &attack, epoch, &mut rng);
                 if is_agg {
                     if n_synced > 0 {
-                        global = aggregate_active(&clients, &uploads, &synced);
+                        global = aggregate_active(
+                            &clients,
+                            &uploads,
+                            &synced,
+                            &cfg.aggregator,
+                            &global,
+                            &mut robust_epoch,
+                        );
                         for (i, c) in clients.iter_mut().enumerate() {
                             if synced[i] {
                                 c.set_params(&global, false);
@@ -501,9 +561,16 @@ impl Experiment {
                             self.topology.c2s_latency(),
                         ),
                 );
-                let uploads = collect_params(&mut clients, cfg, &mut rng);
+                let uploads = collect_params(&mut clients, cfg, &attack, epoch, &mut rng);
                 if n_synced > 0 {
-                    global = aggregate_active(&clients, &uploads, &synced);
+                    global = aggregate_active(
+                        &clients,
+                        &uploads,
+                        &synced,
+                        &cfg.aggregator,
+                        &global,
+                        &mut robust_epoch,
+                    );
                     for (i, c) in clients.iter_mut().enumerate() {
                         if synced[i] {
                             c.set_params(&global, false);
@@ -536,6 +603,8 @@ impl Experiment {
                             ctx.lambda,
                             &flaky,
                             ctx.liveness_penalty,
+                            &suspicion,
+                            ctx.suspicion_penalty,
                         );
                         let desired: Vec<usize> = (0..k)
                             .map(|i| ctx.agent.select_action(&states[i], Some(&oracle[i])))
@@ -560,7 +629,7 @@ impl Experiment {
                     }
                     _ => unreachable!("scheme/state combination"),
                 };
-                let params = collect_params(&mut clients, cfg, &mut rng);
+                let params = collect_params(&mut clients, cfg, &attack, epoch, &mut rng);
                 // `src_of[j]` is the client whose model client `j` hosts
                 // after this round. A failed delivery leaves `j` on its own
                 // retained copy instead of breaking the permutation.
@@ -579,6 +648,16 @@ impl Experiment {
                     );
                     move_times.push(time);
                     if delivered {
+                        // The model arrived: the receiver screens it before
+                        // adoption. A rejected model was still transmitted
+                        // (the bytes are burned) but `j` keeps its own copy
+                        // and the source's suspicion rises.
+                        if let Some(q) = quarantine.as_mut() {
+                            if !q.screen(i, &params[i], &params[j]) {
+                                robust_epoch.rejected_migrations += 1;
+                                continue;
+                            }
+                        }
                         src_of[j] = i;
                         link_migrations[i * k + j] += 1;
                         if self.topology.same_lan(i, j) {
@@ -603,8 +682,27 @@ impl Experiment {
                     // FedAsync's global model lives on the server.
                     global.clone()
                 } else {
-                    let uploads: Vec<Vec<f32>> = clients.iter_mut().map(|c| c.params()).collect();
-                    aggregate_active(&clients, &uploads, &vec![true; k])
+                    // What clients would *transmit* if the server aggregated
+                    // now — Byzantine clients corrupt these shadow uploads
+                    // exactly like real ones, so the measured accuracy
+                    // reflects the configured aggregation rule's defense.
+                    let uploads: Vec<Vec<f32>> = clients
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(i, c)| {
+                            let mut p = c.params();
+                            attack.corrupt_upload(i, epoch, &mut p);
+                            p
+                        })
+                        .collect();
+                    aggregate_active(
+                        &clients,
+                        &uploads,
+                        &vec![true; k],
+                        &cfg.aggregator,
+                        &global,
+                        &mut robust_epoch,
+                    )
                 };
                 Some(self.evaluate(&mut template, &shadow))
             } else {
@@ -634,6 +732,9 @@ impl Experiment {
                 },
             );
             fault_stats.stale_client_epochs += stale;
+            if let Some(q) = quarantine.as_mut() {
+                q.end_epoch();
+            }
             records.push(EpochRecord {
                 epoch,
                 train_loss: mean_loss,
@@ -642,7 +743,9 @@ impl Experiment {
                 sim_time: clock.now(),
                 dropped_clients: dropped,
                 stale_clients: stale,
+                rejected_migrations: robust_epoch.rejected_migrations,
             });
+            robust_total.absorb(&robust_epoch);
             prev_loss = Some(mean_loss);
             if let (Some(target), Some(acc)) = (cfg.target_accuracy, accuracy) {
                 if acc >= target {
@@ -681,14 +784,18 @@ impl Experiment {
             budget_exhausted,
             target_reached,
             fault: fault_stats,
+            robust: robust_total,
         }
     }
 
     /// Solves the relaxed FLMM oracle for the current epoch: benefit is the
     /// pairwise distribution difference minus a flakiness penalty on the
-    /// destination, cost the normalized link price. With no observed
-    /// downtime (`flaky` all zero) the penalty vanishes entirely.
+    /// destination and a suspicion penalty on migrating *sources*, cost the
+    /// normalized link price. With no observed downtime (`flaky` all zero)
+    /// and no quarantine rejections (`susp` all zero) both penalties vanish
+    /// entirely, leaving the seed objective bit-identical.
     /// Returns `(relaxed solution rows, raw objective matrix)`.
+    #[allow(clippy::too_many_arguments)]
     fn solve_oracle(
         &self,
         dmat: &[Vec<f64>],
@@ -697,6 +804,8 @@ impl Experiment {
         lambda: f64,
         flaky: &[f64],
         liveness_penalty: f64,
+        susp: &[f64],
+        suspicion_penalty: f64,
     ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
         let k = dmat.len();
         let mut cost = vec![vec![0.0f64; k]; k];
@@ -718,7 +827,17 @@ impl Experiment {
         }
         let benefit: Vec<Vec<f64>> = dmat
             .iter()
-            .map(|row| row.iter().zip(flaky).map(|(&d, &f)| d - liveness_penalty * f).collect())
+            .enumerate()
+            .map(|(i, row)| {
+                row.iter()
+                    .zip(flaky)
+                    .enumerate()
+                    .map(|(j, (&d, &f))| {
+                        let keep_home = if i != j { suspicion_penalty * susp[i] } else { 0.0 };
+                        d - liveness_penalty * f - keep_home
+                    })
+                    .collect()
+            })
             .collect();
         let mut objective = vec![vec![0.0f64; k]; k];
         for i in 0..k {
@@ -838,6 +957,7 @@ struct AgentCtx {
     rho: f64,
     resource_reward: bool,
     liveness_penalty: f64,
+    suspicion_penalty: f64,
     warmup_epochs: usize,
     updates_per_epoch: usize,
     /// Decisions awaiting their reward: `(state, executed destination,
@@ -944,23 +1064,42 @@ fn train_all(
 }
 
 /// Reads every client's parameters, applying DP noise at the egress point
-/// if configured.
-fn collect_params(clients: &mut [FlClient], cfg: &RunConfig, rng: &mut StdRng) -> Vec<Vec<f32>> {
+/// if configured, then any Byzantine corruption: a malicious client
+/// poisons *everything* it transmits — server uploads and C2C migrations
+/// alike — after the honest pipeline has finished with the payload.
+fn collect_params(
+    clients: &mut [FlClient],
+    cfg: &RunConfig,
+    attack: &AttackModel,
+    epoch: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<f32>> {
     clients
         .iter_mut()
-        .map(|c| {
+        .enumerate()
+        .map(|(i, c)| {
             let mut p = c.params();
             if let Some(dp) = &cfg.dp {
                 dp.apply(&mut p, rng);
             }
+            attack.corrupt_upload(i, epoch, &mut p);
             p
         })
         .collect()
 }
 
-/// FedAvg's weighted aggregation (Eq. 7) over the participating clients:
-/// weights are the local sample counts `n_k`.
-fn aggregate_active(clients: &[FlClient], uploads: &[Vec<f32>], active: &[bool]) -> Vec<f32> {
+/// Server-side aggregation (Eq. 7 and its robust variants) over the
+/// participating clients: weights are the local sample counts `n_k`. A
+/// round where *no* upload survives the `active` mask keeps the previous
+/// global model instead of panicking on an empty average.
+fn aggregate_active(
+    clients: &[FlClient],
+    uploads: &[Vec<f32>],
+    active: &[bool],
+    aggregator: &Aggregator,
+    prev_global: &[f32],
+    stats: &mut RobustStats,
+) -> Vec<f32> {
     let entries: Vec<(&[f32], f64)> = uploads
         .iter()
         .zip(clients)
@@ -968,7 +1107,11 @@ fn aggregate_active(clients: &[FlClient], uploads: &[Vec<f32>], active: &[bool])
         .filter(|&(_, &a)| a)
         .map(|((p, c), _)| (p.as_slice(), c.num_samples() as f64))
         .collect();
-    weighted_average(&entries)
+    if entries.is_empty() {
+        eprintln!("fedmigr: aggregation round with zero active uploads; keeping previous global");
+        return prev_global.to_vec();
+    }
+    aggregator.aggregate(&entries, prev_global, stats)
 }
 
 #[cfg(test)]
@@ -1115,6 +1258,63 @@ mod tests {
         let m = exp.run(&cfg);
         assert!(m.epochs() == 10);
         assert!(m.migrations_local + m.migrations_global > 0);
+    }
+
+    #[test]
+    fn aggregate_active_with_no_survivors_keeps_previous_global() {
+        let ds = Arc::new(
+            SyntheticDataset::generate(&SyntheticConfig {
+                num_classes: 4,
+                train_per_class: 8,
+                test_per_class: 2,
+                channels: 1,
+                hw: 8,
+                noise_std: 0.6,
+                class_sep: 1.0,
+                atom_bank: 0,
+                atoms_per_class: 0,
+                private_frac: 0.0,
+                seed: 11,
+            })
+            .train,
+        );
+        let parts = partition_iid(&ds, 2, 1);
+        let mk = |i: usize| {
+            FlClient::new(
+                i,
+                ds.clone(),
+                parts[i].clone(),
+                zoo::mini_resnet(1, 8, 4, 1, NetScale::Small, 5),
+                0.05,
+                42,
+            )
+        };
+        let mut clients = vec![mk(0), mk(1)];
+        let uploads: Vec<Vec<f32>> = clients.iter_mut().map(|c| c.params()).collect();
+        let prev_global = vec![0.25f32; uploads[0].len()];
+        let mut stats = RobustStats::default();
+        // An all-inactive round must fall back to the previous global model
+        // instead of averaging an empty set.
+        let out = aggregate_active(
+            &clients,
+            &uploads,
+            &[false, false],
+            &Aggregator::FedAvg,
+            &prev_global,
+            &mut stats,
+        );
+        assert_eq!(out, prev_global);
+        assert!(!stats.any());
+        // Sanity: with survivors the same call actually aggregates.
+        let agg = aggregate_active(
+            &clients,
+            &uploads,
+            &[true, true],
+            &Aggregator::FedAvg,
+            &prev_global,
+            &mut stats,
+        );
+        assert_ne!(agg, prev_global);
     }
 
     #[test]

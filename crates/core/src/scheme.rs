@@ -57,6 +57,14 @@ pub struct FedMigrConfig {
     /// of observed per-client downtime. Zero-cost without fault injection
     /// (the EMA stays identically zero).
     pub liveness_penalty: f64,
+    /// Penalty weight on migrating *suspect* models: the exploration
+    /// oracle subtracts `suspicion_penalty x suspicion(i)` from every
+    /// off-diagonal `(i, j)` score, where `suspicion` is the migration
+    /// quarantine's per-source rejection EMA — a poisoned model is nudged
+    /// to stay home instead of contaminating a fresh client. Zero-cost
+    /// without an adversary (the quarantine is off and suspicion stays
+    /// identically zero).
+    pub suspicion_penalty: f64,
     /// Seed for the agent.
     pub agent_seed: u64,
 }
@@ -74,6 +82,7 @@ impl FedMigrConfig {
             replay_xi: 0.6,
             resource_reward: true,
             liveness_penalty: 0.5,
+            suspicion_penalty: 0.5,
             agent_seed,
         }
     }

@@ -2,7 +2,7 @@
 //! over a set of scheme runs (accuracy deltas, resource savings), exposed
 //! as a library API so downstream users don't re-implement them.
 
-use crate::metrics::{FaultStats, RunMetrics};
+use crate::metrics::{FaultStats, RobustStats, RunMetrics};
 
 /// A comparison of several finished runs against a named baseline.
 pub struct SchemeComparison<'a> {
@@ -67,6 +67,26 @@ impl<'a> SchemeComparison<'a> {
             })
             .collect()
     }
+
+    /// Byzantine-robustness comparison: for every run (baseline included),
+    /// the defense counters and the fraction of planned migrations the
+    /// quarantine rejected. Under `AttackConfig::none` with a non-screening
+    /// aggregator every entry is zero.
+    pub fn robustness_report(&self) -> Vec<(String, RobustStats, f64)> {
+        std::iter::once(&self.baseline)
+            .chain(self.others.iter())
+            .map(|m| {
+                let migrations = m.migrations_local + m.migrations_global;
+                let attempted = migrations + m.robust.rejected_migrations;
+                let rejected_frac = if attempted == 0 {
+                    0.0
+                } else {
+                    m.robust.rejected_migrations as f64 / attempted as f64
+                };
+                (m.scheme.clone(), m.robust, rejected_frac)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -86,6 +106,7 @@ mod tests {
                 sim_time: time,
                 dropped_clients: 0,
                 stale_clients: 0,
+                rejected_migrations: 0,
             }],
             migrations_local: 0,
             migrations_global: 0,
@@ -93,6 +114,7 @@ mod tests {
             budget_exhausted: false,
             target_reached: false,
             fault: FaultStats::default(),
+            robust: RobustStats::default(),
         }
     }
 
@@ -125,6 +147,22 @@ mod tests {
         assert_eq!(report[1].0, "FedMigr");
         assert!((report[1].2 - 0.4).abs() < 1e-9);
         assert_eq!(report[1].1.cancelled_migrations, 2);
+    }
+
+    #[test]
+    fn robustness_report_tracks_rejection_rate() {
+        let clean = run("FedAvg", 0.6, 900, 100, 100.0);
+        let mut attacked = run("FedMigr", 0.7, 500, 100, 80.0);
+        attacked.migrations_local = 6;
+        attacked.migrations_global = 0;
+        attacked.robust.rejected_migrations = 2; // 2 of 8 attempted
+        attacked.robust.nan_uploads = 3;
+        let cmp = SchemeComparison::new(&clean, vec![&attacked]);
+        let report = cmp.robustness_report();
+        assert_eq!(report.len(), 2);
+        assert_eq!(report[0].2, 0.0, "clean run rejects nothing");
+        assert!((report[1].2 - 0.25).abs() < 1e-9);
+        assert_eq!(report[1].1.nan_uploads, 3);
     }
 
     #[test]

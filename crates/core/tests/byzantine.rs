@@ -1,0 +1,189 @@
+//! End-to-end Byzantine-robustness tests: attack determinism, the
+//! defense/vulnerability split between FedAvg and the robust aggregation
+//! rules, and the migration quarantine. Named `byzantine_*` so CI can run
+//! exactly this suite with `cargo test -p fedmigr-core byzantine`.
+
+use fedmigr_core::{Aggregator, Experiment, RunConfig, Scheme};
+use fedmigr_data::{partition_iid, partition_shards, SyntheticConfig, SyntheticDataset};
+use fedmigr_net::{AttackConfig, ClientCompute, DeviceTier, Topology, TopologyConfig};
+use fedmigr_nn::zoo::{self, NetScale};
+
+fn small_experiment(non_iid: bool) -> Experiment {
+    let data = SyntheticDataset::generate(&SyntheticConfig {
+        num_classes: 4,
+        train_per_class: 24,
+        test_per_class: 8,
+        channels: 1,
+        hw: 8,
+        noise_std: 0.6,
+        class_sep: 1.0,
+        atom_bank: 0,
+        atoms_per_class: 0,
+        private_frac: 0.0,
+        seed: 11,
+    });
+    let k = 4;
+    let parts = if non_iid {
+        partition_shards(&data.train, k, 1, 5)
+    } else {
+        partition_iid(&data.train, k, 5)
+    };
+    let topo = Topology::new(&TopologyConfig::default_edge(vec![2, 2], 5));
+    let model = zoo::mini_resnet(1, 8, 4, 1, NetScale::Small, 5);
+    Experiment::new(
+        data.train,
+        data.test,
+        parts,
+        topo,
+        ClientCompute::homogeneous(k, DeviceTier::Nx),
+        model,
+    )
+}
+
+fn quick_cfg(scheme: Scheme, epochs: usize) -> RunConfig {
+    let mut cfg = RunConfig::new(scheme, epochs);
+    cfg.agg_interval = 5;
+    cfg.eval_interval = 5;
+    cfg.batch_size = 16;
+    cfg.lr = 0.05;
+    cfg
+}
+
+#[test]
+fn byzantine_free_fedavg_runs_are_byte_identical_and_clean() {
+    let exp = small_experiment(false);
+    let cfg = quick_cfg(Scheme::FedAvg, 10);
+    let a = exp.run(&cfg);
+    let b = exp.run(&cfg);
+    assert_eq!(a.to_csv(), b.to_csv(), "same config must replay bit-for-bit");
+    assert!(!a.robust.any(), "no adversary -> every defense counter stays zero: {:?}", a.robust);
+    assert!(a.robust_summary().is_none());
+}
+
+#[test]
+fn byzantine_attack_seed_gives_byte_identical_robust_csv() {
+    let exp = small_experiment(false);
+    let mut cfg = quick_cfg(Scheme::FedAvg, 10);
+    cfg.attack = AttackConfig::nan_inject(0.25, 99);
+    cfg.aggregator = Aggregator::trimmed_mean();
+    let a = exp.run(&cfg);
+    let b = exp.run(&cfg);
+    assert_eq!(a.robust_csv(), b.robust_csv(), "attack must be a pure function of its seed");
+    assert_eq!(a.to_csv(), b.to_csv());
+    assert!(a.robust.nan_uploads > 0, "NaN injection must be observed: {:?}", a.robust);
+}
+
+#[test]
+fn byzantine_sign_flip_cripples_fedavg_but_robust_rules_hold() {
+    let exp = small_experiment(false);
+    let clean = exp.run(&quick_cfg(Scheme::FedAvg, 16));
+
+    let attacked = |aggregator: Aggregator| {
+        let mut cfg = quick_cfg(Scheme::FedAvg, 16);
+        cfg.attack = AttackConfig::sign_flip(0.25, 99);
+        cfg.aggregator = aggregator;
+        exp.run(&cfg)
+    };
+    let naive = attacked(Aggregator::FedAvg);
+    let trimmed = attacked(Aggregator::trimmed_mean());
+    let krum = attacked(Aggregator::krum(1));
+
+    let floor = 0.8 * clean.final_accuracy();
+    assert!(
+        trimmed.final_accuracy() >= floor,
+        "TrimmedMean {} vs clean {}",
+        trimmed.final_accuracy(),
+        clean.final_accuracy()
+    );
+    assert!(
+        krum.final_accuracy() >= floor,
+        "Krum {} vs clean {}",
+        krum.final_accuracy(),
+        clean.final_accuracy()
+    );
+    assert!(
+        naive.final_accuracy() < trimmed.final_accuracy(),
+        "plain FedAvg must degrade measurably: naive {} vs trimmed {}",
+        naive.final_accuracy(),
+        trimmed.final_accuracy()
+    );
+    assert!(trimmed.robust.trimmed_clients > 0);
+}
+
+#[test]
+fn byzantine_nan_migrations_are_quarantined() {
+    let exp = small_experiment(true);
+    let mut cfg = quick_cfg(Scheme::RandMigr, 12);
+    cfg.attack = AttackConfig::nan_inject(0.25, 99);
+    cfg.aggregator = Aggregator::CoordinateMedian;
+    let m = exp.run(&cfg);
+    assert!(
+        m.robust.rejected_migrations > 0,
+        "poisoned migrations must be rejected at the receiver: {:?}",
+        m.robust
+    );
+    assert!(m.final_accuracy().is_finite());
+    assert!(m.robust_summary().is_some());
+    // The per-epoch CSV carries the rejection column.
+    assert!(m.to_csv().lines().next().unwrap().ends_with("rejected_migrations"));
+}
+
+#[test]
+fn byzantine_zero_attackers_mean_zero_rejections_for_robust_rules() {
+    let exp = small_experiment(true);
+    for aggregator in [
+        Aggregator::trimmed_mean(),
+        Aggregator::CoordinateMedian,
+        Aggregator::krum(1),
+        Aggregator::norm_clip(),
+    ] {
+        let mut cfg = quick_cfg(Scheme::RandMigr, 10);
+        cfg.aggregator = aggregator;
+        let m = exp.run(&cfg);
+        assert_eq!(
+            m.robust.rejected_migrations,
+            0,
+            "{}: clean migrations must never be rejected",
+            aggregator.name()
+        );
+        assert_eq!(m.robust.nan_uploads, 0, "{}", aggregator.name());
+        assert_eq!(m.robust.nan_batches, 0, "{}", aggregator.name());
+        assert!(m.final_accuracy() > 0.25, "{} failed to learn", aggregator.name());
+    }
+}
+
+#[test]
+fn byzantine_label_flip_and_scaled_replacement_complete() {
+    let exp = small_experiment(false);
+
+    let mut cfg = quick_cfg(Scheme::FedAvg, 10);
+    cfg.attack = AttackConfig::label_flip(0.25, 99);
+    let flipped = exp.run(&cfg);
+    assert!(flipped.final_accuracy().is_finite());
+    assert_eq!(flipped.robust.rejected_migrations, 0, "label flip corrupts data, not payloads");
+
+    let mut cfg = quick_cfg(Scheme::FedAvg, 10);
+    cfg.attack = AttackConfig::scaled(0.25, -10.0, 99);
+    cfg.aggregator = Aggregator::norm_clip();
+    let clipped = exp.run(&cfg);
+    assert!(
+        clipped.robust.clipped_norms > 0,
+        "boosted replacement updates must be clipped: {:?}",
+        clipped.robust
+    );
+    assert!(clipped.final_accuracy().is_finite());
+}
+
+#[test]
+fn byzantine_fedmigr_scheme_survives_an_attack() {
+    let exp = small_experiment(true);
+    let mut cfg = quick_cfg(Scheme::fedmigr(3), 12);
+    cfg.attack = AttackConfig::sign_flip(0.25, 99);
+    cfg.aggregator = Aggregator::trimmed_mean();
+    let m = exp.run(&cfg);
+    assert_eq!(m.epochs(), 12);
+    assert!(m.final_accuracy().is_finite());
+    // The DRL state gained per-peer suspicion features and the oracle a
+    // keep-suspects-home penalty; the run must still plan and migrate.
+    assert!(m.migrations_local + m.migrations_global + m.robust.rejected_migrations > 0);
+}

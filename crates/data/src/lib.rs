@@ -28,6 +28,7 @@ pub mod augment;
 mod dataset;
 pub mod distribution;
 mod partition;
+pub mod poison;
 mod synthetic;
 
 pub use dataset::Dataset;
@@ -35,4 +36,5 @@ pub use partition::{
     partition_dirichlet, partition_dominant, partition_iid, partition_lan_shards,
     partition_missing_classes, partition_shards,
 };
+pub use poison::{apply_label_map, flip_label, flip_label_map};
 pub use synthetic::{SyntheticConfig, SyntheticDataset};

@@ -1,0 +1,59 @@
+//! Label-flip data poisoning for Byzantine clients.
+//!
+//! [`Dataset`](crate::Dataset)s are shared between clients through `Arc`,
+//! so a Byzantine client cannot mutate labels in place. Instead the attack
+//! is expressed as a per-client *label map* applied at batch-assembly time:
+//! an honest client uses the identity map, a label-flipping client uses the
+//! involution `c -> C - 1 - c` (the standard flip from the label-flipping
+//! attack literature — every class moves, and applying it twice restores
+//! the original, which keeps tests simple).
+
+/// The flipped label for class `label` out of `num_classes`.
+pub fn flip_label(label: usize, num_classes: usize) -> usize {
+    assert!(label < num_classes, "label {label} out of range for {num_classes} classes");
+    num_classes - 1 - label
+}
+
+/// The full label map for a flipping client: `map[c] == C - 1 - c`.
+pub fn flip_label_map(num_classes: usize) -> Vec<usize> {
+    (0..num_classes).map(|c| flip_label(c, num_classes)).collect()
+}
+
+/// Applies a label map to a batch of labels, out of place.
+///
+/// # Panics
+/// Panics if a label falls outside the map.
+pub fn apply_label_map(labels: &[usize], map: &[usize]) -> Vec<usize> {
+    labels.iter().map(|&l| map[l]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_an_involution_that_moves_every_class() {
+        for c in [2usize, 10, 100] {
+            let map = flip_label_map(c);
+            for l in 0..c {
+                assert_eq!(map[map[l]], l, "flip twice must restore");
+                if c > 1 {
+                    assert_ne!(map[l], l, "every class must move (C={c}, l={l})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn applies_to_batches() {
+        let map = flip_label_map(10);
+        assert_eq!(apply_label_map(&[0, 9, 4, 5], &map), vec![9, 0, 5, 4]);
+        assert_eq!(apply_label_map(&[], &map), Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_label() {
+        let _ = flip_label(10, 10);
+    }
+}

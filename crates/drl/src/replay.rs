@@ -105,6 +105,26 @@ impl PrioritizedReplay {
         out
     }
 
+    /// Ratio of the largest to the smallest stored sampling weight — a
+    /// diagnostic for how skewed prioritized sampling currently is (1.0 =
+    /// uniform). An empty buffer has no spread, so this returns the neutral
+    /// 1.0 instead of panicking on `max()/min()` of nothing; the same guard
+    /// covers an all-zero tree (possible before any priority update when
+    /// `xi` drives weights to zero).
+    pub fn priority_spread(&self) -> f64 {
+        let leaves = &self.tree[self.capacity..self.capacity + self.items.len()];
+        let mut max = f64::NEG_INFINITY;
+        let mut min = f64::INFINITY;
+        for &w in leaves {
+            max = max.max(w);
+            min = min.min(w);
+        }
+        if leaves.is_empty() || min <= 0.0 {
+            return 1.0;
+        }
+        max / min
+    }
+
     fn set_weight(&mut self, idx: usize, weight: f64) {
         let mut node = self.capacity + idx;
         self.tree[node] = weight;
@@ -193,6 +213,29 @@ mod tests {
         let max = *counts.iter().max().unwrap() as f64;
         let min = *counts.iter().min().unwrap() as f64;
         assert!(max / min < 1.6, "counts too skewed for uniform: {counts:?}");
+        // With xi = 0 every stored weight is p^0 = 1, so the spread is 1.
+        assert_eq!(buf.priority_spread(), 1.0);
+    }
+
+    #[test]
+    fn priority_spread_is_neutral_on_empty_buffer() {
+        // Regression: max()/min() over zero leaves must not panic.
+        let buf = PrioritizedReplay::new(4, 0.6, 0.4);
+        assert_eq!(buf.priority_spread(), 1.0);
+    }
+
+    #[test]
+    fn priority_spread_tracks_skew() {
+        let mut buf = PrioritizedReplay::new(4, 1.0, 0.0);
+        for i in 0..4 {
+            buf.push(t(i as f32));
+        }
+        for i in 0..4 {
+            buf.update_priority(i, 1.0);
+        }
+        assert!((buf.priority_spread() - 1.0).abs() < 1e-12);
+        buf.update_priority(2, 8.0);
+        assert!((buf.priority_spread() - 8.0).abs() < 1e-9);
     }
 
     #[test]

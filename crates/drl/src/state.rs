@@ -6,13 +6,15 @@
 //! standard for experience-driven controllers — the featurizer keeps the
 //! training-progress scalars (epoch fraction, loss level and trend), the
 //! resource picture (`R_t` usage, `G_t` remaining budgets), the row of
-//! the distribution-difference matrix `D_t` for the migrating client, and a
+//! the distribution-difference matrix `D_t` for the migrating client, a
 //! liveness picture (population health + per-peer up/down flags) so the
-//! policy can route around fault-injected dropouts.
+//! policy can route around fault-injected dropouts, and a per-peer
+//! *suspicion* picture from the migration quarantine so the policy can
+//! route around Byzantine sources.
 
 /// Builder for per-decision state vectors of a fixed layout:
 /// `[t/T, loss, Δloss, bw_remaining, compute_remaining, alive_frac,
-///   d_{i,1..K}, live_{1..K}]`.
+///   d_{i,1..K}, live_{1..K}, susp_{1..K}]`.
 #[derive(Clone, Debug)]
 pub struct MigrationState {
     num_clients: usize,
@@ -27,7 +29,7 @@ impl MigrationState {
 
     /// Dimensionality of produced state vectors.
     pub fn dim(&self) -> usize {
-        6 + 2 * self.num_clients
+        6 + 3 * self.num_clients
     }
 
     /// Builds the state for a migration decision about client `i`, assuming
@@ -63,8 +65,7 @@ impl MigrationState {
 
     /// Builds the state for a migration decision about client `i` with
     /// explicit liveness: `live[j]` is whether client `j` is up this epoch.
-    /// The vector gains the live fraction of the population plus one 0/1
-    /// flag per peer, letting the policy learn to avoid dead destinations.
+    /// Suspicion features are all zero (no quarantine evidence).
     #[allow(clippy::too_many_arguments)]
     pub fn build_with_liveness(
         &self,
@@ -76,12 +77,42 @@ impl MigrationState {
         distance_row: &[f64],
         live: &[bool],
     ) -> Vec<f32> {
+        let no_suspicion = vec![0.0f64; self.num_clients];
+        self.build_with_health(
+            epoch_frac,
+            loss,
+            dloss,
+            bw_remaining,
+            compute_remaining,
+            distance_row,
+            live,
+            &no_suspicion,
+        )
+    }
+
+    /// Builds the full state: liveness flags per peer plus the quarantine's
+    /// per-peer suspicion scores in `[0, 1]` (1 = every recent migration
+    /// from that peer was rejected). The policy can thereby learn to avoid
+    /// both dead destinations *and* poisoned sources.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_health(
+        &self,
+        epoch_frac: f64,
+        loss: f64,
+        dloss: f64,
+        bw_remaining: f64,
+        compute_remaining: f64,
+        distance_row: &[f64],
+        live: &[bool],
+        suspicion: &[f64],
+    ) -> Vec<f32> {
         assert_eq!(
             distance_row.len(),
             self.num_clients,
             "distance row must have one entry per client"
         );
         assert_eq!(live.len(), self.num_clients, "liveness must have one entry per client");
+        assert_eq!(suspicion.len(), self.num_clients, "suspicion must have one entry per client");
         let alive = live.iter().filter(|&&l| l).count();
         let mut s = Vec::with_capacity(self.dim());
         s.push(epoch_frac.clamp(0.0, 1.0) as f32);
@@ -93,6 +124,7 @@ impl MigrationState {
         // L1 distance between distributions is at most 2.
         s.extend(distance_row.iter().map(|&d| (d / 2.0) as f32));
         s.extend(live.iter().map(|&l| if l { 1.0f32 } else { 0.0 }));
+        s.extend(suspicion.iter().map(|&x| x.clamp(0.0, 1.0) as f32));
         s
     }
 }
@@ -104,16 +136,17 @@ mod tests {
     #[test]
     fn layout_and_dim() {
         let f = MigrationState::new(3);
-        assert_eq!(f.dim(), 12);
+        assert_eq!(f.dim(), 15);
         let s = f.build(0.5, 2.0, -0.1, 0.9, 0.8, &[0.0, 2.0, 1.0]);
-        assert_eq!(s.len(), 12);
+        assert_eq!(s.len(), 15);
         assert_eq!(s[0], 0.5);
         assert_eq!(s[1], 0.2);
         assert_eq!(s[5], 1.0, "fully live population");
         assert_eq!(s[6], 0.0);
         assert_eq!(s[7], 1.0);
         assert_eq!(s[8], 0.5);
-        assert_eq!(&s[9..], &[1.0, 1.0, 1.0], "default liveness flags are all up");
+        assert_eq!(&s[9..12], &[1.0, 1.0, 1.0], "default liveness flags are all up");
+        assert_eq!(&s[12..], &[0.0, 0.0, 0.0], "default suspicion is zero");
     }
 
     #[test]
@@ -123,7 +156,24 @@ mod tests {
             f.build_with_liveness(0.1, 1.0, 0.0, 1.0, 1.0, &[0.0; 4], &[true, false, true, false]);
         assert_eq!(s.len(), f.dim());
         assert_eq!(s[5], 0.5, "half the population is live");
-        assert_eq!(&s[10..], &[1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(&s[10..14], &[1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(&s[14..], &[0.0; 4], "liveness-only path carries zero suspicion");
+    }
+
+    #[test]
+    fn suspicion_features_are_appended_and_clamped() {
+        let f = MigrationState::new(3);
+        let s =
+            f.build_with_health(0.2, 1.0, 0.0, 1.0, 1.0, &[0.0; 3], &[true; 3], &[0.25, 1.5, -0.5]);
+        assert_eq!(s.len(), f.dim());
+        assert_eq!(&s[12..], &[0.25, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "suspicion must have one entry per client")]
+    fn wrong_suspicion_length_panics() {
+        let f = MigrationState::new(2);
+        let _ = f.build_with_health(0.0, 0.0, 0.0, 1.0, 1.0, &[0.0, 0.0], &[true, true], &[0.0]);
     }
 
     #[test]

@@ -153,6 +153,29 @@ const TAG_C2S: u64 = 5;
 const TAG_DEGRADED: u64 = 6;
 const TAG_RETRY: u64 = 7;
 
+/// SplitMix64-style avalanche over `(seed, tag, a, b, t)`, mapped to a
+/// uniform value in `[0, 1)`. Shared by [`FaultModel`] and
+/// [`crate::AttackModel`] so both schedules are pure functions of their
+/// seed — no mutable RNG state, no query-order sensitivity. The constants
+/// match the topology jitter hash family.
+pub(crate) fn hash_unit(seed: u64, tag: u64, a: u64, b: u64, t: u64) -> f64 {
+    let mut x = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(tag)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        .wrapping_add(a)
+        .wrapping_mul(0x94D0_49BB_1331_11EB)
+        .wrapping_add(b)
+        .wrapping_mul(0x2545_F491_4F6C_DD1D)
+        .wrapping_add(t);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
 impl FaultModel {
     /// Builds the schedule for `num_clients` clients.
     ///
@@ -203,25 +226,7 @@ impl FaultModel {
     }
 
     fn unit(&self, tag: u64, a: u64, b: u64, t: u64) -> f64 {
-        // SplitMix64-style avalanche over (seed, tag, a, b, t); the
-        // constants match the topology jitter hash family.
-        let mut x = self
-            .config
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(tag)
-            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
-            .wrapping_add(a)
-            .wrapping_mul(0x94D0_49BB_1331_11EB)
-            .wrapping_add(b)
-            .wrapping_mul(0x2545_F491_4F6C_DD1D)
-            .wrapping_add(t);
-        x ^= x >> 30;
-        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x ^= x >> 27;
-        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
-        x ^= x >> 31;
-        (x >> 11) as f64 / (1u64 << 53) as f64
+        hash_unit(self.config.seed, tag, a, b, t)
     }
 
     /// Whether an outage *starts* for `client` at `epoch`.

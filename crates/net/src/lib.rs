@@ -18,12 +18,14 @@
 //!   local/global C2C traffic,
 //! * [`SimClock`] — virtual wall-clock time of a synchronous FL round.
 
+pub mod attack;
 mod budget;
 mod clock;
 mod compute;
 pub mod fault;
 mod topology;
 
+pub use attack::{AttackConfig, AttackKind, AttackModel};
 pub use budget::{ResourceBudget, ResourceMeter, TrafficBreakdown};
 pub use clock::SimClock;
 pub use compute::{ClientCompute, DeviceTier};

@@ -12,12 +12,19 @@ pub struct Model {
     input_shape: Vec<usize>,
     num_classes: usize,
     name: String,
+    non_finite_batches: u64,
 }
 
 impl Model {
     /// Wraps a network. `input_shape` is per-sample (no batch dimension).
     pub fn new(net: Sequential, input_shape: &[usize], num_classes: usize, name: &str) -> Self {
-        Self { net, input_shape: input_shape.to_vec(), num_classes, name: name.to_string() }
+        Self {
+            net,
+            input_shape: input_shape.to_vec(),
+            num_classes,
+            name: name.to_string(),
+            non_finite_batches: 0,
+        }
     }
 
     /// Per-sample input shape.
@@ -96,6 +103,13 @@ impl Model {
     ) -> f32 {
         let logits = self.net.forward(x, true);
         let (loss, grad) = softmax_cross_entropy(&logits, labels);
+        if !loss.is_finite() {
+            // A NaN/Inf batch loss means the gradient is garbage: stepping
+            // would poison every parameter. Skip the update, count it, and
+            // let the caller decide how to treat the reported loss.
+            self.non_finite_batches += 1;
+            return loss;
+        }
         self.net.zero_grad();
         self.net.backward(&grad);
         if let Some((global, mu)) = prox {
@@ -103,6 +117,17 @@ impl Model {
         }
         opt.step(&mut self.net);
         loss
+    }
+
+    /// Number of training batches skipped because the loss was NaN/Inf.
+    pub fn non_finite_batches(&self) -> u64 {
+        self.non_finite_batches
+    }
+
+    /// Resets the non-finite-batch counter (e.g. at epoch boundaries when
+    /// harvesting per-epoch statistics).
+    pub fn take_non_finite_batches(&mut self) -> u64 {
+        std::mem::take(&mut self.non_finite_batches)
     }
 
     /// Flattened parameters (the migrated/aggregated representation).
@@ -159,6 +184,37 @@ mod tests {
         assert!(model.params().iter().all(|&x| x == 0.0));
         model.set_params(&p);
         assert_eq!(model.params(), p);
+    }
+
+    #[test]
+    fn non_finite_loss_skips_update_and_counts() {
+        let mut model = zoo::mlp(4, &[8], 2, 1);
+        // Poison the parameters so the forward pass produces NaN logits.
+        let n = model.params().len();
+        model.set_params(&vec![f32::NAN; n]);
+        let x = Tensor::from_vec(vec![1, 4], vec![1.0, 0.0, 0.0, 0.0]);
+        let before = model.params();
+        let mut opt = Sgd::new(0.5);
+        let loss = model.train_step(&x, &[0], &mut opt);
+        assert!(!loss.is_finite());
+        assert_eq!(model.non_finite_batches(), 1);
+        // Parameters must be untouched: no optimizer step happened.
+        let after = model.params();
+        assert_eq!(before.len(), after.len());
+        assert!(after.iter().all(|x| x.is_nan()));
+        assert_eq!(model.take_non_finite_batches(), 1);
+        assert_eq!(model.non_finite_batches(), 0);
+    }
+
+    #[test]
+    fn finite_training_never_touches_the_counter() {
+        let mut model = zoo::mlp(4, &[8], 2, 2);
+        let x = Tensor::from_vec(vec![2, 4], vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..5 {
+            model.train_step(&x, &[0, 1], &mut opt);
+        }
+        assert_eq!(model.non_finite_batches(), 0);
     }
 
     #[test]

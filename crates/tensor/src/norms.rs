@@ -1,0 +1,108 @@
+//! Norm and pairwise-distance helpers over flat parameter slices.
+//!
+//! Byzantine-robust aggregation rules (Krum, trimmed mean, norm clipping)
+//! and the migration quarantine all operate on flattened model-parameter
+//! vectors rather than shaped tensors, so these helpers take `&[f32]`
+//! directly. Accumulation is in `f64`: parameter vectors run to hundreds of
+//! thousands of coordinates and an `f32` sum of squares loses enough
+//! precision to reorder near-tied Krum scores between platforms.
+
+/// Euclidean norm of a flat slice, accumulated in `f64`.
+pub fn l2_norm_slice(xs: &[f32]) -> f64 {
+    xs.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+}
+
+/// Euclidean distance between two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn l2_distance_slice(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "l2_distance of mismatched lengths");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Whether every coordinate is finite (no NaN / ±inf).
+pub fn all_finite(xs: &[f32]) -> bool {
+    xs.iter().all(|x| x.is_finite())
+}
+
+/// Symmetric matrix of pairwise squared Euclidean distances between `n`
+/// equal-length vectors, as a flat row-major `n * n` buffer. Squared
+/// distances are what Krum scores sum, so the square root is left to
+/// callers that need true distances.
+///
+/// # Panics
+/// Panics if the vectors differ in length.
+pub fn pairwise_sq_distances(vectors: &[&[f32]]) -> Vec<f64> {
+    let n = vectors.len();
+    let mut out = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = l2_distance_slice(vectors[i], vectors[j]);
+            let sq = d * d;
+            out[i * n + j] = sq;
+            out[j * n + i] = sq;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_and_distance_agree_with_hand_values() {
+        assert_eq!(l2_norm_slice(&[3.0, 4.0]), 5.0);
+        assert_eq!(l2_norm_slice(&[]), 0.0);
+        assert_eq!(l2_distance_slice(&[1.0, 1.0], &[4.0, 5.0]), 5.0);
+        assert_eq!(l2_distance_slice(&[2.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn distance_is_norm_of_difference() {
+        let a = [0.5f32, -1.0, 2.0, 0.0];
+        let b = [1.5f32, 1.0, -2.0, 3.0];
+        let diff: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x - y).collect();
+        let d = l2_distance_slice(&a, &b);
+        assert!((d - l2_norm_slice(&diff)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finiteness_detector() {
+        assert!(all_finite(&[0.0, -1.0, 1e30]));
+        assert!(!all_finite(&[0.0, f32::NAN]));
+        assert!(!all_finite(&[f32::INFINITY]));
+        assert!(!all_finite(&[f32::NEG_INFINITY, 1.0]));
+        assert!(all_finite(&[]));
+    }
+
+    #[test]
+    fn pairwise_matrix_is_symmetric_with_zero_diagonal() {
+        let vs: Vec<Vec<f32>> = vec![vec![0.0, 0.0], vec![3.0, 4.0], vec![-1.0, 1.0]];
+        let refs: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
+        let m = pairwise_sq_distances(&refs);
+        let n = 3;
+        for i in 0..n {
+            assert_eq!(m[i * n + i], 0.0);
+            for j in 0..n {
+                assert_eq!(m[i * n + j], m[j * n + i]);
+            }
+        }
+        // |(0,0) - (3,4)|^2 = 25.
+        assert!((m[1] - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn distance_rejects_length_mismatch() {
+        let _ = l2_distance_slice(&[1.0], &[1.0, 2.0]);
+    }
+}

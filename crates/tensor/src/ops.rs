@@ -110,6 +110,15 @@ impl Tensor {
         self.data().iter().map(|x| x * x).sum::<f32>().sqrt()
     }
 
+    /// Euclidean distance between two same-shape tensors, flattened.
+    ///
+    /// # Panics
+    /// Panics on a shape mismatch.
+    pub fn l2_distance(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "l2_distance shape mismatch");
+        crate::norms::l2_distance_slice(self.data(), other.data()) as f32
+    }
+
     /// Column sums of a 2-D tensor: `[m, n] -> [n]`.
     pub fn sum_axis0(&self) -> Tensor {
         let (m, n) = (self.rows(), self.cols());

@@ -30,4 +30,6 @@ run ablation_reward    ablation_reward
 run ablation_replay    ablation_replay
 run ablation_policy    ablation_policy
 run table2_accuracy    table2_accuracy
+run figR_fault_tolerance figR_fault_tolerance
+run figB_byzantine     figB_byzantine
 echo "ALL EXPERIMENTS DONE $(date +%H:%M:%S)"
