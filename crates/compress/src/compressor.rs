@@ -1,0 +1,345 @@
+//! The run-level compression orchestrator.
+//!
+//! The experiment runner owns exactly one [`Compressor`] per run. Client
+//! egress (uploads, C2C migrations) goes through [`Compressor::transmit`],
+//! which applies that client's error-feedback residual; server egress goes
+//! through [`Compressor::transmit_down`] (per-receiver unicast lanes) and
+//! [`Compressor::broadcast`] (one shared lane — one encode fans out to all
+//! receivers). Error compensation on *both* directions matters: the global
+//! model is re-broadcast every round, and without a server-side residual
+//! its quantization error is a fresh random step each time, which
+//! random-walks training; compensated, consecutive broadcasts cancel each
+//! other's error (the DoubleSqueeze scheme of Tang et al., 2019). All
+//! paths share one transmission counter so stochastic rounding noise is
+//! unique per transfer yet reproducible from the run seed — no shared RNG
+//! stream is consumed.
+
+use crate::codec::{Codec, WireCodec};
+use crate::feedback::ErrorFeedback;
+use crate::stats::CompressionStats;
+use crate::CodecConfig;
+
+/// Splitmix-style finalizer decorrelating (base seed, sequence) pairs.
+fn mix(seed: u64, seq: u64) -> u64 {
+    let mut z = seed ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stateful wire compressor for one run: a codec, per-lane error-feedback
+/// residuals, a transmission counter, and cumulative stats.
+#[derive(Clone, Debug)]
+pub struct Compressor {
+    codec: Codec,
+    feedback: Option<ErrorFeedback>,
+    down_feedback: Option<ErrorFeedback>,
+    base_seed: u64,
+    seq: u64,
+    stats: CompressionStats,
+}
+
+impl Compressor {
+    /// Builds the compressor for `config` with `lanes` client-egress
+    /// residual lanes (the server egress gets `lanes` unicast lanes plus
+    /// one broadcast lane); `base_seed` (typically the run seed) drives
+    /// stochastic rounding.
+    pub fn new(config: &CodecConfig, lanes: usize, base_seed: u64) -> Self {
+        let with_ef = config.error_feedback() && !matches!(config, CodecConfig::Identity);
+        Self {
+            codec: Codec::from_config(config),
+            feedback: with_ef.then(|| ErrorFeedback::new(lanes)),
+            down_feedback: with_ef.then(|| ErrorFeedback::new(lanes + 1)),
+            base_seed,
+            seq: 0,
+            stats: CompressionStats::default(),
+        }
+    }
+
+    /// Whether transfers are bit-exact pass-throughs.
+    pub fn is_identity(&self) -> bool {
+        self.codec.is_lossless()
+    }
+
+    /// Exact wire size of one encoded model of `n` parameters.
+    pub fn encoded_size(&self, n: usize) -> u64 {
+        self.codec.encoded_size(n)
+    }
+
+    /// Cumulative stats so far.
+    pub fn stats(&self) -> CompressionStats {
+        self.stats
+    }
+
+    /// Mean error-feedback residual norm across lanes right now (0 without
+    /// error feedback).
+    pub fn current_residual_norm(&self) -> f64 {
+        match &self.feedback {
+            None => 0.0,
+            Some(ef) => {
+                let lanes = ef.lanes().max(1);
+                (0..ef.lanes()).map(|l| ef.residual_norm(l)).sum::<f64>() / lanes as f64
+            }
+        }
+    }
+
+    /// Client-egress transfer on `lane`: compensates with the lane's
+    /// error-feedback residual, encodes, updates the residual with what the
+    /// wire lost, and returns what the receiver decodes. Call only for
+    /// transfers that actually complete — a cancelled transfer must not
+    /// consume the residual.
+    pub fn transmit(&mut self, lane: usize, values: &[f32]) -> Vec<f32> {
+        self.send(false, lane, values)
+    }
+
+    /// Server-egress transfer of one payload to one `receiver`, compensated
+    /// with that receiver's dedicated downlink residual lane (the server
+    /// sends many distinct per-receiver streams, so each gets its own
+    /// residual).
+    pub fn transmit_down(&mut self, receiver: usize, values: &[f32]) -> Vec<f32> {
+        self.send(true, receiver, values)
+    }
+
+    /// Server-egress broadcast: one encode, every receiver decodes the same
+    /// blob, so one shared residual lane is well-defined. Callers use it
+    /// when one payload fans out, charging the meter per receiver while the
+    /// codec encodes once.
+    pub fn broadcast(&mut self, values: &[f32]) -> Vec<f32> {
+        let lane = self.down_feedback.as_ref().map_or(0, |ef| ef.lanes() - 1);
+        self.send(true, lane, values)
+    }
+
+    fn send(&mut self, down: bool, lane: usize, values: &[f32]) -> Vec<f32> {
+        let seq = self.seq;
+        self.seq += 1;
+        if self.is_identity() {
+            self.count(values.len(), values.len() as u64 * 4 + 8, 0.0);
+            return values.to_vec();
+        }
+        let fb = if down { &self.down_feedback } else { &self.feedback };
+        let intent = match fb {
+            Some(ef) => ef.compensated(lane, values),
+            None => values.to_vec(),
+        };
+        let decoded = self.round_trip(&intent, seq);
+        let fb = if down { &mut self.down_feedback } else { &mut self.feedback };
+        let mut norm = None;
+        if let Some(ef) = fb {
+            ef.update(lane, &intent, &decoded);
+            norm = Some(ef.residual_norm(lane));
+        }
+        if let Some(n) = norm {
+            self.stats.residual_norm_sum += n;
+            self.stats.ef_transmits += 1;
+        }
+        self.record(&intent, &decoded);
+        decoded
+    }
+
+    /// What `transmit(lane, values)` *would* deliver, without updating the
+    /// residual, the counter, or the stats. Used for hypothetical transfers
+    /// (e.g. evaluation-time shadow uploads) so measurement reflects codec
+    /// distortion without perturbing run state.
+    pub fn preview(&self, lane: usize, values: &[f32]) -> Vec<f32> {
+        if self.is_identity() {
+            return values.to_vec();
+        }
+        let intent = match &self.feedback {
+            Some(ef) => ef.compensated(lane, values),
+            None => values.to_vec(),
+        };
+        self.round_trip(&intent, self.seq)
+    }
+
+    fn round_trip(&self, values: &[f32], seq: u64) -> Vec<f32> {
+        let blob = self.codec.encode(values, mix(self.base_seed, seq));
+        debug_assert_eq!(blob.wire_bytes(), self.codec.encoded_size(values.len()));
+        self.codec.decode(&blob).expect("self-encoded blob must decode")
+    }
+
+    fn record(&mut self, intent: &[f32], decoded: &[f32]) {
+        let sq: f64 = intent
+            .iter()
+            .zip(decoded)
+            .map(|(&a, &b)| {
+                let e = (a - b) as f64;
+                if e.is_finite() {
+                    e * e
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        self.count(intent.len(), self.codec.encoded_size(intent.len()), sq);
+    }
+
+    fn count(&mut self, n: usize, wire: u64, sq: f64) {
+        self.stats.encodes += 1;
+        self.stats.uncompressed_bytes += 8 + 4 * n as u64;
+        self.stats.compressed_bytes += wire;
+        self.stats.sum_sq_error += sq;
+        self.stats.coords += n as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 31 % 17) as f32 - 8.0) * 0.1).collect()
+    }
+
+    #[test]
+    fn identity_is_a_counted_pass_through() {
+        let mut c = Compressor::new(&CodecConfig::Identity, 4, 7);
+        let v = vals(100);
+        assert!(c.is_identity());
+        assert_eq!(c.transmit(0, &v), v);
+        assert_eq!(c.transmit_down(0, &v), v);
+        assert_eq!(c.broadcast(&v), v);
+        let s = c.stats();
+        assert_eq!(s.encodes, 3);
+        assert_eq!(s.compressed_bytes, s.uncompressed_bytes);
+        assert_eq!(s.saved(), 0);
+        assert_eq!(s.sum_sq_error, 0.0);
+        assert_eq!(s.ef_transmits, 0, "identity never touches residuals");
+    }
+
+    #[test]
+    fn int8_saves_bytes_and_tracks_error() {
+        let mut c = Compressor::new(&CodecConfig::int8(), 2, 7);
+        let v = vals(1000);
+        let d = c.transmit(0, &v);
+        assert_eq!(d.len(), v.len());
+        let s = c.stats();
+        assert!(s.ratio() > 3.0, "int8 should approach 4x, got {}", s.ratio());
+        assert!(s.mean_mse() > 0.0);
+        assert_eq!(s.ef_transmits, 1);
+    }
+
+    #[test]
+    fn error_feedback_reinjects_loss_on_the_same_lane() {
+        let cfg = CodecConfig::int4();
+        let v = vals(512);
+        let mut with_ef = Compressor::new(&cfg, 1, 7);
+        let mut no_ef = Compressor::new(&cfg.clone().without_feedback(), 1, 7);
+        // Accumulate the same vector several times; with EF the *sum* of
+        // deliveries tracks the sum of intents much more closely.
+        let rounds = 8;
+        let (mut sum_ef, mut sum_plain) = (vec![0.0f64; v.len()], vec![0.0f64; v.len()]);
+        for _ in 0..rounds {
+            for (s, x) in sum_ef.iter_mut().zip(with_ef.transmit(0, &v)) {
+                *s += x as f64;
+            }
+            for (s, x) in sum_plain.iter_mut().zip(no_ef.transmit(0, &v)) {
+                *s += x as f64;
+            }
+        }
+        let err = |sum: &[f64]| -> f64 {
+            sum.iter()
+                .zip(&v)
+                .map(|(&s, &t)| (s - rounds as f64 * t as f64).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
+        assert!(
+            err(&sum_ef) < err(&sum_plain) * 0.5,
+            "EF accumulated error {} should beat plain {}",
+            err(&sum_ef),
+            err(&sum_plain)
+        );
+    }
+
+    #[test]
+    fn broadcast_and_unicast_downlinks_have_independent_residuals() {
+        let cfg = CodecConfig::int4();
+        let v = vals(512);
+        let mut c = Compressor::new(&cfg, 2, 7);
+        let b1 = c.broadcast(&v); // empty residual: plain Q(v)
+        let b2 = c.broadcast(&v); // compensated by the broadcast residual
+        let u1 = c.transmit_down(0, &v); // unicast lane 0 is still empty
+        assert_eq!(b1, u1, "broadcast residual must not leak into unicast lane 0");
+        assert_ne!(b2, u1, "second broadcast must be residual-compensated");
+        // Consecutive broadcasts compensate each other: over several rounds
+        // the *sum* of compensated broadcasts tracks the sum of intents far
+        // better than stateless re-encodes, whose deterministic rounding
+        // error just piles up.
+        let rounds = 6;
+        let mut stateless = Compressor::new(&cfg.clone().without_feedback(), 2, 7);
+        let (mut sum_ef, mut sum_plain) = (vec![0.0f64; v.len()], vec![0.0f64; v.len()]);
+        for round in 0..rounds {
+            let b = match round {
+                0 => b1.clone(),
+                1 => b2.clone(),
+                _ => c.broadcast(&v),
+            };
+            for (s, x) in sum_ef.iter_mut().zip(b) {
+                *s += x as f64;
+            }
+            for (s, x) in sum_plain.iter_mut().zip(stateless.broadcast(&v)) {
+                *s += x as f64;
+            }
+        }
+        let err = |sum: &[f64]| -> f64 {
+            sum.iter()
+                .zip(&v)
+                .map(|(&s, &t)| (s - rounds as f64 * t as f64).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
+        assert!(
+            err(&sum_ef) < err(&sum_plain) * 0.5,
+            "compensated broadcasts {} should beat stateless {}",
+            err(&sum_ef),
+            err(&sum_plain)
+        );
+    }
+
+    #[test]
+    fn preview_leaves_state_untouched() {
+        let mut c = Compressor::new(&CodecConfig::int8(), 1, 7);
+        let v = vals(300);
+        let before = c.stats();
+        let p1 = c.preview(0, &v);
+        let p2 = c.preview(0, &v);
+        assert_eq!(p1, p2, "preview is deterministic");
+        assert_eq!(c.stats(), before, "preview must not count");
+        let t = c.transmit(0, &v);
+        assert_eq!(p1, t, "preview predicts the next transmit exactly");
+    }
+
+    #[test]
+    fn stochastic_transfers_differ_but_runs_reproduce() {
+        let cfg = CodecConfig::stochastic8(3);
+        let v = vals(400);
+        let mut a = Compressor::new(&cfg, 1, 9);
+        let mut b = Compressor::new(&cfg, 1, 9);
+        let a1 = a.transmit(0, &v);
+        let a2 = a.transmit(0, &v);
+        assert_ne!(a1, a2, "successive transfers use fresh rounding noise");
+        assert_eq!(a1, b.transmit(0, &v), "same seed, same sequence, same bits");
+        assert_eq!(a2, b.transmit(0, &v));
+    }
+
+    #[test]
+    fn encoded_size_matches_wire_exactly_for_every_codec() {
+        for cfg in [
+            CodecConfig::Identity,
+            CodecConfig::int8(),
+            CodecConfig::int4(),
+            CodecConfig::stochastic8(1),
+            CodecConfig::topk(0.1),
+            CodecConfig::topk_int8(0.25),
+        ] {
+            let mut c = Compressor::new(&cfg, 1, 5);
+            for n in [0usize, 1, 255, 256, 257, 1000] {
+                let v = vals(n);
+                let before = c.stats().compressed_bytes;
+                c.transmit(0, &v);
+                let wire = c.stats().compressed_bytes - before;
+                assert_eq!(wire, c.encoded_size(n), "codec {} n {}", cfg.name(), n);
+            }
+        }
+    }
+}

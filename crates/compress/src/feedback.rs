@@ -1,0 +1,111 @@
+//! Error-feedback residuals (EF-SGD / 1-bit-SGD memory).
+//!
+//! A lossy codec throws information away on every transfer. Error feedback
+//! keeps the discarded part — `residual = sent_intent − decoded` — and adds
+//! it back to the *next* vector sent over the same lane, so the error does
+//! not compound across rounds: over time the receiver integrates everything
+//! the sender meant to transmit. One lane per logical stream — each
+//! client's egress, each server-to-client unicast, and the shared
+//! broadcast — keeps the residual local (residuals never travel).
+
+/// Per-lane residual state for error-feedback compression.
+#[derive(Clone, Debug, Default)]
+pub struct ErrorFeedback {
+    residuals: Vec<Vec<f32>>,
+}
+
+impl ErrorFeedback {
+    /// Creates `lanes` empty residuals (they size themselves lazily to the
+    /// first vector seen on each lane).
+    pub fn new(lanes: usize) -> Self {
+        Self { residuals: vec![Vec::new(); lanes] }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.residuals.len()
+    }
+
+    /// The transmit intent for `lane`: `values + residual`. With an empty
+    /// (never-updated) residual this is a plain copy.
+    pub fn compensated(&self, lane: usize, values: &[f32]) -> Vec<f32> {
+        let r = &self.residuals[lane];
+        if r.len() == values.len() {
+            values.iter().zip(r).map(|(&v, &e)| v + e).collect()
+        } else {
+            values.to_vec()
+        }
+    }
+
+    /// Stores the new residual `intent − decoded` after a completed
+    /// transmission. Non-finite entries (a NaN'd intent, e.g. from Byzantine
+    /// corruption upstream) are sanitized to zero so one poisoned round
+    /// cannot wedge the lane forever.
+    pub fn update(&mut self, lane: usize, intent: &[f32], decoded: &[f32]) {
+        debug_assert_eq!(intent.len(), decoded.len());
+        let r = intent
+            .iter()
+            .zip(decoded)
+            .map(|(&a, &b)| {
+                let e = a - b;
+                if e.is_finite() {
+                    e
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        self.residuals[lane] = r;
+    }
+
+    /// L2 norm of a lane's residual (0 for an empty lane).
+    pub fn residual_norm(&self, lane: usize) -> f64 {
+        self.residuals[lane].iter().map(|&e| (e as f64) * (e as f64)).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_residual_is_a_no_op() {
+        let ef = ErrorFeedback::new(2);
+        assert_eq!(ef.compensated(0, &[1.0, 2.0]), vec![1.0, 2.0]);
+        assert_eq!(ef.residual_norm(0), 0.0);
+    }
+
+    #[test]
+    fn residual_carries_the_lost_part_forward() {
+        let mut ef = ErrorFeedback::new(1);
+        // Transfer 1: intent [1.0, -1.0], receiver got [0.75, -0.75].
+        ef.update(0, &[1.0, -1.0], &[0.75, -0.75]);
+        assert!((ef.residual_norm(0) - (2.0f64 * 0.25 * 0.25).sqrt()).abs() < 1e-12);
+        // Transfer 2 re-injects the loss.
+        assert_eq!(ef.compensated(0, &[2.0, 2.0]), vec![2.25, 1.75]);
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let mut ef = ErrorFeedback::new(2);
+        ef.update(0, &[1.0], &[0.0]);
+        assert_eq!(ef.compensated(1, &[5.0]), vec![5.0]);
+        assert_eq!(ef.compensated(0, &[5.0]), vec![6.0]);
+    }
+
+    #[test]
+    fn non_finite_errors_are_sanitized() {
+        let mut ef = ErrorFeedback::new(1);
+        ef.update(0, &[f32::NAN, 1.0], &[0.0, 0.5]);
+        assert_eq!(ef.compensated(0, &[1.0, 1.0]), vec![1.0, 1.5]);
+        assert!(ef.residual_norm(0).is_finite());
+    }
+
+    #[test]
+    fn length_change_resets_the_lane() {
+        let mut ef = ErrorFeedback::new(1);
+        ef.update(0, &[1.0, 1.0], &[0.5, 0.5]);
+        // A different-length vector ignores the stale residual.
+        assert_eq!(ef.compensated(0, &[3.0]), vec![3.0]);
+    }
+}

@@ -1,0 +1,256 @@
+//! Top-k magnitude sparsification, plain and composed with quantization.
+//!
+//! Wire format: `u64 n || u64 k || k × u32 index`, followed by the kept
+//! values either verbatim (`k × f32`, [`TopKCodec`]) or chunk-quantized
+//! ([`TopKUniformCodec`], reusing the quantizer's per-chunk min/scale
+//! layout without a redundant inner length prefix). Indices are emitted in
+//! ascending order; ties in magnitude break toward the *lower* index, so
+//! selection is deterministic even for vectors full of equal weights.
+
+use bytes::{BufMut, BytesMut};
+
+use crate::codec::{
+    chunk_range, pack_codes, packed_len, quantize_one, unpack_codes, CompressedBlob, Cursor, CHUNK,
+};
+
+/// Indices of the `k` largest-magnitude coordinates, ascending. Non-finite
+/// magnitudes sort as +∞ so corruption still travels (and gets screened on
+/// decode by the receiver's integrity checks).
+fn select_topk(values: &[f32], k: usize) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..values.len() as u32).collect();
+    let mag = |i: u32| {
+        let a = values[i as usize].abs();
+        if a.is_nan() {
+            f32::INFINITY
+        } else {
+            a
+        }
+    };
+    idx.sort_by(|&a, &b| mag(b).partial_cmp(&mag(a)).unwrap().then(a.cmp(&b)));
+    idx.truncate(k);
+    idx.sort_unstable();
+    idx
+}
+
+/// Number of coordinates kept for a length-`n` vector at fraction `frac`:
+/// `max(1, ceil(frac · n))`, capped at `n` (0 for an empty vector).
+pub(crate) fn keep_count(frac: f64, n: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    ((frac * n as f64).ceil() as usize).clamp(1, n)
+}
+
+/// Encoded size of a plain top-k blob keeping `k` coordinates.
+pub(crate) fn topk_size(k: usize) -> u64 {
+    16 + 8 * k as u64
+}
+
+/// Encoded size of a quantized top-k blob keeping `k` coordinates.
+pub(crate) fn topk_uniform_size(k: usize, bits: u8) -> u64 {
+    let mut size = 16 + 4 * k as u64;
+    let mut remaining = k;
+    while remaining > 0 {
+        let len = remaining.min(CHUNK);
+        size += 8 + packed_len(len, bits) as u64;
+        remaining -= len;
+    }
+    size
+}
+
+/// Top-k magnitude sparsification with full-precision kept values.
+#[derive(Clone, Debug)]
+pub struct TopKCodec {
+    frac: f64,
+}
+
+impl TopKCodec {
+    /// Keeps the `frac` (in `(0, 1]`) largest-magnitude coordinates.
+    pub fn new(frac: f64) -> Self {
+        assert!(frac > 0.0 && frac <= 1.0, "sparsity fraction must be in (0, 1], got {frac}");
+        Self { frac }
+    }
+
+    /// Coordinates kept for a length-`n` input.
+    pub fn keep(&self, n: usize) -> usize {
+        keep_count(self.frac, n)
+    }
+
+    pub(crate) fn encode(&self, values: &[f32]) -> CompressedBlob {
+        let k = self.keep(values.len());
+        let idx = select_topk(values, k);
+        let mut buf = BytesMut::with_capacity(topk_size(k) as usize);
+        buf.put_u64_le(values.len() as u64);
+        buf.put_u64_le(k as u64);
+        for &i in &idx {
+            buf.put_u32_le(i);
+        }
+        for &i in &idx {
+            buf.put_f32_le(values[i as usize]);
+        }
+        CompressedBlob::new(buf.freeze())
+    }
+
+    pub(crate) fn decode(&self, blob: &CompressedBlob) -> Option<Vec<f32>> {
+        let mut cur = Cursor::new(blob.bytes());
+        let n = cur.u64()? as usize;
+        let k = cur.u64()? as usize;
+        if k > n {
+            return None;
+        }
+        let idx: Vec<u32> = (0..k).map(|_| cur.u32()).collect::<Option<_>>()?;
+        let mut out = vec![0.0f32; n];
+        for &i in &idx {
+            if i as usize >= n {
+                return None;
+            }
+            out[i as usize] = cur.f32()?;
+        }
+        cur.done()?;
+        Some(out)
+    }
+}
+
+/// Top-k sparsification whose kept values are then uniformly quantized.
+#[derive(Clone, Debug)]
+pub struct TopKUniformCodec {
+    frac: f64,
+    bits: u8,
+}
+
+impl TopKUniformCodec {
+    /// Keeps the top `frac` coordinates and quantizes them to `bits`.
+    pub fn new(frac: f64, bits: u8) -> Self {
+        assert!(frac > 0.0 && frac <= 1.0, "sparsity fraction must be in (0, 1], got {frac}");
+        assert!(bits == 4 || bits == 8, "supported code widths are 4 and 8 bits, got {bits}");
+        Self { frac, bits }
+    }
+
+    /// Coordinates kept for a length-`n` input.
+    pub fn keep(&self, n: usize) -> usize {
+        keep_count(self.frac, n)
+    }
+
+    /// Code width in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    pub(crate) fn encode(&self, values: &[f32]) -> CompressedBlob {
+        let k = self.keep(values.len());
+        let idx = select_topk(values, k);
+        let kept: Vec<f32> = idx.iter().map(|&i| values[i as usize]).collect();
+        let mut buf = BytesMut::with_capacity(topk_uniform_size(k, self.bits) as usize);
+        buf.put_u64_le(values.len() as u64);
+        buf.put_u64_le(k as u64);
+        for &i in &idx {
+            buf.put_u32_le(i);
+        }
+        for chunk in kept.chunks(CHUNK) {
+            let (min, scale) = chunk_range(chunk, self.bits);
+            buf.put_f32_le(min);
+            buf.put_f32_le(scale);
+            let codes: Vec<u8> =
+                chunk.iter().map(|&v| quantize_one(v, min, scale, self.bits, None)).collect();
+            buf.put_slice(&pack_codes(&codes, self.bits));
+        }
+        CompressedBlob::new(buf.freeze())
+    }
+
+    pub(crate) fn decode(&self, blob: &CompressedBlob) -> Option<Vec<f32>> {
+        let mut cur = Cursor::new(blob.bytes());
+        let n = cur.u64()? as usize;
+        let k = cur.u64()? as usize;
+        if k > n {
+            return None;
+        }
+        let idx: Vec<u32> = (0..k).map(|_| cur.u32()).collect::<Option<_>>()?;
+        let mut kept = Vec::with_capacity(k);
+        let mut remaining = k;
+        while remaining > 0 {
+            let len = remaining.min(CHUNK);
+            let min = cur.f32()?;
+            let scale = cur.f32()?;
+            let packed = cur.slice(packed_len(len, self.bits))?;
+            let codes = unpack_codes(packed, len, self.bits);
+            kept.extend(codes.iter().map(|&q| min + q as f32 * scale));
+            remaining -= len;
+        }
+        cur.done()?;
+        let mut out = vec![0.0f32; n];
+        for (&i, &v) in idx.iter().zip(&kept) {
+            if i as usize >= n {
+                return None;
+            }
+            out[i as usize] = v;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topk_keeps_the_largest_magnitudes() {
+        let v = vec![0.1, -5.0, 0.2, 4.0, -0.3];
+        let c = TopKCodec::new(0.4);
+        assert_eq!(c.keep(v.len()), 2);
+        let blob = c.encode(&v);
+        assert_eq!(blob.wire_bytes(), topk_size(2));
+        let d = c.decode(&blob).unwrap();
+        assert_eq!(d, vec![0.0, -5.0, 0.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn ties_break_toward_the_lower_index() {
+        let v = vec![1.0f32; 8];
+        let c = TopKCodec::new(0.25);
+        let d = c.decode(&c.encode(&v)).unwrap();
+        assert_eq!(d, vec![1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn keep_count_is_at_least_one_and_at_most_n() {
+        assert_eq!(keep_count(0.01, 10), 1);
+        assert_eq!(keep_count(1.0, 10), 10);
+        assert_eq!(keep_count(0.5, 10), 5);
+        assert_eq!(keep_count(0.5, 0), 0);
+    }
+
+    #[test]
+    fn quantized_topk_round_trips_within_step() {
+        let v: Vec<f32> = (0..600).map(|i| ((i as f32) * 0.11).cos() * (i % 7) as f32).collect();
+        let c = TopKUniformCodec::new(0.5, 8);
+        let blob = c.encode(&v);
+        assert_eq!(blob.wire_bytes(), topk_uniform_size(c.keep(v.len()), 8));
+        let d = c.decode(&blob).unwrap();
+        assert_eq!(d.len(), v.len());
+        // Every decoded coordinate is either 0 (dropped) or close to the
+        // original (kept & quantized; ranges here are modest).
+        for (&a, &b) in v.iter().zip(&d) {
+            assert!(b == 0.0 || (a - b).abs() < 0.1, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_indices() {
+        let v = vec![1.0, 2.0, 3.0];
+        let c = TopKCodec::new(0.5);
+        let blob = c.encode(&v);
+        let mut raw = blob.bytes().to_vec();
+        // Corrupt the first index (offset 16) to point past the end.
+        raw[16..20].copy_from_slice(&100u32.to_le_bytes());
+        assert!(c.decode(&CompressedBlob::new(raw.into())).is_none());
+    }
+
+    #[test]
+    fn nan_coordinates_are_prioritized_and_survive() {
+        let mut v = vec![0.01f32; 50];
+        v[33] = f32::NAN;
+        let c = TopKCodec::new(0.02);
+        let d = c.decode(&c.encode(&v)).unwrap();
+        assert!(d[33].is_nan(), "corruption must not be silently dropped");
+    }
+}

@@ -155,8 +155,13 @@ impl FlClient {
         }
     }
 
-    /// Model size on the wire in bytes.
-    pub fn wire_bytes(&mut self) -> u64 {
+    /// Total scalar parameter count of the local model.
+    pub fn num_params(&self) -> usize {
+        self.model.num_params()
+    }
+
+    /// Uncompressed model size on the wire in bytes.
+    pub fn wire_bytes(&self) -> u64 {
         self.model.wire_bytes()
     }
 }

@@ -58,6 +58,7 @@ mod summary;
 
 pub use aggregate::Aggregator;
 pub use client::FlClient;
+pub use fedmigr_compress::{CodecConfig, CompressionStats};
 pub use metrics::{EpochRecord, FaultStats, RobustStats, RunMetrics};
 pub use migration::{MigrationPlan, Quarantine, QuarantineConfig};
 pub use privacy::DpConfig;

@@ -1,3 +1,4 @@
+use fedmigr_compress::CompressionStats;
 use fedmigr_net::TrafficBreakdown;
 use serde::Serialize;
 
@@ -83,6 +84,10 @@ pub struct EpochRecord {
     pub stale_clients: usize,
     /// Migrated models rejected by the quarantine during this epoch.
     pub rejected_migrations: usize,
+    /// Cumulative wire bytes saved by the codec at the end of the epoch
+    /// (uncompressed-equivalent traffic minus actual traffic; 0 under the
+    /// identity codec).
+    pub bytes_saved: u64,
 }
 
 /// Everything a run produced: per-epoch curves, migration statistics and
@@ -108,6 +113,10 @@ pub struct RunMetrics {
     pub fault: FaultStats,
     /// Byzantine-defense accounting (all zero without adversary/defenses).
     pub robust: RobustStats,
+    /// Wire-codec name (e.g. `"identity"`, `"int8+ef"`).
+    pub codec: String,
+    /// Compression accounting across every model encode of the run.
+    pub compression: CompressionStats,
 }
 
 impl RunMetrics {
@@ -200,6 +209,28 @@ impl RunMetrics {
         ))
     }
 
+    /// Total wire bytes the codec saved across the run (0 under identity).
+    pub fn bytes_saved(&self) -> u64 {
+        self.records.last().map(|r| r.bytes_saved).unwrap_or(0)
+    }
+
+    /// One-line human-readable compression summary for run logs, or `None`
+    /// when nothing was encoded or the codec is the identity.
+    pub fn compression_summary(&self) -> Option<String> {
+        let c = &self.compression;
+        if !c.any() || self.codec == "identity" {
+            return None;
+        }
+        Some(format!(
+            "compression[{}]: {:.2}x ratio, {} wire bytes saved, mean MSE {:.3e}, mean EF residual norm {:.3}",
+            self.codec,
+            c.ratio(),
+            self.bytes_saved(),
+            c.mean_mse(),
+            c.mean_residual_norm(),
+        ))
+    }
+
     /// One-line human-readable defense summary for run logs, or `None`
     /// when no defense fired.
     pub fn robust_summary(&self) -> Option<String> {
@@ -217,12 +248,12 @@ impl RunMetrics {
     /// accuracy column is empty on non-evaluation epochs.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "epoch,train_loss,test_accuracy,c2s_bytes,c2c_local_bytes,c2c_global_bytes,sim_time_s,dropped_clients,stale_clients,rejected_migrations\n",
+            "epoch,train_loss,test_accuracy,c2s_bytes,c2c_local_bytes,c2c_global_bytes,sim_time_s,dropped_clients,stale_clients,rejected_migrations,bytes_saved\n",
         );
         for r in &self.records {
             let acc = r.test_accuracy.map(|a| format!("{a:.6}")).unwrap_or_default();
             out.push_str(&format!(
-                "{},{:.6},{},{},{},{},{:.3},{},{},{}\n",
+                "{},{:.6},{},{},{},{},{:.3},{},{},{},{}\n",
                 r.epoch,
                 r.train_loss,
                 acc,
@@ -233,6 +264,7 @@ impl RunMetrics {
                 r.dropped_clients,
                 r.stale_clients,
                 r.rejected_migrations,
+                r.bytes_saved,
             ));
         }
         out
@@ -263,6 +295,7 @@ mod tests {
             dropped_clients: 0,
             stale_clients: 0,
             rejected_migrations: 0,
+            bytes_saved: 0,
         }
     }
 
@@ -282,6 +315,8 @@ mod tests {
             target_reached: false,
             fault: FaultStats::default(),
             robust: RobustStats::default(),
+            codec: "identity".into(),
+            compression: CompressionStats::default(),
         }
     }
 
@@ -335,6 +370,8 @@ mod tests {
             target_reached: false,
             fault: FaultStats::default(),
             robust: RobustStats::default(),
+            codec: "identity".into(),
+            compression: CompressionStats::default(),
         };
         assert_eq!(m.final_accuracy(), 0.0);
         assert_eq!(m.traffic().total(), 0);
@@ -372,7 +409,29 @@ mod tests {
             .lines()
             .next()
             .unwrap()
-            .ends_with("dropped_clients,stale_clients,rejected_migrations"));
+            .ends_with("dropped_clients,stale_clients,rejected_migrations,bytes_saved"));
+    }
+
+    #[test]
+    fn compression_summary_reports_only_lossy_codecs() {
+        let mut m = metrics();
+        assert!(m.compression_summary().is_none(), "identity runs carry no summary");
+        m.codec = "int8+ef".into();
+        m.compression = CompressionStats {
+            encodes: 10,
+            uncompressed_bytes: 4000,
+            compressed_bytes: 1000,
+            sum_sq_error: 1.0,
+            coords: 1000,
+            residual_norm_sum: 5.0,
+            ef_transmits: 10,
+        };
+        m.records.last_mut().unwrap().bytes_saved = 3000;
+        assert_eq!(m.bytes_saved(), 3000);
+        let s = m.compression_summary().unwrap();
+        for needle in ["int8+ef", "4.00x", "3000 wire bytes saved"] {
+            assert!(s.contains(needle), "summary {s:?} missing {needle:?}");
+        }
     }
 
     #[test]

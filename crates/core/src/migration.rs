@@ -406,7 +406,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..10 {
             let p = MigrationPlan::random(7, &mut rng);
-            let mut seen = vec![false; 7];
+            let mut seen = [false; 7];
             for i in 0..7 {
                 seen[p.dest(i)] = true;
             }

@@ -1,5 +1,6 @@
 use std::sync::Arc;
 
+use fedmigr_compress::{CodecConfig, Compressor};
 use fedmigr_data::distribution::l1_distance;
 use fedmigr_data::Dataset;
 use fedmigr_drl::qp::FlmmRelaxation;
@@ -69,6 +70,13 @@ pub struct RunConfig {
     /// is bit-identical to the pre-defense sample-weighted mean; the robust
     /// rules bound the influence of Byzantine uploads.
     pub aggregator: Aggregator,
+    /// Wire codec applied to every model transfer (uploads, downloads, C2C
+    /// migrations and their fallback paths). The default
+    /// ([`CodecConfig::Identity`]) is byte-identical to uncompressed
+    /// transfers; lossy codecs shrink every byte charge and genuinely
+    /// distort the delivered models (receivers decode what the wire
+    /// carried).
+    pub codec: CodecConfig,
     /// Seed for client batch order, migration randomness and DP noise.
     pub seed: u64,
 }
@@ -91,6 +99,7 @@ impl RunConfig {
             fault: FaultConfig::none(),
             attack: AttackConfig::none(),
             aggregator: Aggregator::FedAvg,
+            codec: CodecConfig::Identity,
             seed: 7,
         }
     }
@@ -157,7 +166,17 @@ impl Experiment {
         );
         let k = self.num_clients();
         let mut template = self.template.clone();
-        let model_bytes = template.wire_bytes();
+        let num_params = template.num_params();
+        // One compressor per run: a residual lane per client for egress
+        // transfers, seeded from the run seed (stochastic rounding never
+        // consumes the shared RNG stream). Every transfer carries one full
+        // model, so its wire cost is this single constant — the codec's
+        // exact encoded size; under the identity codec it equals the
+        // uncompressed `8 + 4n` seed format, byte for byte.
+        let mut compressor = Compressor::new(&cfg.codec, k, cfg.seed);
+        let model_bytes = compressor.encoded_size(num_params);
+        let uncompressed_bytes = template.wire_bytes();
+        let saved_per_transfer = uncompressed_bytes.saturating_sub(model_bytes);
         let mut global = template.params();
 
         let mut clients: Vec<FlClient> = self
@@ -175,8 +194,11 @@ impl Experiment {
                 )
             })
             .collect();
+        // Initial distribution is one server-side encode fanned out to all
+        // K clients; each installs what the wire actually carried.
+        let initial = compressor.broadcast(&global);
         for c in &mut clients {
-            c.set_params(&global, false);
+            c.set_params(&initial, false);
         }
         let total_n: f64 = clients.iter().map(|c| c.num_samples() as f64).sum();
 
@@ -318,6 +340,7 @@ impl Experiment {
                     dropped_clients: dropped,
                     stale_clients: 0,
                     rejected_migrations: 0,
+                    bytes_saved: (meter.traffic().total() / model_bytes) * saved_per_transfer,
                 });
                 continue;
             }
@@ -468,6 +491,11 @@ impl Experiment {
                         dp.apply(&mut upload, &mut rng);
                     }
                     attack.corrupt_upload(uploader, epoch, &mut upload);
+                    // The server sees what the wire carried: codec distortion
+                    // (and preserved NaN corruption) lands on the decoded
+                    // payload, with the uploader's error-feedback residual
+                    // applied on egress.
+                    let upload = compressor.transmit(uploader, &upload);
                     // FedAsync has no multi-upload round to robustify, but
                     // a non-finite upload is still screened out whenever a
                     // robust aggregator is configured.
@@ -482,7 +510,8 @@ impl Experiment {
                             *g = (1.0 - beta) * *g + beta * u;
                         }
                     }
-                    clients[uploader].set_params(&global, false);
+                    let down = compressor.transmit_down(uploader, &global);
+                    clients[uploader].set_params(&down, false);
                     mix[uploader].clone_from(&population);
                 } else if uploader.is_some() {
                     // The uploader never reached the server this epoch.
@@ -513,6 +542,14 @@ impl Experiment {
                         ),
                 );
                 let mut uploads = collect_params(&mut clients, cfg, &attack, epoch, &mut rng);
+                // Only the clients that reached the server actually put
+                // bytes on the wire; their uploads become what the codec
+                // delivered (error-feedback on client egress).
+                for (i, up) in uploads.iter_mut().enumerate() {
+                    if synced[i] {
+                        *up = compressor.transmit(i, up);
+                    }
+                }
                 if is_agg {
                     if n_synced > 0 {
                         global = aggregate_active(
@@ -523,9 +560,12 @@ impl Experiment {
                             &global,
                             &mut robust_epoch,
                         );
+                        // One aggregated payload fans out to every synced
+                        // client: a single server-side encode.
+                        let down = compressor.broadcast(&global);
                         for (i, c) in clients.iter_mut().enumerate() {
                             if synced[i] {
-                                c.set_params(&global, false);
+                                c.set_params(&down, false);
                                 mix[i].clone_from(&population);
                             }
                         }
@@ -534,11 +574,21 @@ impl Experiment {
                     // FedSwap: the server swaps models "between any two of
                     // all clients" — a few random disjoint pairs per round,
                     // so mixing is slower than a full migration permutation.
+                    // Unsynced clients never uploaded: the plan leaves them
+                    // fixed and they re-install their local copy wire-free,
+                    // while each synced client's (possibly swapped) model
+                    // comes back down through the codec as a distinct
+                    // server-egress payload.
                     let plan = swap_pairs_plan(&synced, k.div_ceil(4), &mut rng);
                     uploads = plan.apply(&uploads);
                     mix = plan.apply(&mix);
-                    for ((i, c), p) in clients.iter_mut().enumerate().zip(&uploads) {
-                        c.set_params(p, plan.dest(i) != i);
+                    for (i, c) in clients.iter_mut().enumerate() {
+                        let p = if synced[i] {
+                            compressor.transmit_down(i, &uploads[i])
+                        } else {
+                            uploads[i].clone()
+                        };
+                        c.set_params(&p, plan.dest(i) != i);
                     }
                 }
             } else if is_agg {
@@ -561,7 +611,12 @@ impl Experiment {
                             self.topology.c2s_latency(),
                         ),
                 );
-                let uploads = collect_params(&mut clients, cfg, &attack, epoch, &mut rng);
+                let mut uploads = collect_params(&mut clients, cfg, &attack, epoch, &mut rng);
+                for (i, up) in uploads.iter_mut().enumerate() {
+                    if synced[i] {
+                        *up = compressor.transmit(i, up);
+                    }
+                }
                 if n_synced > 0 {
                     global = aggregate_active(
                         &clients,
@@ -571,9 +626,10 @@ impl Experiment {
                         &global,
                         &mut robust_epoch,
                     );
+                    let down = compressor.broadcast(&global);
                     for (i, c) in clients.iter_mut().enumerate() {
                         if synced[i] {
-                            c.set_params(&global, false);
+                            c.set_params(&down, false);
                             mix[i].clone_from(&population);
                         }
                     }
@@ -633,7 +689,10 @@ impl Experiment {
                 // `src_of[j]` is the client whose model client `j` hosts
                 // after this round. A failed delivery leaves `j` on its own
                 // retained copy instead of breaking the permutation.
+                // `delivered_payload[j]` is what the wire actually handed
+                // `j` — the decoded (possibly lossy) model.
                 let mut src_of: Vec<usize> = (0..k).collect();
+                let mut delivered_payload: Vec<Option<Vec<f32>>> = vec![None; k];
                 let mut move_times = Vec::new();
                 for (i, j) in plan.moves() {
                     let (delivered, time) = self.deliver(
@@ -648,17 +707,22 @@ impl Experiment {
                     );
                     move_times.push(time);
                     if delivered {
-                        // The model arrived: the receiver screens it before
-                        // adoption. A rejected model was still transmitted
-                        // (the bytes are burned) but `j` keeps its own copy
-                        // and the source's suspicion rises.
+                        // Encode only transfers that completed: a cancelled
+                        // migration must not consume the sender's
+                        // error-feedback residual. The receiver screens the
+                        // *decoded* payload before adoption. A rejected
+                        // model was still transmitted (the bytes are
+                        // burned) but `j` keeps its own copy and the
+                        // source's suspicion rises.
+                        let payload = compressor.transmit(i, &params[i]);
                         if let Some(q) = quarantine.as_mut() {
-                            if !q.screen(i, &params[i], &params[j]) {
+                            if !q.screen(i, &payload, &params[j]) {
                                 robust_epoch.rejected_migrations += 1;
                                 continue;
                             }
                         }
                         src_of[j] = i;
+                        delivered_payload[j] = Some(payload);
                         link_migrations[i * k + j] += 1;
                         if self.topology.same_lan(i, j) {
                             migrations_local += 1;
@@ -670,8 +734,15 @@ impl Experiment {
                 clock.advance_parallel(move_times);
                 mix = src_of.iter().map(|&s| mix[s].clone()).collect();
                 for (j, c) in clients.iter_mut().enumerate() {
-                    let migrated = params[src_of[j]] != params[j];
-                    c.set_params(&params[src_of[j]], migrated);
+                    match delivered_payload[j].take() {
+                        Some(p) => {
+                            let migrated = p != params[j];
+                            c.set_params(&p, migrated);
+                        }
+                        // No accepted migration: re-install the retained
+                        // local copy (the pre-codec behaviour, wire-free).
+                        None => c.set_params(&params[j], false),
+                    }
                 }
             }
 
@@ -684,15 +755,18 @@ impl Experiment {
                 } else {
                     // What clients would *transmit* if the server aggregated
                     // now — Byzantine clients corrupt these shadow uploads
-                    // exactly like real ones, so the measured accuracy
-                    // reflects the configured aggregation rule's defense.
+                    // exactly like real ones, and the codec previews its
+                    // distortion (without touching residuals, counters or
+                    // stats: these transfers are hypothetical), so the
+                    // measured accuracy reflects both the aggregation
+                    // rule's defense and the wire's lossiness.
                     let uploads: Vec<Vec<f32>> = clients
                         .iter_mut()
                         .enumerate()
                         .map(|(i, c)| {
                             let mut p = c.params();
                             attack.corrupt_upload(i, epoch, &mut p);
-                            p
+                            compressor.preview(i, &p)
                         })
                         .collect();
                     aggregate_active(
@@ -744,6 +818,9 @@ impl Experiment {
                 dropped_clients: dropped,
                 stale_clients: stale,
                 rejected_migrations: robust_epoch.rejected_migrations,
+                // Every meter charge is a whole number of model transfers,
+                // so the cumulative wire-level saving is exact.
+                bytes_saved: (meter.traffic().total() / model_bytes) * saved_per_transfer,
             });
             robust_total.absorb(&robust_epoch);
             prev_loss = Some(mean_loss);
@@ -785,6 +862,8 @@ impl Experiment {
             target_reached,
             fault: fault_stats,
             robust: robust_total,
+            codec: cfg.codec.name(),
+            compression: compressor.stats(),
         }
     }
 

@@ -3,6 +3,7 @@
 //! as a library API so downstream users don't re-implement them.
 
 use crate::metrics::{FaultStats, RobustStats, RunMetrics};
+use fedmigr_compress::CompressionStats;
 
 /// A comparison of several finished runs against a named baseline.
 pub struct SchemeComparison<'a> {
@@ -87,6 +88,22 @@ impl<'a> SchemeComparison<'a> {
             })
             .collect()
     }
+
+    /// Wire-compression comparison: for every run (baseline included), the
+    /// codec's cumulative stats and the fraction of wire bytes the codec
+    /// saved relative to uncompressed transfers (`bytes_saved / (traffic +
+    /// bytes_saved)`). Zero everywhere under the identity codec.
+    pub fn compression_report(&self) -> Vec<(String, CompressionStats, f64)> {
+        std::iter::once(&self.baseline)
+            .chain(self.others.iter())
+            .map(|m| {
+                let saved = m.bytes_saved();
+                let would_be = m.traffic().total() + saved;
+                let saved_frac = if would_be == 0 { 0.0 } else { saved as f64 / would_be as f64 };
+                (format!("{} [{}]", m.scheme, m.codec), m.compression, saved_frac)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +124,7 @@ mod tests {
                 dropped_clients: 0,
                 stale_clients: 0,
                 rejected_migrations: 0,
+                bytes_saved: 0,
             }],
             migrations_local: 0,
             migrations_global: 0,
@@ -115,6 +133,8 @@ mod tests {
             target_reached: false,
             fault: FaultStats::default(),
             robust: RobustStats::default(),
+            codec: "identity".into(),
+            compression: CompressionStats::default(),
         }
     }
 
@@ -163,6 +183,24 @@ mod tests {
         assert_eq!(report[0].2, 0.0, "clean run rejects nothing");
         assert!((report[1].2 - 0.25).abs() < 1e-9);
         assert_eq!(report[1].1.nan_uploads, 3);
+    }
+
+    #[test]
+    fn compression_report_tracks_saved_fraction() {
+        let plain = run("FedAvg", 0.6, 900, 100, 100.0);
+        let mut squeezed = run("FedAvg", 0.59, 200, 50, 80.0);
+        squeezed.codec = "int8+ef".into();
+        squeezed.records[0].bytes_saved = 750; // 750 of 1000 would-be bytes
+        squeezed.compression =
+            CompressionStats { encodes: 5, ef_transmits: 5, ..Default::default() };
+        let cmp = SchemeComparison::new(&plain, vec![&squeezed]);
+        let report = cmp.compression_report();
+        assert_eq!(report.len(), 2);
+        assert_eq!(report[0].0, "FedAvg [identity]");
+        assert_eq!(report[0].2, 0.0, "identity saves nothing");
+        assert_eq!(report[1].0, "FedAvg [int8+ef]");
+        assert!((report[1].2 - 0.75).abs() < 1e-9);
+        assert_eq!(report[1].1.encodes, 5);
     }
 
     #[test]

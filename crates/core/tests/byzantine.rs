@@ -125,7 +125,7 @@ fn byzantine_nan_migrations_are_quarantined() {
     assert!(m.final_accuracy().is_finite());
     assert!(m.robust_summary().is_some());
     // The per-epoch CSV carries the rejection column.
-    assert!(m.to_csv().lines().next().unwrap().ends_with("rejected_migrations"));
+    assert!(m.to_csv().lines().next().unwrap().contains("rejected_migrations"));
 }
 
 #[test]

@@ -13,17 +13,23 @@ pub struct Model {
     num_classes: usize,
     name: String,
     non_finite_batches: u64,
+    num_params: usize,
 }
 
 impl Model {
     /// Wraps a network. `input_shape` is per-sample (no batch dimension).
-    pub fn new(net: Sequential, input_shape: &[usize], num_classes: usize, name: &str) -> Self {
+    pub fn new(mut net: Sequential, input_shape: &[usize], num_classes: usize, name: &str) -> Self {
+        // The layer-visitor API needs `&mut`, so count once here: the
+        // architecture is fixed after construction and size queries
+        // (`num_params`, `wire_bytes`) should not demand mutable access.
+        let num_params = net.param_count();
         Self {
             net,
             input_shape: input_shape.to_vec(),
             num_classes,
             name: name.to_string(),
             non_finite_batches: 0,
+            num_params,
         }
     }
 
@@ -47,14 +53,14 @@ impl Model {
         &mut self.net
     }
 
-    /// Total scalar parameter count.
-    pub fn num_params(&mut self) -> usize {
-        self.net.param_count()
+    /// Total scalar parameter count (cached at construction).
+    pub fn num_params(&self) -> usize {
+        self.num_params
     }
 
-    /// Size in bytes of this model on the wire (what migration/aggregation
-    /// transfers cost in the network simulator).
-    pub fn wire_bytes(&mut self) -> u64 {
+    /// Size in bytes of this model on the wire *uncompressed* — the
+    /// identity-codec cost; compressing codecs report their own sizes.
+    pub fn wire_bytes(&self) -> u64 {
         wire_size(self.num_params())
     }
 

@@ -32,4 +32,5 @@ run ablation_policy    ablation_policy
 run table2_accuracy    table2_accuracy
 run figR_fault_tolerance figR_fault_tolerance
 run figB_byzantine     figB_byzantine
+run figC_compression   figC_compression
 echo "ALL EXPERIMENTS DONE $(date +%H:%M:%S)"

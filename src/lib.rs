@@ -6,6 +6,7 @@
 //! orchestration. Most users should start from [`core`] (the FL schemes and
 //! experiment runner) and [`nn::zoo`] (the paper's model architectures).
 
+pub use fedmigr_compress as compress;
 pub use fedmigr_core as core;
 pub use fedmigr_data as data;
 pub use fedmigr_drl as drl;

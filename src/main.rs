@@ -9,7 +9,7 @@
 //! writes the per-epoch curve for external plotting. Run with `--help` for
 //! the full flag list.
 
-use fedmigr::core::{DpConfig, Experiment, RunConfig, Scheme};
+use fedmigr::core::{CodecConfig, DpConfig, Experiment, RunConfig, Scheme};
 use fedmigr::data::{
     partition_dirichlet, partition_dominant, partition_iid, partition_missing_classes,
     partition_shards, SyntheticConfig, SyntheticDataset,
@@ -37,6 +37,9 @@ OPTIONS:
     --batch <n>          mini-batch size (default 32)
     --eval <n>           evaluation interval (default 10)
     --participation <f>  client fraction per epoch (default 1.0)
+    --codec <c>          wire codec: identity | int8 | int4 | stoch8 |
+                         topk:<frac> | topk-int8:<frac>, append ,noef to
+                         disable error feedback (default identity)
     --dp-eps <f>         enable (eps, 1e-5)-LDP on transmitted models
     --target <f>         stop at this test accuracy
     --dropout <f>        inject edge churn at this dropout rate in [0, 1)
@@ -99,6 +102,8 @@ fn main() {
     cfg.participation = args.participation;
     cfg.target_accuracy = args.target;
     cfg.dp = args.dp_eps.map(DpConfig::with_epsilon);
+    cfg.codec = CodecConfig::parse(&args.codec)
+        .unwrap_or_else(|| die(&format!("unknown codec {:?} (try --help)", args.codec)));
     if let Some(dropout) = args.dropout {
         if !(0.0..1.0).contains(&dropout) {
             die(&format!("--dropout must be in [0, 1), got {dropout}"));
@@ -136,6 +141,9 @@ fn main() {
     if let Some(faults) = metrics.fault_summary() {
         println!("{faults}");
     }
+    if let Some(compression) = metrics.compression_summary() {
+        println!("{compression}");
+    }
     if metrics.target_reached {
         println!("stopped early:    target accuracy reached");
     }
@@ -160,6 +168,7 @@ struct Args {
     batch: usize,
     eval: usize,
     participation: f64,
+    codec: String,
     dp_eps: Option<f64>,
     target: Option<f64>,
     dropout: Option<f64>,
@@ -182,6 +191,7 @@ impl Args {
             batch: 32,
             eval: 10,
             participation: 1.0,
+            codec: "identity".into(),
             dp_eps: None,
             target: None,
             dropout: None,
@@ -213,6 +223,7 @@ impl Args {
                 "--batch" => out.batch = parse(value, flag),
                 "--eval" => out.eval = parse(value, flag),
                 "--participation" => out.participation = parse(value, flag),
+                "--codec" => out.codec = value.clone(),
                 "--dp-eps" => out.dp_eps = Some(parse(value, flag)),
                 "--target" => out.target = Some(parse(value, flag)),
                 "--dropout" => out.dropout = Some(parse(value, flag)),

@@ -1,0 +1,153 @@
+//! End-to-end wire-compression tests: the identity codec reproduces the
+//! uncompressed byte accounting bit-for-bit, lossy codecs charge exactly
+//! their encoded sizes on every path, and int8 with error feedback learns
+//! within two accuracy points of uncompressed on the smoke configuration.
+
+use fedmigr::compress::{Codec, CodecConfig, WireCodec};
+use fedmigr::core::{Experiment, RunConfig, Scheme};
+use fedmigr::data::{partition_shards, SyntheticConfig, SyntheticDataset};
+use fedmigr::net::{ClientCompute, DeviceTier, Topology, TopologyConfig};
+use fedmigr::nn::zoo::{self, NetScale};
+
+const K: usize = 4;
+
+fn experiment(seed: u64) -> Experiment {
+    let data = SyntheticDataset::generate(&SyntheticConfig {
+        num_classes: 4,
+        train_per_class: 24,
+        test_per_class: 8,
+        channels: 1,
+        hw: 8,
+        noise_std: 0.8,
+        class_sep: 1.0,
+        atom_bank: 6,
+        atoms_per_class: 2,
+        private_frac: 0.5,
+        seed,
+    });
+    let parts = partition_shards(&data.train, K, 1, seed);
+    Experiment::new(
+        data.train,
+        data.test,
+        parts,
+        Topology::new(&TopologyConfig::default_edge(vec![2, 2], seed)),
+        ClientCompute::homogeneous(K, DeviceTier::Nx),
+        zoo::c10_cnn(1, 8, NetScale::Small, seed),
+    )
+}
+
+fn num_params() -> usize {
+    zoo::c10_cnn(1, 8, NetScale::Small, 5).num_params()
+}
+
+fn config(scheme: Scheme, epochs: usize, codec: CodecConfig) -> RunConfig {
+    let mut cfg = RunConfig::new(scheme, epochs);
+    cfg.agg_interval = 4;
+    cfg.eval_interval = 4;
+    cfg.batch_size = 16;
+    cfg.lr = 0.02;
+    cfg.seed = 5;
+    cfg.codec = codec;
+    cfg
+}
+
+#[test]
+fn identity_codec_is_byte_identical_to_the_default_path() {
+    let exp = experiment(5);
+    let mut defaulted = RunConfig::new(Scheme::RandMigr, 8);
+    defaulted.agg_interval = 4;
+    defaulted.eval_interval = 4;
+    defaulted.batch_size = 16;
+    defaulted.lr = 0.02;
+    defaulted.seed = 5;
+    let explicit = config(Scheme::RandMigr, 8, CodecConfig::Identity);
+    let a = exp.run(&defaulted);
+    let b = exp.run(&explicit);
+    assert_eq!(a.to_csv(), b.to_csv(), "explicit identity must equal the default");
+    assert_eq!(a.bytes_saved(), 0);
+    assert_eq!(a.codec, "identity");
+    assert!(a.compression_summary().is_none(), "identity reports no compression");
+    // Identity stats still meter every encode losslessly.
+    assert!(a.compression.encodes > 0);
+    assert_eq!(a.compression.compressed_bytes, a.compression.uncompressed_bytes);
+    assert_eq!(a.compression.sum_sq_error, 0.0);
+}
+
+#[test]
+fn lossy_runs_replay_bit_for_bit() {
+    let exp = experiment(5);
+    for codec in [CodecConfig::int8(), CodecConfig::stochastic8(5), CodecConfig::topk(0.25)] {
+        let cfg = config(Scheme::FedAvg, 8, codec.clone());
+        let a = exp.run(&cfg);
+        let b = exp.run(&cfg);
+        assert_eq!(a.to_csv(), b.to_csv(), "{}: lossy runs must be deterministic", codec.name());
+        assert_eq!(a.compression, b.compression, "{}", codec.name());
+    }
+}
+
+#[test]
+fn compressed_fedavg_traffic_is_exactly_accounted() {
+    let epochs = 8;
+    let codec_cfg = CodecConfig::int8();
+    let enc = Codec::from_config(&codec_cfg).encoded_size(num_params());
+    let flat = zoo::c10_cnn(1, 8, NetScale::Small, 5).wire_bytes();
+    assert!(enc * 3 < flat, "int8 must shrink the model at least 3x");
+
+    let m = experiment(5).run(&config(Scheme::FedAvg, epochs, codec_cfg));
+    // The same transfer count as the uncompressed path (initial
+    // distribution plus 2K per epoch), each charged at the encoded size.
+    let transfers = K as u64 * (1 + 2 * epochs as u64);
+    assert_eq!(m.traffic().c2s, transfers * enc);
+    assert_eq!(m.traffic().c2c_local + m.traffic().c2c_global, 0);
+    // bytes_saved is exactly the per-transfer saving times the transfers.
+    assert_eq!(m.bytes_saved(), transfers * (flat - enc));
+    assert!(m.compression_summary().is_some());
+}
+
+#[test]
+fn compressed_migration_traffic_matches_move_counts() {
+    let codec_cfg = CodecConfig::topk_int8(0.25);
+    let enc = Codec::from_config(&codec_cfg).encoded_size(num_params());
+    let m = experiment(5).run(&config(Scheme::RandMigr, 8, codec_cfg));
+    let moves = (m.migrations_local + m.migrations_global) as u64;
+    assert!(moves > 0, "random migration must move models");
+    assert_eq!(m.traffic().c2c_local + m.traffic().c2c_global, moves * enc);
+    assert_eq!(m.traffic().c2s % enc, 0, "C2S must charge whole encoded models");
+}
+
+#[test]
+fn int8_with_error_feedback_stays_within_two_points_of_uncompressed() {
+    let exp = experiment(5);
+    let epochs = 12;
+    let plain = exp.run(&config(Scheme::FedAvg, epochs, CodecConfig::Identity));
+    let squeezed = exp.run(&config(Scheme::FedAvg, epochs, CodecConfig::int8()));
+    assert_eq!(squeezed.epochs(), epochs);
+    let (a, b) = (plain.final_accuracy(), squeezed.final_accuracy());
+    assert!(
+        a - b <= 0.02,
+        "int8+ef accuracy {b:.4} fell more than 2 points below uncompressed {a:.4}"
+    );
+    assert!(squeezed.compression.ratio() >= 3.0, "ratio {}", squeezed.compression.ratio());
+    assert!(squeezed.bytes_saved() > 0);
+}
+
+#[test]
+fn every_scheme_completes_under_every_codec() {
+    let exp = experiment(5);
+    for codec in [CodecConfig::int8(), CodecConfig::int4(), CodecConfig::topk(0.5)] {
+        for scheme in [
+            Scheme::FedAvg,
+            Scheme::fedprox(),
+            Scheme::FedSwap,
+            Scheme::RandMigr,
+            Scheme::fedmigr(5),
+            Scheme::fedasync(),
+        ] {
+            let name = scheme.name();
+            let m = exp.run(&config(scheme, 8, codec.clone()));
+            assert_eq!(m.epochs(), 8, "{name} under {} truncated", codec.name());
+            assert!(m.final_accuracy().is_finite(), "{name} under {} diverged", codec.name());
+            assert!(m.compression.any(), "{name} under {} recorded nothing", codec.name());
+        }
+    }
+}

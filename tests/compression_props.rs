@@ -1,0 +1,138 @@
+//! Property-based tests of the wire-compression codecs: quantization error
+//! bounds, stochastic unbiasedness, top-k determinism, and exact byte
+//! accounting across arbitrary vectors.
+
+use fedmigr::compress::{Codec, CodecConfig, WireCodec, CHUNK};
+use proptest::prelude::*;
+
+/// All lossy codec configurations, for the sweep properties.
+fn lossy_configs() -> Vec<CodecConfig> {
+    vec![
+        CodecConfig::int8(),
+        CodecConfig::int4(),
+        CodecConfig::stochastic8(3),
+        CodecConfig::topk(0.3),
+        CodecConfig::topk_int8(0.3),
+    ]
+}
+
+proptest! {
+    /// Deterministic uniform quantization never errs by more than half a
+    /// quantization step, where the step is each chunk's range over the
+    /// number of levels.
+    #[test]
+    fn quantization_error_is_at_most_half_a_step(
+        values in prop::collection::vec(-100.0f32..100.0, 1..600),
+    ) {
+        for (bits, cfg) in [(8u32, CodecConfig::int8()), (4, CodecConfig::int4())] {
+            let codec = Codec::from_config(&cfg);
+            let decoded = codec.decode(&codec.encode(&values, 0)).expect("round trip");
+            prop_assert_eq!(decoded.len(), values.len());
+            let levels = ((1u32 << bits) - 1) as f32;
+            for (chunk, out) in values.chunks(CHUNK).zip(decoded.chunks(CHUNK)) {
+                let min = chunk.iter().cloned().fold(f32::INFINITY, f32::min);
+                let max = chunk.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                // Half a step, padded for f32 arithmetic on large ranges.
+                let tol = (max - min) / levels / 2.0 + (max - min) * 1e-5 + 1e-6;
+                for (&v, &d) in chunk.iter().zip(out) {
+                    prop_assert!(
+                        (v - d).abs() <= tol,
+                        "bits {}: value {} decoded {} (tol {})", bits, v, d, tol
+                    );
+                }
+            }
+        }
+    }
+
+    /// Stochastic rounding is unbiased: averaged over many independent
+    /// transmissions the decoded value converges on the input, beating the
+    /// half-step bias a deterministic rounder is allowed.
+    #[test]
+    fn stochastic_rounding_is_unbiased_in_expectation(
+        values in prop::collection::vec(-10.0f32..10.0, 2..12),
+        seed in 0u64..1000,
+    ) {
+        let codec = Codec::from_config(&CodecConfig::stochastic8(seed));
+        let rounds = 300u64;
+        let mut mean = vec![0.0f64; values.len()];
+        for r in 0..rounds {
+            let d = codec.decode(&codec.encode(&values, r)).expect("round trip");
+            for (m, x) in mean.iter_mut().zip(d) {
+                *m += x as f64 / rounds as f64;
+            }
+        }
+        let min = values.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let step = ((max - min) / 255.0) as f64;
+        // The mean of `rounds` Bernoulli roundings concentrates within a
+        // small fraction of a step; a biased rounder would sit anywhere up
+        // to step/2 away.
+        let tol = step * 0.2 + 1e-6;
+        for (&v, &m) in values.iter().zip(&mean) {
+            prop_assert!((v as f64 - m).abs() <= tol, "value {} mean {} (tol {})", v, m, tol);
+        }
+    }
+
+    /// Top-k selection is deterministic even under equal magnitudes: two
+    /// encodes of the same vector are byte-identical, and with all-equal
+    /// magnitudes the *lowest* indices win the tie-break.
+    #[test]
+    fn topk_is_deterministic_under_ties(
+        signs in prop::collection::vec(any::<bool>(), 4..64),
+        seed_a in 0u64..100,
+        seed_b in 0u64..100,
+    ) {
+        let values: Vec<f32> =
+            signs.iter().map(|&s| if s { 2.5 } else { -2.5 }).collect();
+        let codec = Codec::from_config(&CodecConfig::topk(0.5));
+        let a = codec.encode(&values, seed_a);
+        let b = codec.encode(&values, seed_b);
+        prop_assert!(a.bytes() == b.bytes(), "top-k must ignore the seed");
+        let decoded = codec.decode(&a).expect("round trip");
+        let k = (values.len() as f64 * 0.5).ceil() as usize;
+        // Ties broken towards lower indices: the first k survive, the rest
+        // are zeroed.
+        for (i, (&v, &d)) in values.iter().zip(&decoded).enumerate() {
+            if i < k {
+                prop_assert!(d == v, "index {} should survive: {} vs {}", i, d, v);
+            } else {
+                prop_assert!(d == 0.0, "index {} should be dropped, got {}", i, d);
+            }
+        }
+    }
+
+    /// For every codec the blob on the wire is exactly the size the codec
+    /// reports, for every vector length — byte accounting is never
+    /// approximate.
+    #[test]
+    fn encoded_bytes_match_reported_size_exactly(
+        values in prop::collection::vec(-50.0f32..50.0, 0..700),
+        seed in 0u64..1000,
+    ) {
+        let mut configs = lossy_configs();
+        configs.push(CodecConfig::Identity);
+        for cfg in configs {
+            let codec = Codec::from_config(&cfg);
+            let blob = codec.encode(&values, seed);
+            prop_assert!(
+                blob.wire_bytes() == codec.encoded_size(values.len()),
+                "codec {} length {}: wire {} vs reported {}",
+                cfg.name(),
+                values.len(),
+                blob.wire_bytes(),
+                codec.encoded_size(values.len())
+            );
+            prop_assert_eq!(blob.bytes().len() as u64, blob.wire_bytes());
+            let decoded = codec.decode(&blob).expect("round trip");
+            prop_assert_eq!(decoded.len(), values.len());
+        }
+    }
+
+    /// The identity codec is bit-lossless for arbitrary finite vectors.
+    #[test]
+    fn identity_is_lossless(values in prop::collection::vec(-1e6f32..1e6, 0..256)) {
+        let codec = Codec::from_config(&CodecConfig::Identity);
+        let decoded = codec.decode(&codec.encode(&values, 9)).expect("round trip");
+        prop_assert_eq!(decoded, values);
+    }
+}
