@@ -6,6 +6,7 @@ use fedmigr_bench::{build_experiment, standard_config, Partition, Scale, Workloa
 use fedmigr_core::{FedMigrConfig, Scheme};
 
 fn main() {
+    let _obs = fedmigr_bench::init_observability("ablation_policy");
     let seeds = [17u64, 29, 43];
     let mut totals: Vec<(String, f64)> = Vec::new();
     for &seed in &seeds {

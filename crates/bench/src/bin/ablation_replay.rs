@@ -9,6 +9,7 @@ use fedmigr_bench::{
 use fedmigr_core::{FedMigrConfig, Scheme};
 
 fn main() {
+    let _obs = fedmigr_bench::init_observability("ablation_replay");
     let scale = Scale::from_args();
     let seeds = [17u64, 29, 43];
 

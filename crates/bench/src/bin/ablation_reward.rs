@@ -12,6 +12,7 @@ use fedmigr_core::{FedMigrConfig, Scheme};
 use fedmigr_net::ResourceBudget;
 
 fn main() {
+    let _obs = fedmigr_bench::init_observability("ablation_reward");
     let scale = Scale::from_args();
     let seed = 73;
     let exp = build_experiment(Workload::C10, Partition::Shards, scale, seed);

@@ -12,6 +12,7 @@ use fedmigr_net::{ClientCompute, Topology, TopologyConfig};
 use fedmigr_nn::zoo::{self, NetScale};
 
 fn main() {
+    let _obs = fedmigr_bench::init_observability("calibrate");
     let args: Vec<String> = std::env::args().collect();
     let noises: Vec<f32> = args
         .windows(2)

@@ -12,6 +12,7 @@ use fedmigr_bench::{
 use fedmigr_core::Scheme;
 
 fn main() {
+    let _obs = fedmigr_bench::init_observability("ext_async");
     let scale = Scale::from_args();
     let seed = 79;
     let exp = build_experiment(Workload::C10, Partition::Shards, scale, seed);

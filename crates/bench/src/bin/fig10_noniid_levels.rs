@@ -14,6 +14,7 @@ use fedmigr_bench::{
 };
 
 fn main() {
+    let _obs = fedmigr_bench::init_observability("fig10_noniid_levels");
     let scale = Scale::from_args();
     let args: Vec<String> = std::env::args().collect();
     let which = args

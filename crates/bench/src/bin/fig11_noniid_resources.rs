@@ -13,6 +13,7 @@ use fedmigr_bench::{
 };
 
 fn main() {
+    let _obs = fedmigr_bench::init_observability("fig11_noniid_resources");
     let scale = Scale::from_args();
     let seed = 71;
     let levels = [0.2, 0.4, 0.6, 0.8];

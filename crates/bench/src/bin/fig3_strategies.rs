@@ -14,6 +14,7 @@ use fedmigr_net::{ClientCompute, Topology, TopologyConfig};
 use fedmigr_nn::zoo::{self, NetScale};
 
 fn main() {
+    let _obs = fedmigr_bench::init_observability("fig3_strategies");
     let scale = Scale::from_args();
     let seed = 23;
     let lan_sizes = [4usize, 3, 3];

@@ -16,6 +16,7 @@ use fedmigr_bench::{
 use fedmigr_core::{DpConfig, Scheme};
 
 fn main() {
+    let _obs = fedmigr_bench::init_observability("fig4_privacy");
     let scale = Scale::from_args();
     let args: Vec<String> = std::env::args().collect();
     let eps_list: Vec<f64> = args

@@ -14,6 +14,7 @@ use fedmigr_bench::{
 use fedmigr_core::Scheme;
 
 fn main() {
+    let _obs = fedmigr_bench::init_observability("fig5_agg_freq");
     let scale = Scale::from_args();
     let seed = 41;
     let exp = build_experiment(Workload::C10, Partition::Shards, scale, seed);

@@ -16,6 +16,7 @@ use fedmigr_drl::qp::FlmmRelaxation;
 use fedmigr_drl::{AgentConfig, DdpgAgent, MigrationState};
 
 fn main() {
+    let _obs = fedmigr_bench::init_observability("fig6_scalability");
     let args: Vec<String> = std::env::args().collect();
     let reps: usize = args
         .windows(2)

@@ -13,6 +13,7 @@ use fedmigr_core::Scheme;
 use fedmigr_net::LinkClass;
 
 fn main() {
+    let _obs = fedmigr_bench::init_observability("fig8_link_speed");
     let scale = Scale::from_args();
     let seed = 53;
     let exp = build_experiment(Workload::C10, Partition::Shards, scale, seed);

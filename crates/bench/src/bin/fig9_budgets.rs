@@ -13,6 +13,7 @@ use fedmigr_bench::{
 };
 
 fn main() {
+    let _obs = fedmigr_bench::init_observability("fig9_budgets");
     let scale = Scale::from_args();
     let seed = 59;
     let exp = build_experiment(Workload::C10, Partition::Shards, scale, seed);

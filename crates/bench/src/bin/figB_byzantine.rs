@@ -24,6 +24,7 @@ use fedmigr_core::{Aggregator, Scheme};
 use fedmigr_net::AttackConfig;
 
 fn main() {
+    let _obs = fedmigr_bench::init_observability("figB_byzantine");
     let smoke = std::env::args().any(|a| a == "--smoke");
     let scale = Scale::from_args();
     let seed = 61;

@@ -25,6 +25,7 @@ use fedmigr_compress::{Codec, CodecConfig, WireCodec};
 use fedmigr_core::Scheme;
 
 fn main() {
+    let _obs = fedmigr_bench::init_observability("figC_compression");
     let smoke = std::env::args().any(|a| a == "--smoke");
     let scale = Scale::from_args();
     let seed = 71;

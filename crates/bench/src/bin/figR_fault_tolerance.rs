@@ -18,6 +18,7 @@ use fedmigr_bench::{
 use fedmigr_net::FaultConfig;
 
 fn main() {
+    let _obs = fedmigr_bench::init_observability("figR_fault_tolerance");
     let scale = Scale::from_args();
     let seed = 61;
     let fault_seed = 17;

@@ -12,6 +12,7 @@ use fedmigr_bench::{
 use fedmigr_core::Scheme;
 
 fn main() {
+    let _obs = fedmigr_bench::init_observability("table1_motivation");
     let scale = Scale::from_args();
     let args: Vec<String> = std::env::args().collect();
     let target: f64 = args

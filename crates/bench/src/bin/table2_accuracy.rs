@@ -9,6 +9,7 @@ use fedmigr_bench::{
 };
 
 fn main() {
+    let _obs = fedmigr_bench::init_observability("table2_accuracy");
     let scale = Scale::from_args();
     let args: Vec<String> = std::env::args().collect();
     let which = args

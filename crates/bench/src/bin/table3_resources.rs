@@ -15,6 +15,7 @@ use fedmigr_bench::{
 };
 
 fn main() {
+    let _obs = fedmigr_bench::init_observability("table3_resources");
     let scale = Scale::from_args();
     let args: Vec<String> = std::env::args().collect();
     let target: f64 = args

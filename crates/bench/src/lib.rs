@@ -34,7 +34,13 @@ impl Scale {
                 return match w[1].as_str() {
                     "paper" => Scale::Paper,
                     "smoke" => Scale::Smoke,
-                    other => panic!("unknown scale {other:?}; use smoke or paper"),
+                    other => {
+                        fedmigr_telemetry::error!(
+                            "bench",
+                            "error: unknown scale {other:?}; use smoke or paper"
+                        );
+                        std::process::exit(2);
+                    }
                 };
             }
         }
@@ -213,6 +219,76 @@ pub fn standard_config(scheme: Scheme, scale: Scale, seed: u64) -> RunConfig {
     cfg.lr = 0.01;
     cfg.seed = seed;
     cfg
+}
+
+/// Shared observability setup for the experiment binaries. Honours three
+/// optional flags every binary accepts alongside `--scale`:
+///
+/// * `--log-level <spec>` — same syntax as `FEDMIGR_LOG`
+///   (`debug,drl=trace,net=off`);
+/// * `--trace-out <path>` — stream a JSONL span/log trace;
+/// * `--metrics-out <path>` — dump the Prometheus-style metrics exposition
+///   when the returned guard drops.
+///
+/// Bind the guard for the whole of `main`: it opens a `bench_main` span so
+/// per-phase histograms nest under a stable root, and on drop it writes the
+/// metrics dump and flushes the trace — logging failures instead of
+/// panicking, so a full result table is never lost to a bad output path.
+pub fn init_observability(bench: &'static str) -> ObservabilityGuard {
+    if let Some(spec) = flag_value("--log-level") {
+        match fedmigr_telemetry::Filter::parse(&spec) {
+            Ok(f) => fedmigr_telemetry::set_filter(f),
+            Err(e) => {
+                fedmigr_telemetry::error!("bench", "error: bad --log-level: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = flag_value("--trace-out") {
+        if let Err(e) = fedmigr_telemetry::set_trace_file(&path) {
+            fedmigr_telemetry::error!("bench", "error: cannot open --trace-out {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    fedmigr_telemetry::debug!("bench", "starting {bench}");
+    ObservabilityGuard {
+        bench,
+        metrics_out: flag_value("--metrics-out"),
+        span: Some(fedmigr_telemetry::global().span_labeled(
+            "bench",
+            "bench_main",
+            vec![("bench".to_string(), bench.to_string())],
+        )),
+    }
+}
+
+/// RAII guard returned by [`init_observability`].
+pub struct ObservabilityGuard {
+    bench: &'static str,
+    metrics_out: Option<String>,
+    span: Option<fedmigr_telemetry::Span<'static>>,
+}
+
+impl Drop for ObservabilityGuard {
+    fn drop(&mut self) {
+        drop(self.span.take());
+        fedmigr_telemetry::debug!("bench", "finished {}", self.bench);
+        if let Some(path) = self.metrics_out.take() {
+            match std::fs::write(&path, fedmigr_telemetry::render_metrics()) {
+                Ok(()) => fedmigr_telemetry::debug!("bench", "wrote {path}"),
+                Err(e) => fedmigr_telemetry::error!(
+                    "bench",
+                    "error: failed to write --metrics-out {path}: {e}"
+                ),
+            }
+        }
+        fedmigr_telemetry::close_trace();
+    }
+}
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
 }
 
 /// Prints a Markdown-style table row.

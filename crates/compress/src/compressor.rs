@@ -32,6 +32,9 @@ fn mix(seed: u64, seq: u64) -> u64 {
 #[derive(Clone, Debug)]
 pub struct Compressor {
     codec: Codec,
+    /// Codec display name, used as the telemetry label for the per-codec
+    /// timing histogram and byte counters.
+    name: String,
     feedback: Option<ErrorFeedback>,
     down_feedback: Option<ErrorFeedback>,
     base_seed: u64,
@@ -48,6 +51,7 @@ impl Compressor {
         let with_ef = config.error_feedback() && !matches!(config, CodecConfig::Identity);
         Self {
             codec: Codec::from_config(config),
+            name: config.name(),
             feedback: with_ef.then(|| ErrorFeedback::new(lanes)),
             down_feedback: with_ef.then(|| ErrorFeedback::new(lanes + 1)),
             base_seed,
@@ -110,6 +114,18 @@ impl Compressor {
     }
 
     fn send(&mut self, down: bool, lane: usize, values: &[f32]) -> Vec<f32> {
+        // Real (host) encode+decode time per completed transfer; a pure
+        // telemetry observation that never feeds back into the run.
+        let tel = fedmigr_telemetry::global();
+        let start = tel.now();
+        let decoded = self.send_inner(down, lane, values);
+        tel.registry()
+            .histogram("fedmigr_codec_transfer_seconds", &[("codec", &self.name)])
+            .observe(tel.now() - start);
+        decoded
+    }
+
+    fn send_inner(&mut self, down: bool, lane: usize, values: &[f32]) -> Vec<f32> {
         let seq = self.seq;
         self.seq += 1;
         if self.is_identity() {
@@ -179,6 +195,13 @@ impl Compressor {
         self.stats.compressed_bytes += wire;
         self.stats.sum_sq_error += sq;
         self.stats.coords += n as u64;
+        let registry = fedmigr_telemetry::global().registry();
+        registry
+            .counter("fedmigr_codec_bytes_total", &[("codec", &self.name), ("dir", "in")])
+            .add(8 + 4 * n as u64);
+        registry
+            .counter("fedmigr_codec_bytes_total", &[("codec", &self.name), ("dir", "out")])
+            .add(wire);
     }
 }
 

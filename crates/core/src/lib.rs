@@ -43,8 +43,27 @@
 //!     c10_cnn(3, 8, NetScale::Small, 7),
 //! );
 //! let metrics = exp.run(&RunConfig::new(Scheme::fedmigr(7), 200));
-//! println!("final accuracy {:.1}%", 100.0 * metrics.final_accuracy());
+//! fedmigr_telemetry::info!(
+//!     "example",
+//!     "final accuracy {:.1}%",
+//!     100.0 * metrics.final_accuracy()
+//! );
+//! if let Some(phases) = metrics.phase_summary() {
+//!     fedmigr_telemetry::info!("example", "{phases}");
+//! }
 //! ```
+//!
+//! # Observability
+//!
+//! Runs are instrumented two ways (see `DESIGN.md` §8):
+//!
+//! * A deterministic **virtual** per-phase breakdown of the simulation
+//!   clock ([`PhaseBreakdown`]) lands in every [`EpochRecord`], the CSV
+//!   export and [`SchemeComparison::phase_report`] — byte-identical whether
+//!   telemetry is on or off.
+//! * Real wall-clock spans, counters and histograms flow through the
+//!   `fedmigr-telemetry` side-channel (`--trace-out` / `--metrics-out` on
+//!   the CLI) and never touch `RunMetrics`.
 
 mod aggregate;
 mod client;
@@ -59,7 +78,7 @@ mod summary;
 pub use aggregate::Aggregator;
 pub use client::FlClient;
 pub use fedmigr_compress::{CodecConfig, CompressionStats};
-pub use metrics::{EpochRecord, FaultStats, RobustStats, RunMetrics};
+pub use metrics::{EpochRecord, FaultStats, PhaseBreakdown, RobustStats, RunMetrics};
 pub use migration::{MigrationPlan, Quarantine, QuarantineConfig};
 pub use privacy::DpConfig;
 pub use reward::{step_reward, terminal_reward, RewardConfig};

@@ -64,6 +64,42 @@ impl RobustStats {
     }
 }
 
+/// Deterministic attribution of the *virtual* simulation clock to runner
+/// phases. Every `SimClock` advance in the runner is tagged with the phase
+/// that caused it, so `total()` matches the run's `sim_time` (up to float
+/// summation error) and the breakdown is byte-identical across reruns of
+/// the same seed — with telemetry on or off. Real wall-clock profiling is
+/// the telemetry side-channel's job; this struct is part of the result.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct PhaseBreakdown {
+    /// Virtual seconds spent in local training (straggler-limited).
+    pub train_s: f64,
+    /// Virtual seconds on the client↔server path: initial distribution,
+    /// uploads, downloads, FedAsync exchanges.
+    pub c2s_s: f64,
+    /// Virtual seconds moving models client-to-client (migration, FedSwap).
+    pub migration_s: f64,
+    /// Virtual seconds stalled waiting out server-link outages.
+    pub backoff_s: f64,
+}
+
+impl PhaseBreakdown {
+    /// Sum over all phases — tracks the run's `sim_time`.
+    pub fn total(&self) -> f64 {
+        self.train_s + self.c2s_s + self.migration_s + self.backoff_s
+    }
+
+    /// Fraction of total time spent in `phase_s` (0 when nothing elapsed).
+    pub fn share(&self, phase_s: f64) -> f64 {
+        let t = self.total();
+        if t > 0.0 {
+            phase_s / t
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Per-epoch measurements of a run.
 #[derive(Clone, Debug, Serialize)]
 pub struct EpochRecord {
@@ -88,6 +124,9 @@ pub struct EpochRecord {
     /// (uncompressed-equivalent traffic minus actual traffic; 0 under the
     /// identity codec).
     pub bytes_saved: u64,
+    /// Cumulative per-phase attribution of `sim_time` at the end of the
+    /// epoch (`phase.total() ≈ sim_time`).
+    pub phase: PhaseBreakdown,
 }
 
 /// Everything a run produced: per-epoch curves, migration statistics and
@@ -209,6 +248,31 @@ impl RunMetrics {
         ))
     }
 
+    /// Final per-phase attribution of the run's virtual time.
+    pub fn phase(&self) -> PhaseBreakdown {
+        self.records.last().map(|r| r.phase).unwrap_or_default()
+    }
+
+    /// One-line human-readable phase breakdown for run logs, or `None`
+    /// when no virtual time elapsed.
+    pub fn phase_summary(&self) -> Option<String> {
+        let p = self.phase();
+        if p.total() <= 0.0 {
+            return None;
+        }
+        Some(format!(
+            "phases: train {:.1}s ({:.0}%), c2s {:.1}s ({:.0}%), migration {:.1}s ({:.0}%), backoff {:.1}s ({:.0}%)",
+            p.train_s,
+            p.share(p.train_s) * 100.0,
+            p.c2s_s,
+            p.share(p.c2s_s) * 100.0,
+            p.migration_s,
+            p.share(p.migration_s) * 100.0,
+            p.backoff_s,
+            p.share(p.backoff_s) * 100.0,
+        ))
+    }
+
     /// Total wire bytes the codec saved across the run (0 under identity).
     pub fn bytes_saved(&self) -> u64 {
         self.records.last().map(|r| r.bytes_saved).unwrap_or(0)
@@ -248,12 +312,12 @@ impl RunMetrics {
     /// accuracy column is empty on non-evaluation epochs.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "epoch,train_loss,test_accuracy,c2s_bytes,c2c_local_bytes,c2c_global_bytes,sim_time_s,dropped_clients,stale_clients,rejected_migrations,bytes_saved\n",
+            "epoch,train_loss,test_accuracy,c2s_bytes,c2c_local_bytes,c2c_global_bytes,sim_time_s,dropped_clients,stale_clients,rejected_migrations,bytes_saved,train_time_s,c2s_time_s,migration_time_s,backoff_time_s\n",
         );
         for r in &self.records {
             let acc = r.test_accuracy.map(|a| format!("{a:.6}")).unwrap_or_default();
             out.push_str(&format!(
-                "{},{:.6},{},{},{},{},{:.3},{},{},{},{}\n",
+                "{},{:.6},{},{},{},{},{:.3},{},{},{},{},{:.3},{:.3},{:.3},{:.3}\n",
                 r.epoch,
                 r.train_loss,
                 acc,
@@ -265,6 +329,10 @@ impl RunMetrics {
                 r.stale_clients,
                 r.rejected_migrations,
                 r.bytes_saved,
+                r.phase.train_s,
+                r.phase.c2s_s,
+                r.phase.migration_s,
+                r.phase.backoff_s,
             ));
         }
         out
@@ -296,6 +364,7 @@ mod tests {
             stale_clients: 0,
             rejected_migrations: 0,
             bytes_saved: 0,
+            phase: PhaseBreakdown { train_s: time * 0.5, c2s_s: time * 0.5, ..Default::default() },
         }
     }
 
@@ -405,11 +474,22 @@ mod tests {
     fn csv_includes_fault_and_robust_columns() {
         let m = metrics();
         let csv = m.to_csv();
-        assert!(csv
-            .lines()
-            .next()
-            .unwrap()
-            .ends_with("dropped_clients,stale_clients,rejected_migrations,bytes_saved"));
+        assert!(csv.lines().next().unwrap().ends_with(
+            "dropped_clients,stale_clients,rejected_migrations,bytes_saved,train_time_s,c2s_time_s,migration_time_s,backoff_time_s"
+        ));
+    }
+
+    #[test]
+    fn phase_breakdown_totals_and_summary() {
+        let m = metrics();
+        let p = m.phase();
+        assert!((p.total() - m.sim_time()).abs() < 1e-9, "phase total tracks sim_time");
+        let s = m.phase_summary().unwrap();
+        assert!(s.contains("train 2.0s (50%)"), "summary {s:?}");
+        assert!(s.contains("c2s 2.0s (50%)"), "summary {s:?}");
+        let empty = PhaseBreakdown::default();
+        assert_eq!(empty.total(), 0.0);
+        assert_eq!(empty.share(1.0), 0.0, "empty breakdown yields zero shares");
     }
 
     #[test]

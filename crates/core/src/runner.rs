@@ -15,9 +15,11 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use fedmigr_telemetry::{span, warn};
+
 use crate::aggregate::Aggregator;
 use crate::client::FlClient;
-use crate::metrics::{EpochRecord, FaultStats, RobustStats, RunMetrics};
+use crate::metrics::{EpochRecord, FaultStats, PhaseBreakdown, RobustStats, RunMetrics};
 use crate::migration::{MigrationPlan, Quarantine, QuarantineConfig};
 use crate::privacy::DpConfig;
 use crate::reward::{step_reward, terminal_reward, RewardConfig};
@@ -165,6 +167,14 @@ impl Experiment {
             "fixed migration strategies require full participation"
         );
         let k = self.num_clients();
+        fedmigr_telemetry::debug!(
+            "core::runner",
+            "run start: scheme={} clients={k} epochs={} agg={} seed={}",
+            cfg.scheme.name(),
+            cfg.epochs,
+            cfg.agg_interval,
+            cfg.seed
+        );
         let mut template = self.template.clone();
         let num_params = template.num_params();
         // One compressor per run: a residual lane per client for egress
@@ -204,7 +214,7 @@ impl Experiment {
 
         let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x5851_F42D).wrapping_add(3));
         let mut meter = ResourceMeter::new(cfg.budget);
-        let mut clock = SimClock::new();
+        let mut clock = PhasedClock::new();
         let fault = FaultModel::new(cfg.fault.clone(), k);
         let mut fault_stats = FaultStats::default();
         // Exponential moving average of each client's observed downtime;
@@ -258,6 +268,7 @@ impl Experiment {
         // Initial model distribution: server -> K clients over the WAN.
         meter.record_c2s(k as u64 * model_bytes);
         clock.advance(
+            VPhase::C2s,
             k as f64
                 * transfer_time_with_latency(
                     model_bytes,
@@ -300,6 +311,14 @@ impl Experiment {
         let mut target_reached = false;
 
         for epoch in 1..=cfg.epochs {
+            let _round = fedmigr_telemetry::global().span_labeled(
+                "core::runner",
+                "round",
+                vec![
+                    ("epoch".to_string(), epoch.to_string()),
+                    ("scheme".to_string(), cfg.scheme.name()),
+                ],
+            );
             let traffic_before = meter.traffic().total();
             let compute_before = meter.compute_cost();
             let mut robust_epoch = RobustStats::default();
@@ -341,11 +360,13 @@ impl Experiment {
                     stale_clients: 0,
                     rejected_migrations: 0,
                     bytes_saved: (meter.traffic().total() / model_bytes) * saved_per_transfer,
+                    phase: clock.phase(),
                 });
                 continue;
             }
 
             // (1) Local updating (Eq. 6), clients in parallel.
+            let train_span = span!("core::runner", "local_train");
             let prox = match cfg.scheme {
                 Scheme::FedProx { mu } => Some((global.clone(), mu)),
                 _ => None,
@@ -388,9 +409,9 @@ impl Experiment {
                             stale += 1;
                         }
                     }
-                    clock.advance(round_time.min(deadline));
+                    clock.advance(VPhase::Train, round_time.min(deadline));
                 }
-                None => clock.advance(round_time),
+                None => clock.advance(VPhase::Train, round_time),
             }
             let active_n: f32 = clients
                 .iter()
@@ -404,8 +425,10 @@ impl Experiment {
                 .filter_map(|(c, l)| l.map(|l| l * (c.num_samples() as f32 / active_n)))
                 .sum::<f32>();
             let _ = total_n;
+            drop(train_span);
 
             // (2) Build decision states and settle last epoch's transitions.
+            let decision_span = span!("core::runner", "decision");
             let suspicion: Vec<f64> = match &quarantine {
                 Some(q) => q.suspicion().to_vec(),
                 None => vec![0.0; k],
@@ -449,8 +472,11 @@ impl Experiment {
                 }
             }
 
+            drop(decision_span);
+
             // (3) Communication: aggregation, server-side swap, or C2C
             //     migration, depending on the scheme and epoch.
+            let comm_span = span!("core::runner", "communicate");
             let is_agg = match cfg.scheme {
                 Scheme::FedAvg | Scheme::FedProx { .. } => true,
                 Scheme::FedAsync { .. } => false,
@@ -480,6 +506,7 @@ impl Experiment {
                 if let (Some(uploader), true) = (uploader, synced) {
                     meter.record_c2s(2 * model_bytes);
                     clock.advance(
+                        VPhase::C2s,
                         2.0 * transfer_time_with_latency(
                             model_bytes,
                             self.topology.c2s_bandwidth(epoch),
@@ -534,6 +561,7 @@ impl Experiment {
                 let n_synced = synced.iter().filter(|&&s| s).count() as u64;
                 meter.record_c2s(2 * n_synced * model_bytes);
                 clock.advance(
+                    VPhase::C2s,
                     2.0 * n_synced as f64
                         * transfer_time_with_latency(
                             model_bytes,
@@ -552,6 +580,7 @@ impl Experiment {
                 }
                 if is_agg {
                     if n_synced > 0 {
+                        let _agg = span!("core::runner", "aggregate");
                         global = aggregate_active(
                             &clients,
                             &uploads,
@@ -604,6 +633,7 @@ impl Experiment {
                 let n_synced = synced.iter().filter(|&&s| s).count() as u64;
                 meter.record_c2s(2 * n_synced * model_bytes);
                 clock.advance(
+                    VPhase::C2s,
                     2.0 * n_synced as f64
                         * transfer_time_with_latency(
                             model_bytes,
@@ -618,6 +648,7 @@ impl Experiment {
                     }
                 }
                 if n_synced > 0 {
+                    let _agg = span!("core::runner", "aggregate");
                     global = aggregate_active(
                         &clients,
                         &uploads,
@@ -638,6 +669,7 @@ impl Experiment {
                 // C2C migration epoch. Every planner is masked to the
                 // clients that are live *and* made this round's deadline,
                 // so plans never target a dead destination.
+                let plan_span = span!("core::runner", "migration_plan");
                 let plan = match (&cfg.scheme, states.as_ref()) {
                     (Scheme::RandMigr, _) | (Scheme::Fixed(MigrationStrategy::Random), _) => {
                         MigrationPlan::random_subset(k, &arrived, &mut rng)
@@ -685,6 +717,8 @@ impl Experiment {
                     }
                     _ => unreachable!("scheme/state combination"),
                 };
+                drop(plan_span);
+                let transfer_span = span!("core::runner", "migration_transfer");
                 let params = collect_params(&mut clients, cfg, &attack, epoch, &mut rng);
                 // `src_of[j]` is the client whose model client `j` hosts
                 // after this round. A failed delivery leaves `j` on its own
@@ -716,6 +750,7 @@ impl Experiment {
                         // source's suspicion rises.
                         let payload = compressor.transmit(i, &params[i]);
                         if let Some(q) = quarantine.as_mut() {
+                            let _screen = span!("core::runner", "quarantine_screen");
                             if !q.screen(i, &payload, &params[j]) {
                                 robust_epoch.rejected_migrations += 1;
                                 continue;
@@ -731,7 +766,7 @@ impl Experiment {
                         }
                     }
                 }
-                clock.advance_parallel(move_times);
+                clock.advance_parallel(VPhase::Migration, move_times);
                 mix = src_of.iter().map(|&s| mix[s].clone()).collect();
                 for (j, c) in clients.iter_mut().enumerate() {
                     match delivered_payload[j].take() {
@@ -744,9 +779,12 @@ impl Experiment {
                         None => c.set_params(&params[j], false),
                     }
                 }
+                drop(transfer_span);
             }
+            drop(comm_span);
 
             // (4) Evaluation of the (shadow-)aggregated global model.
+            let eval_span = span!("core::runner", "evaluate");
             let eval_due = epoch % cfg.eval_interval == 0 || epoch == cfg.epochs;
             let accuracy = if eval_due {
                 let shadow = if cfg.scheme.is_async() {
@@ -782,15 +820,18 @@ impl Experiment {
             } else {
                 None
             };
+            drop(eval_span);
 
             // (5) Agent learning.
             if let Some(ctx) = agent_ctx.as_mut() {
+                let _learn = span!("core::runner", "agent_update");
                 for _ in 0..ctx.updates_per_epoch {
                     ctx.agent.update();
                 }
             }
 
             // (6) Bookkeeping and stopping conditions.
+            let book_span = span!("core::runner", "bookkeeping");
             let epoch_bw = (meter.traffic().total() - traffic_before) as f64;
             let epoch_compute = meter.compute_cost() - compute_before;
             last_epoch_usage = (
@@ -821,9 +862,11 @@ impl Experiment {
                 // Every meter charge is a whole number of model transfers,
                 // so the cumulative wire-level saving is exact.
                 bytes_saved: (meter.traffic().total() / model_bytes) * saved_per_transfer,
+                phase: clock.phase(),
             });
             robust_total.absorb(&robust_epoch);
             prev_loss = Some(mean_loss);
+            drop(book_span);
             if let (Some(target), Some(acc)) = (cfg.target_accuracy, accuracy) {
                 if acc >= target {
                     target_reached = true;
@@ -959,6 +1002,7 @@ impl Experiment {
         // (a) Direct transfer over the planned link.
         if let Some(t) = try_transfer_time_with_latency(model_bytes, eff(i, j), latency) {
             meter.record_c2c(model_bytes, self.topology.same_lan(i, j));
+            observe_link_time("direct", t);
             return (true, t);
         }
         stats.wasted_bytes += model_bytes;
@@ -967,11 +1011,14 @@ impl Experiment {
         let mut elapsed = 0.0;
         for attempt in 1..=policy.max_retries {
             stats.transfer_retries += 1;
+            count_net("fedmigr_net_transfer_retries_total", &[]);
             elapsed += policy.backoff(attempt);
             if fault.retry_succeeds(i, j, epoch, attempt) {
                 meter.record_c2c(model_bytes, self.topology.same_lan(i, j));
                 let bw = self.topology.c2c_bandwidth(i, j, epoch) * fault.link_quality(i, j, epoch);
-                return (true, elapsed + transfer_time_with_latency(model_bytes, bw, latency));
+                let t = elapsed + transfer_time_with_latency(model_bytes, bw, latency);
+                observe_link_time("direct_retry", t);
+                return (true, t);
             }
             stats.wasted_bytes += model_bytes;
         }
@@ -985,6 +1032,7 @@ impl Experiment {
             meter.record_c2c(model_bytes, self.topology.same_lan(i, r));
             meter.record_c2c(model_bytes, true);
             stats.rerouted_migrations += 1;
+            count_net("fedmigr_net_fallback_total", &[("kind", "relay")]);
             let t =
                 transfer_time_with_latency(model_bytes, eff(i, r), self.topology.c2c_latency(i, r))
                     + transfer_time_with_latency(
@@ -992,22 +1040,26 @@ impl Experiment {
                         eff(r, j),
                         self.topology.c2c_latency(r, j),
                     );
+            observe_link_time("relay", elapsed + t);
             return (true, elapsed + t);
         }
         // (d) Last resort: bounce the model off the server over the WAN.
         if fault.c2s_up(i, epoch) && fault.c2s_up(j, epoch) {
             meter.record_c2s(2 * model_bytes);
             stats.rerouted_migrations += 1;
+            count_net("fedmigr_net_fallback_total", &[("kind", "c2s_bounce")]);
             let t = 2.0
                 * transfer_time_with_latency(
                     model_bytes,
                     self.topology.c2s_bandwidth(epoch),
                     self.topology.c2s_latency(),
                 );
+            observe_link_time("c2s_bounce", elapsed + t);
             return (true, elapsed + t);
         }
         // (e) Give up; the destination keeps its local copy this epoch.
         stats.cancelled_migrations += 1;
+        count_net("fedmigr_net_fallback_total", &[("kind", "cancel")]);
         (false, elapsed)
     }
 
@@ -1027,6 +1079,78 @@ impl Experiment {
         }
         correct_weighted / seen as f64
     }
+}
+
+/// Which runner phase a virtual-clock advance belongs to.
+#[derive(Clone, Copy, Debug)]
+enum VPhase {
+    /// Straggler-limited local training.
+    Train,
+    /// Client↔server transfers (distribution, uploads, downloads).
+    C2s,
+    /// Client-to-client model movement.
+    Migration,
+    /// Waiting out server-link outages.
+    Backoff,
+}
+
+/// The simulation clock plus a deterministic per-phase attribution of every
+/// advance. The attribution is part of the run result (`EpochRecord::phase`),
+/// so it must not depend on telemetry being enabled — it never is: this is
+/// plain arithmetic on the virtual clock.
+struct PhasedClock {
+    clock: SimClock,
+    phase: PhaseBreakdown,
+}
+
+impl PhasedClock {
+    fn new() -> Self {
+        Self { clock: SimClock::new(), phase: PhaseBreakdown::default() }
+    }
+
+    fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    fn phase(&self) -> PhaseBreakdown {
+        self.phase
+    }
+
+    fn bucket(&mut self, phase: VPhase) -> &mut f64 {
+        match phase {
+            VPhase::Train => &mut self.phase.train_s,
+            VPhase::C2s => &mut self.phase.c2s_s,
+            VPhase::Migration => &mut self.phase.migration_s,
+            VPhase::Backoff => &mut self.phase.backoff_s,
+        }
+    }
+
+    fn advance(&mut self, phase: VPhase, seconds: f64) {
+        self.clock.advance(seconds);
+        *self.bucket(phase) += seconds;
+    }
+
+    /// Advances by the *maximum* of `times` (parallel transfers), charging
+    /// the elapsed delta to `phase`.
+    fn advance_parallel(&mut self, phase: VPhase, times: Vec<f64>) {
+        let before = self.clock.now();
+        self.clock.advance_parallel(times);
+        *self.bucket(phase) += self.clock.now() - before;
+    }
+}
+
+/// Bumps a telemetry counter in the net metric families (side-channel only:
+/// never feeds back into the run).
+fn count_net(name: &str, labels: &[(&str, &str)]) {
+    fedmigr_telemetry::global().registry().counter(name, labels).inc();
+}
+
+/// Records one migration delivery's virtual duration per resolution path.
+fn observe_link_time(path: &'static str, seconds: f64) {
+    fedmigr_telemetry::global()
+        .registry()
+        .histogram("fedmigr_link_transfer_seconds", &[("path", path)])
+        .observe(seconds);
 }
 
 struct AgentCtx {
@@ -1071,7 +1195,7 @@ fn c2s_reachable(
     arrived: &[bool],
     epoch: usize,
     model_bytes: u64,
-    clock: &mut SimClock,
+    clock: &mut PhasedClock,
     stats: &mut FaultStats,
 ) -> Vec<bool> {
     if !fault.enabled() {
@@ -1088,6 +1212,7 @@ fn c2s_reachable(
         stats.wasted_bytes += model_bytes;
         for attempt in 1..=policy.max_retries {
             stats.transfer_retries += 1;
+            count_net("fedmigr_net_transfer_retries_total", &[]);
             backoff_total += policy.backoff(attempt);
             if fault.retry_succeeds(i, usize::MAX, epoch, attempt) {
                 synced[i] = true;
@@ -1096,7 +1221,7 @@ fn c2s_reachable(
             stats.wasted_bytes += model_bytes;
         }
     }
-    clock.advance(backoff_total);
+    clock.advance(VPhase::Backoff, backoff_total);
     synced
 }
 
@@ -1187,7 +1312,10 @@ fn aggregate_active(
         .map(|((p, c), _)| (p.as_slice(), c.num_samples() as f64))
         .collect();
     if entries.is_empty() {
-        eprintln!("fedmigr: aggregation round with zero active uploads; keeping previous global");
+        warn!(
+            "core::runner",
+            "fedmigr: aggregation round with zero active uploads; keeping previous global"
+        );
         return prev_global.to_vec();
     }
     aggregator.aggregate(&entries, prev_global, stats)
@@ -1403,6 +1531,42 @@ mod tests {
         let mut cfg = quick_cfg(Scheme::Fixed(crate::MigrationStrategy::Random), 4);
         cfg.participation = 0.5;
         let _ = exp.run(&cfg);
+    }
+
+    #[test]
+    fn phase_breakdown_accounts_for_all_sim_time() {
+        let exp = small_experiment(true);
+        let m = exp.run(&quick_cfg(Scheme::fedmigr(3), 10));
+        let p = m.phase();
+        assert!(p.train_s > 0.0, "training advances the clock");
+        assert!(p.c2s_s > 0.0, "initial distribution + aggregation advance the clock");
+        assert!(p.migration_s > 0.0, "migration epochs advance the clock");
+        assert_eq!(p.backoff_s, 0.0, "no fault model, no backoff");
+        let tol = 1e-9 * m.sim_time().max(1.0);
+        assert!(
+            (p.total() - m.sim_time()).abs() <= tol,
+            "phase total {} vs sim_time {}",
+            p.total(),
+            m.sim_time()
+        );
+        // Per-epoch breakdowns are cumulative and monotone.
+        for w in m.records.windows(2) {
+            assert!(w[1].phase.total() >= w[0].phase.total());
+        }
+    }
+
+    #[test]
+    fn faulty_run_attributes_backoff_time() {
+        let exp = small_experiment(false);
+        let mut cfg = quick_cfg(Scheme::FedAvg, 12);
+        cfg.fault = fedmigr_net::FaultConfig::none();
+        cfg.fault.c2s_outage_prob = 0.6;
+        cfg.fault.seed = 2;
+        let m = exp.run(&cfg);
+        let p = m.phase();
+        assert!(p.backoff_s > 0.0, "60% WAN outage must show up as backoff: {p:?}");
+        let tol = 1e-9 * m.sim_time().max(1.0);
+        assert!((p.total() - m.sim_time()).abs() <= tol);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! over a set of scheme runs (accuracy deltas, resource savings), exposed
 //! as a library API so downstream users don't re-implement them.
 
-use crate::metrics::{FaultStats, RobustStats, RunMetrics};
+use crate::metrics::{FaultStats, PhaseBreakdown, RobustStats, RunMetrics};
 use fedmigr_compress::CompressionStats;
 
 /// A comparison of several finished runs against a named baseline.
@@ -104,6 +104,22 @@ impl<'a> SchemeComparison<'a> {
             })
             .collect()
     }
+
+    /// Per-phase time comparison: for every run (baseline included), the
+    /// virtual-time breakdown and the fraction of the run *not* spent
+    /// training (communication + migration + backoff) — the overhead the
+    /// migration schemes are trying to shrink. Deterministic: derived
+    /// entirely from the runs' `PhaseBreakdown` records.
+    pub fn phase_report(&self) -> Vec<(String, PhaseBreakdown, f64)> {
+        std::iter::once(&self.baseline)
+            .chain(self.others.iter())
+            .map(|m| {
+                let p = m.phase();
+                let overhead = p.share(p.c2s_s + p.migration_s + p.backoff_s);
+                (m.scheme.clone(), p, overhead)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +141,12 @@ mod tests {
                 stale_clients: 0,
                 rejected_migrations: 0,
                 bytes_saved: 0,
+                phase: PhaseBreakdown {
+                    train_s: 0.6 * time,
+                    c2s_s: 0.3 * time,
+                    migration_s: 0.1 * time,
+                    backoff_s: 0.0,
+                },
             }],
             migrations_local: 0,
             migrations_global: 0,
@@ -201,6 +223,20 @@ mod tests {
         assert_eq!(report[1].0, "FedAvg [int8+ef]");
         assert!((report[1].2 - 0.75).abs() < 1e-9);
         assert_eq!(report[1].1.encodes, 5);
+    }
+
+    #[test]
+    fn phase_report_computes_overhead_fraction() {
+        let fedavg = run("FedAvg", 0.60, 1000, 0, 100.0);
+        let fedmigr = run("FedMigr", 0.73, 200, 100, 50.0);
+        let cmp = SchemeComparison::new(&fedavg, vec![&fedmigr]);
+        let report = cmp.phase_report();
+        assert_eq!(report.len(), 2);
+        assert_eq!(report[0].0, "FedAvg");
+        assert!((report[0].1.train_s - 60.0).abs() < 1e-9);
+        // Non-training share: (30 + 10) / 100.
+        assert!((report[0].2 - 0.4).abs() < 1e-9);
+        assert!((report[1].1.total() - 50.0).abs() < 1e-9);
     }
 
     #[test]

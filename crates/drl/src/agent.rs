@@ -246,6 +246,10 @@ impl DdpgAgent {
         assert_eq!(t.state.len(), self.config.state_dim);
         assert!(t.action < self.config.num_actions);
         self.replay.push(t);
+        fedmigr_telemetry::global()
+            .registry()
+            .gauge("fedmigr_replay_occupancy", &[])
+            .set(self.replay.len() as f64);
     }
 
     /// Runs one learning update (critic regression to the TD target, actor
@@ -255,6 +259,8 @@ impl DdpgAgent {
         if self.replay.len() < self.config.warmup.max(self.config.batch_size) {
             return None;
         }
+        let _span = fedmigr_telemetry::span!("drl::agent", "update");
+        fedmigr_telemetry::global().registry().counter("fedmigr_drl_updates_total", &[]).inc();
         let b = self.config.batch_size;
         let s_dim = self.config.state_dim;
         let k = self.config.num_actions;

@@ -64,14 +64,17 @@ impl ResourceMeter {
     /// Records C2S traffic (counted against the bandwidth budget).
     pub fn record_c2s(&mut self, bytes: u64) {
         self.traffic.c2s += bytes;
+        count_bytes("c2s", bytes);
     }
 
     /// Records a C2C transfer; `local` marks intra-LAN migrations.
     pub fn record_c2c(&mut self, bytes: u64, local: bool) {
         if local {
             self.traffic.c2c_local += bytes;
+            count_bytes("c2c_local", bytes);
         } else {
             self.traffic.c2c_global += bytes;
+            count_bytes("c2c_global", bytes);
         }
     }
 
@@ -117,6 +120,16 @@ impl ResourceMeter {
     pub fn budget(&self) -> ResourceBudget {
         self.budget
     }
+}
+
+/// Mirrors every meter charge into the `fedmigr_net_bytes_total{path}`
+/// telemetry counter. Side-channel only: the meter's own totals (which feed
+/// budgets and `RunMetrics`) are the `TrafficBreakdown` fields above.
+fn count_bytes(path: &'static str, bytes: u64) {
+    fedmigr_telemetry::global()
+        .registry()
+        .counter("fedmigr_net_bytes_total", &[("path", path)])
+        .add(bytes);
 }
 
 #[cfg(test)]

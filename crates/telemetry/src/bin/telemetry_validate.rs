@@ -1,0 +1,173 @@
+//! CI validator for telemetry exports.
+//!
+//! ```text
+//! telemetry_validate <trace.jsonl> [--metrics <file.prom>]
+//!                    [--require <metric family>]... [--min-coverage <0..1>]
+//! ```
+//!
+//! * Parses every line of the JSONL trace through the strict
+//!   [`TraceEvent::parse`] schema; any malformed line fails the run.
+//! * With `--metrics`, checks the Prometheus exposition dump declares a
+//!   `# TYPE` line for each `--require`d family.
+//! * With `--min-coverage`, computes what fraction of the total `round`
+//!   span time is covered by its direct child phase spans and fails below
+//!   the bound — the guard behind the "spans cover the round wall-clock"
+//!   acceptance criterion.
+
+use std::process::ExitCode;
+
+use fedmigr_telemetry::TraceEvent;
+
+struct Args {
+    trace: String,
+    metrics: Option<String>,
+    require: Vec<String>,
+    min_coverage: Option<f64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: telemetry_validate <trace.jsonl> [--metrics <file.prom>] \
+         [--require <family>]... [--min-coverage <0..1>]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { trace: String::new(), metrics: None, require: Vec::new(), min_coverage: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--metrics" => args.metrics = Some(it.next().unwrap_or_else(|| usage())),
+            "--require" => args.require.push(it.next().unwrap_or_else(|| usage())),
+            "--min-coverage" => {
+                let raw = it.next().unwrap_or_else(|| usage());
+                match raw.parse::<f64>() {
+                    Ok(v) if (0.0..=1.0).contains(&v) => args.min_coverage = Some(v),
+                    _ => {
+                        eprintln!("telemetry_validate: bad --min-coverage {raw:?}");
+                        usage()
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other if args.trace.is_empty() && !other.starts_with('-') => {
+                args.trace = other.to_string();
+            }
+            other => {
+                eprintln!("telemetry_validate: unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    if args.trace.is_empty() {
+        usage()
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    let raw = match std::fs::read_to_string(&args.trace) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("telemetry_validate: cannot read {}: {e}", args.trace);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut events = Vec::new();
+    let mut failed = false;
+    for (i, line) in raw.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match TraceEvent::parse(line) {
+            Ok(ev) => events.push(ev),
+            Err(e) => {
+                eprintln!("telemetry_validate: {}:{}: {e}", args.trace, i + 1);
+                failed = true;
+            }
+        }
+    }
+    let (mut spans, mut logs) = (0usize, 0usize);
+    for ev in &events {
+        match ev {
+            TraceEvent::Span { .. } => spans += 1,
+            TraceEvent::Log { .. } => logs += 1,
+        }
+    }
+    println!("{}: {spans} span events, {logs} log events, all lines valid", args.trace);
+    if events.is_empty() {
+        eprintln!("telemetry_validate: trace is empty");
+        failed = true;
+    }
+
+    if let Some(min) = args.min_coverage {
+        // Direct child phase spans (depth == round depth + 1) over the time
+        // the `round` spans themselves measured.
+        let mut round_total = 0.0;
+        let mut round_depth = None;
+        for ev in &events {
+            if let TraceEvent::Span { name, dur, depth, .. } = ev {
+                if name == "round" {
+                    round_total += dur;
+                    round_depth = Some(*depth);
+                }
+            }
+        }
+        let mut child_total = 0.0;
+        if let Some(rd) = round_depth {
+            for ev in &events {
+                if let TraceEvent::Span { name, dur, depth, .. } = ev {
+                    if name != "round" && *depth == rd + 1 {
+                        child_total += dur;
+                    }
+                }
+            }
+        }
+        if round_total <= 0.0 {
+            eprintln!("telemetry_validate: no `round` spans found; cannot check coverage");
+            failed = true;
+        } else {
+            let coverage = (child_total / round_total).min(1.0);
+            println!("round coverage: {:.1}% (bound {:.1}%)", coverage * 100.0, min * 100.0);
+            if coverage < min {
+                eprintln!(
+                    "telemetry_validate: phase spans cover {:.1}% of round time, below {:.1}%",
+                    coverage * 100.0,
+                    min * 100.0
+                );
+                failed = true;
+            }
+        }
+    }
+
+    if let Some(path) = &args.metrics {
+        match std::fs::read_to_string(path) {
+            Ok(dump) => {
+                for family in &args.require {
+                    if !dump.contains(&format!("# TYPE {family} ")) {
+                        eprintln!("telemetry_validate: {path}: missing metric family {family}");
+                        failed = true;
+                    }
+                }
+                if !failed {
+                    println!("{path}: all {} required families present", args.require.len());
+                }
+            }
+            Err(e) => {
+                eprintln!("telemetry_validate: cannot read {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,97 @@
+//! Pluggable time sources for span profiling.
+//!
+//! Production telemetry reads a monotonic real clock; tests swap in a
+//! [`FakeClock`] so span durations (and therefore trace files and timing
+//! histograms) are fully deterministic. The simulation's *virtual* clock is
+//! a separate concept that lives in `fedmigr-net` — telemetry measures
+//! where the *host's* time goes, never the simulated network's.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic source of seconds since an arbitrary origin.
+pub trait TelemetryClock: Send + Sync {
+    /// Seconds elapsed since this clock's origin.
+    fn now(&self) -> f64;
+}
+
+/// Wall-clock time via [`Instant`], anchored at construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self { origin: Instant::now() }
+    }
+}
+
+impl MonotonicClock {
+    /// A clock anchored now.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TelemetryClock for MonotonicClock {
+    fn now(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+}
+
+/// A manually advanced clock for deterministic tests. Cheap to clone; all
+/// clones share the same time.
+#[derive(Clone, Debug, Default)]
+pub struct FakeClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl FakeClock {
+    /// A fake clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances by `seconds` (must be non-negative and finite).
+    pub fn advance(&self, seconds: f64) {
+        assert!(seconds >= 0.0 && seconds.is_finite(), "invalid advance {seconds}");
+        self.nanos.fetch_add((seconds * 1e9).round() as u64, Ordering::SeqCst);
+    }
+}
+
+impl TelemetryClock for FakeClock {
+    fn now(&self) -> f64 {
+        self.nanos.load(Ordering::SeqCst) as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_advances() {
+        let c = MonotonicClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fake_clock_is_shared_across_clones() {
+        let c = FakeClock::new();
+        let d = c.clone();
+        c.advance(1.5);
+        assert!((d.now() - 1.5).abs() < 1e-9);
+        d.advance(0.5);
+        assert!((c.now() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid advance")]
+    fn fake_clock_rejects_negative() {
+        FakeClock::new().advance(-1.0);
+    }
+}

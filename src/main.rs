@@ -16,6 +16,7 @@ use fedmigr::data::{
 };
 use fedmigr::net::{ClientCompute, FaultConfig, Topology, TopologyConfig};
 use fedmigr::nn::zoo::{self, NetScale};
+use fedmigr_telemetry::{error, info, Filter};
 
 const HELP: &str = "\
 fedmigr — federated learning with intelligent model migration
@@ -47,11 +48,27 @@ OPTIONS:
     --fault-seed <n>     seed of the fault schedule (default 13)
     --seed <n>           master seed (default 7)
     --csv <path>         write the per-epoch curve as CSV
+    --log-level <spec>   log verbosity: error|warn|info|debug|trace, with
+                         per-target overrides like debug,drl=trace,net=off
+                         (default info; FEDMIGR_LOG is honoured too)
+    --trace-out <path>   write a JSONL trace of spans and log events
+    --metrics-out <path> write a Prometheus-style metrics dump at exit
     --help               print this help
 ";
 
 fn main() {
     let args = Args::parse();
+    if let Some(spec) = &args.log_level {
+        match Filter::parse(spec) {
+            Ok(f) => fedmigr_telemetry::set_filter(f),
+            Err(e) => die(&format!("--log-level: {e}")),
+        }
+    }
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = fedmigr_telemetry::set_trace_file(path) {
+            die(&format!("--trace-out {path}: {e}"));
+        }
+    }
     let data_cfg = SyntheticConfig {
         num_classes: args.classes,
         ..SyntheticConfig::c10_like(args.samples, args.seed)
@@ -112,7 +129,8 @@ fn main() {
     }
     cfg.seed = args.seed;
 
-    eprintln!(
+    info!(
+        "cli",
         "running {} on {k} clients ({} classes, partition {}) for up to {} epochs...",
         cfg.scheme.name(),
         args.classes,
@@ -134,6 +152,9 @@ fn main() {
         t.c2c_global as f64 / 1e6
     );
     println!("virtual time:     {:.1} s", metrics.sim_time());
+    if let Some(phases) = metrics.phase_summary() {
+        println!("{phases}");
+    }
     println!(
         "migrations:       {} local, {} cross-LAN",
         metrics.migrations_local, metrics.migrations_global
@@ -151,8 +172,25 @@ fn main() {
         println!("stopped early:    resource budget exhausted");
     }
     if let Some(path) = &args.csv {
-        std::fs::write(path, metrics.to_csv()).unwrap_or_else(|e| die(&format!("csv: {e}")));
-        eprintln!("wrote {path}");
+        match std::fs::write(path, metrics.to_csv()) {
+            Ok(()) => info!("cli", "wrote {path}"),
+            Err(e) => {
+                error!("cli", "error: failed to write --csv {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        match std::fs::write(path, fedmigr_telemetry::render_metrics()) {
+            Ok(()) => info!("cli", "wrote {path}"),
+            Err(e) => {
+                error!("cli", "error: failed to write --metrics-out {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.trace_out.is_some() {
+        fedmigr_telemetry::close_trace();
     }
 }
 
@@ -175,6 +213,9 @@ struct Args {
     fault_seed: u64,
     seed: u64,
     csv: Option<String>,
+    log_level: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 impl Args {
@@ -198,6 +239,9 @@ impl Args {
             fault_seed: 13,
             seed: 7,
             csv: None,
+            log_level: None,
+            trace_out: None,
+            metrics_out: None,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -230,6 +274,9 @@ impl Args {
                 "--fault-seed" => out.fault_seed = parse(value, flag),
                 "--seed" => out.seed = parse(value, flag),
                 "--csv" => out.csv = Some(value.clone()),
+                "--log-level" => out.log_level = Some(value.clone()),
+                "--trace-out" => out.trace_out = Some(value.clone()),
+                "--metrics-out" => out.metrics_out = Some(value.clone()),
                 other => die(&format!("unknown flag {other:?} (try --help)")),
             }
             i += 2;

@@ -1,0 +1,133 @@
+//! End-to-end telemetry contract: observation never perturbs a run, the
+//! JSONL trace is well-formed, and spans account for the round wall-clock.
+//!
+//! Everything that attaches a writer to the process-global engine lives in
+//! ONE test function: the engine (and its span-depth counter) is shared by
+//! every test thread in this binary, so concurrent experiment runs would
+//! interleave their events.
+
+use fedmigr::core::{Experiment, RunConfig, Scheme};
+use fedmigr::data::{partition_shards, SyntheticConfig, SyntheticDataset};
+use fedmigr::net::{ClientCompute, DeviceTier, Topology, TopologyConfig};
+use fedmigr::nn::zoo::{self, NetScale};
+use fedmigr_telemetry::TraceEvent;
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+fn experiment(seed: u64) -> Experiment {
+    let data = SyntheticDataset::generate(&SyntheticConfig {
+        num_classes: 4,
+        train_per_class: 16,
+        test_per_class: 8,
+        channels: 1,
+        hw: 8,
+        noise_std: 0.8,
+        class_sep: 1.0,
+        atom_bank: 6,
+        atoms_per_class: 2,
+        private_frac: 0.5,
+        seed,
+    });
+    let parts = partition_shards(&data.train, 4, 1, seed);
+    Experiment::new(
+        data.train,
+        data.test,
+        parts,
+        Topology::new(&TopologyConfig::default_edge(vec![2, 2], seed)),
+        ClientCompute::homogeneous(4, DeviceTier::Tx2),
+        zoo::mini_resnet(1, 8, 4, 1, NetScale::Small, seed),
+    )
+}
+
+/// A shared in-memory JSONL trace sink.
+#[derive(Clone, Default)]
+struct Buf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for Buf {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(data);
+        Ok(data.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn telemetry_observes_without_perturbing() {
+    let mut cfg = RunConfig::new(Scheme::fedmigr(9), 10);
+    cfg.agg_interval = 4;
+    cfg.batch_size = 16;
+
+    // Baseline: telemetry at its defaults, no trace writer attached.
+    let off = experiment(3).run(&cfg);
+
+    // Same seed with a trace stream attached and everything recorded.
+    let buf = Buf::default();
+    fedmigr_telemetry::global().set_trace_writer(Box::new(buf.clone()));
+    let on = experiment(3).run(&cfg);
+    fedmigr_telemetry::close_trace();
+
+    // 1. Determinism: the exported run is byte-identical either way.
+    assert_eq!(off.to_csv(), on.to_csv(), "telemetry must not perturb a seeded run");
+    assert_eq!(off.link_migrations, on.link_migrations);
+
+    // 2. The virtual phase breakdown accounts for all simulated time.
+    let total = on.phase().total();
+    assert!(
+        (total - on.sim_time()).abs() <= 1e-9 * on.sim_time().max(1.0),
+        "phase total {total} != sim time {}",
+        on.sim_time()
+    );
+
+    // 3. Every trace line parses strictly.
+    let raw = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    let events: Vec<TraceEvent> = raw
+        .lines()
+        .map(|l| TraceEvent::parse(l).unwrap_or_else(|e| panic!("bad JSONL line {l:?}: {e}")))
+        .collect();
+    assert!(!events.is_empty(), "trace stream is empty");
+
+    // 4. Span coverage: direct children of the per-epoch `round` spans tile
+    //    (almost) the entire round wall-clock.
+    let spans: Vec<(&String, f64, usize)> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Span { name, dur, depth, .. } => Some((name, *dur, *depth)),
+            TraceEvent::Log { .. } => None,
+        })
+        .collect();
+    let round_depth = spans
+        .iter()
+        .filter(|(name, _, _)| *name == "round")
+        .map(|(_, _, d)| *d)
+        .min()
+        .expect("runner emits round spans");
+    let round_total: f64 = spans
+        .iter()
+        .filter(|(name, _, d)| *name == "round" && *d == round_depth)
+        .map(|(_, dur, _)| dur)
+        .sum();
+    let child_total: f64 = spans
+        .iter()
+        .filter(|(name, _, d)| *name != "round" && *d == round_depth + 1)
+        .map(|(_, dur, _)| dur)
+        .sum();
+    assert_eq!(
+        spans.iter().filter(|(name, _, _)| *name == "round").count(),
+        10,
+        "one round span per epoch"
+    );
+    assert!(round_total > 0.0);
+    let coverage = child_total / round_total;
+    assert!(coverage >= 0.95, "span coverage {coverage:.3} below 95% of round wall-clock");
+    assert!(coverage <= 1.05, "children exceed their rounds: coverage {coverage:.3}");
+
+    // 5. The metrics dump carries the core families fed by the run.
+    let dump = fedmigr_telemetry::render_metrics();
+    for family in ["fedmigr_phase_seconds", "fedmigr_net_bytes_total", "fedmigr_codec_bytes_total"]
+    {
+        assert!(dump.contains(&format!("# TYPE {family} ")), "metrics dump missing {family}");
+    }
+}
