@@ -235,13 +235,22 @@ pub fn standard_config(scheme: Scheme, scale: Scale, seed: u64) -> RunConfig {
 /// metrics dump and flushes the trace — logging failures instead of
 /// panicking, so a full result table is never lost to a bad output path.
 pub fn init_observability(bench: &'static str) -> ObservabilityGuard {
-    if let Some(spec) = flag_value("--log-level") {
-        match fedmigr_telemetry::Filter::parse(&spec) {
-            Ok(f) => fedmigr_telemetry::set_filter(f),
-            Err(e) => {
-                fedmigr_telemetry::error!("bench", "error: bad --log-level: {e}");
-                std::process::exit(2);
-            }
+    // Resolve the filter explicitly (flag > FEDMIGR_LOG > default) rather
+    // than relying on the engine's one-time env read: by the time a bench
+    // binary reaches here the global engine may already exist (e.g. an
+    // earlier `Scale::from_args` error path), and the env spec must still
+    // be honoured when the flag is absent.
+    let log_flag = flag_value("--log-level");
+    let log_env = std::env::var("FEDMIGR_LOG").ok();
+    match fedmigr_telemetry::Filter::resolve(log_flag.as_deref(), log_env.as_deref()) {
+        Ok(f) => fedmigr_telemetry::set_filter(f),
+        Err(e) if log_flag.is_some() => {
+            fedmigr_telemetry::error!("bench", "error: bad --log-level: {e}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            // A malformed environment spec must not kill a result run.
+            fedmigr_telemetry::warn!("bench", "ignoring FEDMIGR_LOG: {e}");
         }
     }
     if let Some(path) = flag_value("--trace-out") {

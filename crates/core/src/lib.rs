@@ -78,6 +78,7 @@ mod summary;
 pub use aggregate::Aggregator;
 pub use client::FlClient;
 pub use fedmigr_compress::{CodecConfig, CompressionStats};
+pub use fedmigr_diag::DiagConfig;
 pub use metrics::{EpochRecord, FaultStats, PhaseBreakdown, RobustStats, RunMetrics};
 pub use migration::{MigrationPlan, Quarantine, QuarantineConfig};
 pub use privacy::DpConfig;

@@ -1,8 +1,12 @@
 use std::sync::Arc;
 
 use fedmigr_compress::{CodecConfig, Compressor};
-use fedmigr_data::distribution::l1_distance;
+use fedmigr_data::distribution::{l1_distance, normalized_emd};
 use fedmigr_data::Dataset;
+use fedmigr_diag::{
+    DiagConfig, DriftSnapshot, DrlSnapshot, EdgeOutcome, EmdSnapshot, FlightHeader, FlightRecorder,
+    FlightSummary, GraphSnapshot, MigrationEdge, RoundRecord, FLIGHT_VERSION,
+};
 use fedmigr_drl::qp::FlmmRelaxation;
 use fedmigr_drl::{AgentConfig, DdpgAgent, MigrationState, Transition};
 use fedmigr_net::{
@@ -81,6 +85,12 @@ pub struct RunConfig {
     pub codec: CodecConfig,
     /// Seed for client batch order, migration randomness and DP noise.
     pub seed: u64,
+    /// Learning-dynamics diagnostics (EMD/drift/DRL introspection gauges
+    /// and the flight recorder). Strictly observation-only: the default
+    /// ([`DiagConfig::default`]) does no work, and enabling it never
+    /// consumes the run's RNG stream or touches the virtual clock, so
+    /// `RunMetrics` stays byte-identical either way.
+    pub diag: DiagConfig,
 }
 
 impl RunConfig {
@@ -103,6 +113,7 @@ impl RunConfig {
             aggregator: Aggregator::FedAvg,
             codec: CodecConfig::Identity,
             seed: 7,
+            diag: DiagConfig::default(),
         }
     }
 }
@@ -310,6 +321,52 @@ impl Experiment {
         let mut budget_exhausted = false;
         let mut target_reached = false;
 
+        // Learning-dynamics diagnostics (observation-only: nothing below
+        // may consume `rng` or advance `clock`). The wall-time histogram
+        // family is cumulative per process, so the hotspot log at run end
+        // diffs against this run-start snapshot.
+        let diag_on = cfg.diag.active();
+        let phase_wall_baseline = phase_seconds_snapshot();
+        // Diagnostic twin of `mix` that aggregation never resets: the label
+        // distribution of the data that actually generated each model
+        // replica's gradients, routed through migrations and swaps only.
+        // FedAvg keeps each replica pinned to its host's shard; migration
+        // is what drives this EMD down.
+        let mut train_mix: Vec<Vec<f64>> = dists.clone();
+        let mut flight = match cfg.diag.flight_out.as_deref() {
+            Some(path) => match FlightRecorder::create(path) {
+                Ok(mut rec) => {
+                    let header = FlightHeader {
+                        version: FLIGHT_VERSION,
+                        scheme: cfg.scheme.name(),
+                        clients: k,
+                        epochs: cfg.epochs,
+                        seed: cfg.seed,
+                        agg_interval: cfg.agg_interval,
+                        codec: cfg.codec.name(),
+                    };
+                    match rec.header(&header) {
+                        Ok(()) => Some(rec),
+                        Err(e) => {
+                            fedmigr_telemetry::error!(
+                                "core::diag",
+                                "flight header write failed for {path}: {e}; recording disabled"
+                            );
+                            None
+                        }
+                    }
+                }
+                Err(e) => {
+                    fedmigr_telemetry::error!(
+                        "core::diag",
+                        "cannot open flight recording {path}: {e}; recording disabled"
+                    );
+                    None
+                }
+            },
+            None => None,
+        };
+
         for epoch in 1..=cfg.epochs {
             let _round = fedmigr_telemetry::global().span_labeled(
                 "core::runner",
@@ -322,6 +379,10 @@ impl Experiment {
             let traffic_before = meter.traffic().total();
             let compute_before = meter.compute_cost();
             let mut robust_epoch = RobustStats::default();
+            // Diagnostics accumulators: the round's migration edge list and
+            // executed source map (identity on non-migration rounds).
+            let mut round_edges: Vec<MigrationEdge> = Vec::new();
+            let mut round_src_of: Vec<usize> = (0..k).collect();
 
             // Sample the participating clients for this epoch (α K of K),
             // then intersect with the fault schedule: crashed clients
@@ -380,6 +441,16 @@ impl Experiment {
                 }
                 for (mi, qi) in m.iter_mut().zip(q) {
                     *mi = (1.0 - MIX_ALPHA) * *mi + MIX_ALPHA * qi;
+                }
+            }
+            if diag_on {
+                for (i, (m, q)) in train_mix.iter_mut().zip(&dists).enumerate() {
+                    if !active[i] {
+                        continue;
+                    }
+                    for (mi, qi) in m.iter_mut().zip(q) {
+                        *mi = (1.0 - MIX_ALPHA) * *mi + MIX_ALPHA * qi;
+                    }
                 }
             }
             let dmat = distance_matrix(&mix);
@@ -611,6 +682,9 @@ impl Experiment {
                     let plan = swap_pairs_plan(&synced, k.div_ceil(4), &mut rng);
                     uploads = plan.apply(&uploads);
                     mix = plan.apply(&mix);
+                    if diag_on {
+                        train_mix = plan.apply(&train_mix);
+                    }
                     for (i, c) in clients.iter_mut().enumerate() {
                         let p = if synced[i] {
                             compressor.transmit_down(i, &uploads[i])
@@ -729,7 +803,7 @@ impl Experiment {
                 let mut delivered_payload: Vec<Option<Vec<f32>>> = vec![None; k];
                 let mut move_times = Vec::new();
                 for (i, j) in plan.moves() {
-                    let (delivered, time) = self.deliver(
+                    let (outcome, time) = self.deliver(
                         &fault,
                         &alive,
                         i,
@@ -740,7 +814,14 @@ impl Experiment {
                         &mut fault_stats,
                     );
                     move_times.push(time);
-                    if delivered {
+                    round_edges.push(MigrationEdge {
+                        src: i,
+                        dst: j,
+                        bytes: model_bytes,
+                        time_s: time,
+                        outcome,
+                    });
+                    if outcome.delivered() {
                         // Encode only transfers that completed: a cancelled
                         // migration must not consume the sender's
                         // error-feedback residual. The receiver screens the
@@ -766,8 +847,29 @@ impl Experiment {
                         }
                     }
                 }
+                if diag_on {
+                    // Attribute virtual-dataset EMD deltas to individual
+                    // migrations: slot `j` is about to adopt slot
+                    // `src_of[j]`'s mixture.
+                    for (j, &s) in src_of.iter().enumerate() {
+                        if s == j {
+                            continue;
+                        }
+                        let before = normalized_emd(&mix[j], &population);
+                        let after = normalized_emd(&mix[s], &population);
+                        fedmigr_telemetry::debug!(
+                            "core::diag",
+                            "migration {s}->{j}: virtual-dataset EMD {before:.4} -> {after:.4} ({:+.4})",
+                            after - before
+                        );
+                    }
+                }
                 clock.advance_parallel(VPhase::Migration, move_times);
                 mix = src_of.iter().map(|&s| mix[s].clone()).collect();
+                if diag_on {
+                    train_mix = src_of.iter().map(|&s| train_mix[s].clone()).collect();
+                }
+                round_src_of.clone_from(&src_of);
                 for (j, c) in clients.iter_mut().enumerate() {
                     match delivered_payload[j].take() {
                         Some(p) => {
@@ -866,6 +968,80 @@ impl Experiment {
             });
             robust_total.absorb(&robust_epoch);
             prev_loss = Some(mean_loss);
+
+            if diag_on {
+                let _diag = span!("core::runner", "diagnostics");
+                let emd = EmdSnapshot::measure(&mix, &population);
+                let train_emd = EmdSnapshot::measure(&train_mix, &population);
+                // Read parameters directly: `collect_params` applies DP
+                // noise and consumes the shared RNG stream, which would
+                // break the diagnostics-off/on byte-identity contract.
+                let params_now: Vec<Vec<f32>> = clients.iter_mut().map(|c| c.params()).collect();
+                let weights: Vec<f64> = clients.iter().map(|c| c.num_samples() as f64).collect();
+                let drift = DriftSnapshot::measure(&params_now, &global, &weights);
+                let drl = match (agent_ctx.as_mut(), states.as_ref()) {
+                    (Some(ctx), Some(states)) => {
+                        // Forward-only policy probes: RNG-free by design.
+                        let probs: Vec<Vec<f32>> =
+                            states.iter().map(|s| ctx.agent.action_probs(s)).collect();
+                        Some(DrlSnapshot::collect(
+                            &probs,
+                            ctx.agent.last_update_stats(),
+                            ctx.agent.replay_health(),
+                        ))
+                    }
+                    _ => None,
+                };
+                let graph = GraphSnapshot::measure(&round_edges, &round_src_of);
+                let reg = fedmigr_telemetry::global().registry();
+                reg.gauge("fedmigr_diag_emd_mean", &[]).set(emd.mean);
+                reg.gauge("fedmigr_diag_emd_max", &[]).set(emd.max);
+                reg.gauge("fedmigr_diag_train_emd_mean", &[]).set(train_emd.mean);
+                reg.gauge("fedmigr_diag_train_emd_max", &[]).set(train_emd.max);
+                reg.gauge("fedmigr_diag_drift_mean_dist", &[]).set(drift.mean_dist);
+                reg.gauge("fedmigr_diag_drift_mean_cosine", &[]).set(drift.mean_cosine);
+                reg.gauge("fedmigr_diag_drift_mean_divergence", &[]).set(drift.mean_divergence);
+                if let Some(d) = &drl {
+                    reg.gauge("fedmigr_diag_policy_entropy", &[]).set(d.mean_entropy);
+                    reg.gauge("fedmigr_diag_policy_saturation", &[]).set(d.mean_saturation);
+                    reg.gauge("fedmigr_diag_critic_mean_q", &[]).set(d.mean_q);
+                    reg.gauge("fedmigr_diag_td_error_mean_abs", &[]).set(d.mean_abs_td);
+                }
+                let mut flight_failed = false;
+                if let Some(rec) = flight.as_mut() {
+                    let traffic = meter.traffic();
+                    let phase = clock.phase();
+                    let row = RoundRecord {
+                        epoch,
+                        train_loss: mean_loss as f64,
+                        test_accuracy: accuracy,
+                        sim_time: clock.now(),
+                        c2s_bytes: traffic.c2s,
+                        c2c_local_bytes: traffic.c2c_local,
+                        c2c_global_bytes: traffic.c2c_global,
+                        phase_train_s: phase.train_s,
+                        phase_c2s_s: phase.c2s_s,
+                        phase_migration_s: phase.migration_s,
+                        phase_backoff_s: phase.backoff_s,
+                        emd,
+                        train_emd,
+                        drift: Some(drift),
+                        drl,
+                        graph,
+                        migrations: std::mem::take(&mut round_edges),
+                    };
+                    if let Err(e) = rec.round(&row) {
+                        fedmigr_telemetry::error!(
+                            "core::diag",
+                            "flight round write failed: {e}; recording stopped"
+                        );
+                        flight_failed = true;
+                    }
+                }
+                if flight_failed {
+                    flight = None;
+                }
+            }
             drop(book_span);
             if let (Some(target), Some(acc)) = (cfg.target_accuracy, accuracy) {
                 if acc >= target {
@@ -894,6 +1070,28 @@ impl Experiment {
                 });
             }
         }
+
+        if let Some(rec) = flight.as_mut() {
+            let summary = FlightSummary {
+                epochs_run: records.len(),
+                final_accuracy: records.iter().rev().find_map(|r| r.test_accuracy).unwrap_or(0.0),
+                best_accuracy: records.iter().filter_map(|r| r.test_accuracy).fold(0.0, f64::max),
+                total_bytes: records.last().map(|r| r.traffic.total()).unwrap_or(0),
+                sim_time: records.last().map(|r| r.sim_time).unwrap_or(0.0),
+                migrations_local,
+                migrations_global,
+                final_emd_mean: EmdSnapshot::measure(&mix, &population).mean,
+                target_reached,
+                budget_exhausted,
+            };
+            if let Err(e) = rec.finish(&summary) {
+                fedmigr_telemetry::error!("core::diag", "flight summary write failed: {e}");
+            }
+        }
+        log_phase_hotspot(
+            &phase_wall_baseline,
+            records.last().map(|r| r.phase).unwrap_or_default(),
+        );
 
         RunMetrics {
             scheme: cfg.scheme.name(),
@@ -972,11 +1170,13 @@ impl Experiment {
     }
 
     /// Delivers one planned migration `i -> j` under the fault model,
-    /// charging bytes to `meter` and returning `(delivered, seconds)`. The
-    /// policy is: direct C2C with bounded exponential-backoff retries, then
-    /// relay through the best live peer in the destination's LAN, then a
-    /// C2S round-trip through the server, and finally cancellation (the
-    /// model stays where it is for one epoch).
+    /// charging bytes to `meter` and returning `(outcome, seconds)` — the
+    /// outcome names the path the transfer ended on and implies whether it
+    /// delivered ([`EdgeOutcome::delivered`]). The policy is: direct C2C
+    /// with bounded exponential-backoff retries, then relay through the
+    /// best live peer in the destination's LAN, then a C2S round-trip
+    /// through the server, and finally cancellation (the model stays where
+    /// it is for one epoch).
     #[allow(clippy::too_many_arguments)]
     fn deliver(
         &self,
@@ -988,7 +1188,7 @@ impl Experiment {
         model_bytes: u64,
         meter: &mut ResourceMeter,
         stats: &mut FaultStats,
-    ) -> (bool, f64) {
+    ) -> (EdgeOutcome, f64) {
         // A downed link presents as zero effective bandwidth, which the
         // `try_` transfer API maps to `None` instead of a panic.
         let eff = |a: usize, b: usize| -> f64 {
@@ -1003,7 +1203,7 @@ impl Experiment {
         if let Some(t) = try_transfer_time_with_latency(model_bytes, eff(i, j), latency) {
             meter.record_c2c(model_bytes, self.topology.same_lan(i, j));
             observe_link_time("direct", t);
-            return (true, t);
+            return (EdgeOutcome::Direct, t);
         }
         stats.wasted_bytes += model_bytes;
         // (b) Bounded retries with exponential backoff on the same link.
@@ -1018,7 +1218,7 @@ impl Experiment {
                 let bw = self.topology.c2c_bandwidth(i, j, epoch) * fault.link_quality(i, j, epoch);
                 let t = elapsed + transfer_time_with_latency(model_bytes, bw, latency);
                 observe_link_time("direct_retry", t);
-                return (true, t);
+                return (EdgeOutcome::DirectRetry, t);
             }
             stats.wasted_bytes += model_bytes;
         }
@@ -1041,7 +1241,7 @@ impl Experiment {
                         self.topology.c2c_latency(r, j),
                     );
             observe_link_time("relay", elapsed + t);
-            return (true, elapsed + t);
+            return (EdgeOutcome::Relay, elapsed + t);
         }
         // (d) Last resort: bounce the model off the server over the WAN.
         if fault.c2s_up(i, epoch) && fault.c2s_up(j, epoch) {
@@ -1055,12 +1255,12 @@ impl Experiment {
                     self.topology.c2s_latency(),
                 );
             observe_link_time("c2s_bounce", elapsed + t);
-            return (true, elapsed + t);
+            return (EdgeOutcome::C2sBounce, elapsed + t);
         }
         // (e) Give up; the destination keeps its local copy this epoch.
         stats.cancelled_migrations += 1;
         count_net("fedmigr_net_fallback_total", &[("kind", "cancel")]);
-        (false, elapsed)
+        (EdgeOutcome::Cancelled, elapsed)
     }
 
     /// Test accuracy of `params` loaded into `template`, evaluated in
@@ -1137,6 +1337,62 @@ impl PhasedClock {
         self.clock.advance_parallel(times);
         *self.bucket(phase) += self.clock.now() - before;
     }
+}
+
+/// Wall-clock seconds accumulated per runner span phase, read from the
+/// cumulative `fedmigr_phase_seconds` histogram family (the family is
+/// per-process, so callers diff two snapshots to isolate one run).
+fn phase_seconds_snapshot() -> std::collections::BTreeMap<String, f64> {
+    fedmigr_telemetry::global()
+        .registry()
+        .histogram_family(fedmigr_telemetry::PHASE_SECONDS)
+        .into_iter()
+        .filter_map(|(labels, snap)| {
+            let target = labels.iter().find(|(key, _)| key == "target")?;
+            if target.1 != "core::runner" {
+                return None;
+            }
+            let phase = labels.iter().find(|(key, _)| key == "phase")?;
+            Some((phase.1.clone(), snap.sum))
+        })
+        .collect()
+}
+
+/// One-line hotspot log at run end: names the runner span that dominated
+/// this run's instrumented wall time (delta against the run-start snapshot
+/// of `fedmigr_phase_seconds`) and the phase that dominated virtual time.
+/// The enclosing `round` span is excluded — it envelops every other phase.
+fn log_phase_hotspot(baseline: &std::collections::BTreeMap<String, f64>, sim: PhaseBreakdown) {
+    let deltas: Vec<(String, f64)> = phase_seconds_snapshot()
+        .into_iter()
+        .filter(|(phase, _)| phase != "round")
+        .map(|(phase, sum)| {
+            let before = baseline.get(&phase).copied().unwrap_or(0.0);
+            (phase, (sum - before).max(0.0))
+        })
+        .filter(|&(_, d)| d > 0.0)
+        .collect();
+    let wall_total: f64 = deltas.iter().map(|(_, d)| d).sum();
+    let Some((hot, hot_s)) = deltas.into_iter().max_by(|a, b| a.1.total_cmp(&b.1)) else {
+        return;
+    };
+    let sim_total = sim.total();
+    let sim_part = [
+        ("train", sim.train_s),
+        ("c2s", sim.c2s_s),
+        ("migration", sim.migration_s),
+        ("backoff", sim.backoff_s),
+    ]
+    .into_iter()
+    .max_by(|a, b| a.1.total_cmp(&b.1))
+    .filter(|_| sim_total > 0.0)
+    .map(|(name, s)| format!("; sim time dominated by {name} ({:.0}%)", 100.0 * s / sim_total))
+    .unwrap_or_default();
+    fedmigr_telemetry::info!(
+        "core::runner",
+        "phase_hotspot: {hot} took {:.0}% of instrumented wall time ({hot_s:.3}s){sim_part}",
+        100.0 * hot_s / wall_total
+    );
 }
 
 /// Bumps a telemetry counter in the net metric families (side-channel only:

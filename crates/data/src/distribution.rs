@@ -54,6 +54,18 @@ pub fn emd_1d(a: &[f64], b: &[f64]) -> f64 {
     total
 }
 
+/// Earth mover's distance normalized to `[0, 1]`: [`emd_1d`] divided by
+/// its maximum possible value `n - 1` over `n` labels (all mass at one end
+/// of the label axis versus all mass at the other). Degenerate supports of
+/// one label admit no transport, so their distance is 0.
+pub fn normalized_emd(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distributions must share support");
+    if a.len() <= 1 {
+        return 0.0;
+    }
+    emd_1d(a, b) / (a.len() - 1) as f64
+}
+
 /// The `K x K` symmetric matrix `D_t` of pairwise L1 distances between
 /// client label distributions — part of the DRL state (Sec. III-C).
 pub fn pairwise_distance_matrix(dists: &[Vec<f64>]) -> Vec<Vec<f64>> {
@@ -143,6 +155,15 @@ mod tests {
         let far = emd_1d(&[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]);
         assert!(far > near);
         assert_eq!(emd_1d(&[0.3, 0.7], &[0.3, 0.7]), 0.0);
+    }
+
+    #[test]
+    fn normalized_emd_hits_its_bounds() {
+        // Antipodal point masses are the unit-distance case.
+        assert_eq!(normalized_emd(&[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]), 1.0);
+        assert_eq!(normalized_emd(&[0.2, 0.8], &[0.2, 0.8]), 0.0);
+        // One-label supports admit no transport at all.
+        assert_eq!(normalized_emd(&[1.0], &[1.0]), 0.0);
     }
 
     #[test]

@@ -1,0 +1,27 @@
+//! Renders a human-readable report from a flight recording.
+//!
+//! ```text
+//! fedmigr_report <flight.jsonl>
+//! ```
+//!
+//! Exits 0 on success, 2 on usage or parse errors.
+
+use fedmigr_diag::{render_report, FlightRecording};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let path = match args.get(1) {
+        Some(p) if !p.starts_with('-') => p,
+        _ => {
+            eprintln!("usage: fedmigr_report <flight.jsonl>");
+            std::process::exit(2);
+        }
+    };
+    match FlightRecording::from_file(path) {
+        Ok(rec) => print!("{}", render_report(&rec)),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Flight-recording comparison — the repo's first metric-regression gate.
+//!
+//! [`diff_recordings`] compares a freshly recorded run against a checked-in
+//! baseline and reports every metric that moved past its tolerance in the
+//! *bad* direction: accuracy falling, virtual-dataset EMD rising, wire
+//! bytes or virtual time growing. Improvements never fail the gate. CI runs
+//! this through the `fedmigr_diff` binary, which exits non-zero when any
+//! regression survives.
+
+use crate::flight::FlightRecording;
+
+/// How far each metric may regress before the gate fails.
+///
+/// Accuracy and EMD budgets are absolute (both metrics live in `[0, 1]`);
+/// bytes and time budgets are fractional since their scales vary with
+/// config. The defaults absorb cross-platform float jitter on a seeded
+/// smoke run while still catching real regressions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tolerances {
+    /// Allowed absolute drop in final/best accuracy.
+    pub accuracy_drop: f64,
+    /// Allowed absolute rise in fleet-mean EMD (final and run-mean).
+    pub emd_rise: f64,
+    /// Allowed fractional rise in total wire bytes.
+    pub bytes_rise_frac: f64,
+    /// Allowed fractional rise in total virtual time.
+    pub time_rise_frac: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            accuracy_drop: 0.05,
+            emd_rise: 0.05,
+            bytes_rise_frac: 0.10,
+            time_rise_frac: 0.25,
+        }
+    }
+}
+
+/// One metric that moved past its tolerance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Metric name (`"final_accuracy"`, `"total_bytes"`, ...).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Budget that was exceeded, in the metric's units.
+    pub allowed: f64,
+}
+
+impl Regression {
+    /// One-line human rendering for gate output.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}: baseline {:.6} -> current {:.6} (allowed slack {:.6})",
+            self.metric, self.baseline, self.current, self.allowed
+        )
+    }
+}
+
+/// Compares `current` against `baseline` under `tol`.
+///
+/// Returns `Err` when the recordings are not comparable (different scheme,
+/// client count or codec — a config change, not a regression); otherwise
+/// returns the list of regressions, empty when the gate passes.
+pub fn diff_recordings(
+    baseline: &FlightRecording,
+    current: &FlightRecording,
+    tol: &Tolerances,
+) -> Result<Vec<Regression>, String> {
+    for (what, b, c) in [
+        ("scheme", &baseline.header.scheme, &current.header.scheme),
+        ("codec", &baseline.header.codec, &current.header.codec),
+    ] {
+        if b != c {
+            return Err(format!("recordings are not comparable: {what} {b:?} vs {c:?}"));
+        }
+    }
+    if baseline.header.clients != current.header.clients {
+        return Err(format!(
+            "recordings are not comparable: clients {} vs {}",
+            baseline.header.clients, current.header.clients
+        ));
+    }
+
+    let mut out = Vec::new();
+    // Lower-is-worse metrics: fail when current < baseline − slack.
+    for (metric, b, c, slack) in [
+        ("final_accuracy", baseline.final_accuracy(), current.final_accuracy(), tol.accuracy_drop),
+        ("best_accuracy", baseline.best_accuracy(), current.best_accuracy(), tol.accuracy_drop),
+    ] {
+        if c < b - slack {
+            out.push(Regression { metric: metric.into(), baseline: b, current: c, allowed: slack });
+        }
+    }
+    // Higher-is-worse metrics with absolute slack.
+    for (metric, b, c, slack) in [
+        ("final_emd_mean", baseline.final_emd_mean(), current.final_emd_mean(), tol.emd_rise),
+        (
+            "mean_emd_over_run",
+            baseline.mean_emd_over_run(),
+            current.mean_emd_over_run(),
+            tol.emd_rise,
+        ),
+        (
+            "mean_train_emd_over_run",
+            baseline.mean_train_emd_over_run(),
+            current.mean_train_emd_over_run(),
+            tol.emd_rise,
+        ),
+    ] {
+        if c > b + slack {
+            out.push(Regression { metric: metric.into(), baseline: b, current: c, allowed: slack });
+        }
+    }
+    // Higher-is-worse metrics with fractional slack.
+    for (metric, b, c, frac) in [
+        (
+            "total_bytes",
+            baseline.total_bytes() as f64,
+            current.total_bytes() as f64,
+            tol.bytes_rise_frac,
+        ),
+        ("sim_time", baseline.sim_time(), current.sim_time(), tol.time_rise_frac),
+    ] {
+        let slack = b * frac;
+        if c > b + slack {
+            out.push(Regression { metric: metric.into(), baseline: b, current: c, allowed: slack });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emd::EmdSnapshot;
+    use crate::flight::{FlightHeader, RoundRecord, FLIGHT_VERSION};
+
+    fn recording(acc: f64, emd: f64, bytes: u64, time: f64) -> FlightRecording {
+        let header = FlightHeader {
+            version: FLIGHT_VERSION,
+            scheme: "FedMigr".into(),
+            clients: 4,
+            epochs: 10,
+            seed: 1,
+            agg_interval: 5,
+            codec: "identity".into(),
+        };
+        let round = RoundRecord {
+            epoch: 10,
+            train_loss: 1.0,
+            test_accuracy: Some(acc),
+            sim_time: time,
+            c2s_bytes: bytes,
+            emd: EmdSnapshot { per_client: vec![emd; 4], mean: emd, max: emd },
+            train_emd: EmdSnapshot { per_client: vec![emd; 4], mean: emd, max: emd },
+            ..RoundRecord::default()
+        };
+        FlightRecording { header, rounds: vec![round], summary: None, tolerances: None }
+    }
+
+    #[test]
+    fn identical_recordings_pass() {
+        let a = recording(0.7, 0.2, 1000, 50.0);
+        let regs = diff_recordings(&a, &a.clone(), &Tolerances::default()).unwrap();
+        assert!(regs.is_empty(), "{regs:?}");
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let base = recording(0.7, 0.2, 1000, 50.0);
+        let better = recording(0.9, 0.05, 500, 25.0);
+        let regs = diff_recordings(&base, &better, &Tolerances::default()).unwrap();
+        assert!(regs.is_empty(), "{regs:?}");
+    }
+
+    #[test]
+    fn each_axis_trips_its_own_gate() {
+        let tol = Tolerances::default();
+        let base = recording(0.7, 0.2, 1000, 50.0);
+
+        let worse_acc = recording(0.7 - tol.accuracy_drop - 0.01, 0.2, 1000, 50.0);
+        let regs = diff_recordings(&base, &worse_acc, &tol).unwrap();
+        assert!(
+            regs.iter().any(|r| r.metric == "final_accuracy"),
+            "accuracy regression caught: {regs:?}"
+        );
+
+        let worse_emd = recording(0.7, 0.2 + tol.emd_rise + 0.01, 1000, 50.0);
+        let regs = diff_recordings(&base, &worse_emd, &tol).unwrap();
+        assert!(regs.iter().any(|r| r.metric == "final_emd_mean"), "{regs:?}");
+
+        let worse_bytes = recording(0.7, 0.2, 1200, 50.0);
+        let regs = diff_recordings(&base, &worse_bytes, &tol).unwrap();
+        assert!(regs.iter().any(|r| r.metric == "total_bytes"), "{regs:?}");
+
+        let worse_time = recording(0.7, 0.2, 1000, 70.0);
+        let regs = diff_recordings(&base, &worse_time, &tol).unwrap();
+        assert!(regs.iter().any(|r| r.metric == "sim_time"), "{regs:?}");
+        assert!(regs[0].describe().contains("sim_time"), "describe names the metric");
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let tol = Tolerances::default();
+        let base = recording(0.7, 0.2, 1000, 50.0);
+        let near = recording(0.66, 0.24, 1090, 60.0);
+        let regs = diff_recordings(&base, &near, &tol).unwrap();
+        assert!(regs.is_empty(), "{regs:?}");
+    }
+
+    #[test]
+    fn incomparable_configs_error() {
+        let base = recording(0.7, 0.2, 1000, 50.0);
+        let mut other = recording(0.7, 0.2, 1000, 50.0);
+        other.header.scheme = "FedAvg".into();
+        assert!(diff_recordings(&base, &other, &Tolerances::default()).is_err());
+        let mut other = recording(0.7, 0.2, 1000, 50.0);
+        other.header.clients = 8;
+        assert!(diff_recordings(&base, &other, &Tolerances::default()).is_err());
+    }
+}

@@ -1,0 +1,744 @@
+//! The run flight recorder: a versioned JSONL artifact capturing one run's
+//! learning dynamics round by round.
+//!
+//! Line kinds, in file order:
+//!
+//! 1. exactly one `{"kind":"header",...}` — schema version plus the run's
+//!    identifying configuration;
+//! 2. one `{"kind":"round",...}` per epoch — loss/accuracy/traffic plus the
+//!    [`EmdSnapshot`], [`DriftSnapshot`], [`DrlSnapshot`] and
+//!    [`GraphSnapshot`] diagnostics and the round's migration edge list;
+//! 3. at most one `{"kind":"summary",...}` — run-level outcome;
+//! 4. at most one `{"kind":"tolerances",...}` — regression budgets, present
+//!    on checked-in baselines so `fedmigr_diff` runs self-contained in CI.
+//!
+//! Serialization reuses the telemetry crate's hand-written JSON helpers
+//! (`json_num`/`json_str`) and its [`JsonValue`] parser, keeping the whole
+//! workspace on one JSON dialect with no external dependency. All numbers
+//! are written as JSON floats (integers gain `.0`), matching the trace
+//! schema.
+
+use std::collections::BTreeMap;
+use std::io::{BufWriter, Write};
+
+use fedmigr_telemetry::trace::{json_num, json_str, JsonValue};
+
+use crate::diff::Tolerances;
+use crate::drift::DriftSnapshot;
+use crate::drl_probe::DrlSnapshot;
+use crate::emd::EmdSnapshot;
+use crate::graph::{EdgeOutcome, GraphSnapshot, MigrationEdge};
+
+/// Current flight-recording schema version.
+pub const FLIGHT_VERSION: u64 = 1;
+
+/// Identifying configuration of the recorded run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlightHeader {
+    /// Schema version ([`FLIGHT_VERSION`] when written by this build).
+    pub version: u64,
+    /// Scheme name (`"FedMigr"`, `"FedAvg"`, ...).
+    pub scheme: String,
+    /// Number of clients.
+    pub clients: usize,
+    /// Configured epoch budget.
+    pub epochs: usize,
+    /// Run seed.
+    pub seed: u64,
+    /// Aggregation interval (`M + 1`).
+    pub agg_interval: usize,
+    /// Wire-codec name.
+    pub codec: String,
+}
+
+/// One epoch's diagnostics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RoundRecord {
+    /// 1-based epoch.
+    pub epoch: usize,
+    /// Mean weighted local training loss.
+    pub train_loss: f64,
+    /// Test accuracy, when this was an evaluation epoch.
+    pub test_accuracy: Option<f64>,
+    /// Cumulative virtual seconds.
+    pub sim_time: f64,
+    /// Cumulative client↔server bytes.
+    pub c2s_bytes: u64,
+    /// Cumulative intra-LAN client-to-client bytes.
+    pub c2c_local_bytes: u64,
+    /// Cumulative cross-LAN client-to-client bytes.
+    pub c2c_global_bytes: u64,
+    /// Cumulative virtual seconds in local training.
+    pub phase_train_s: f64,
+    /// Cumulative virtual seconds on the client↔server path.
+    pub phase_c2s_s: f64,
+    /// Cumulative virtual seconds migrating models.
+    pub phase_migration_s: f64,
+    /// Cumulative virtual seconds stalled in backoff.
+    pub phase_backoff_s: f64,
+    /// Virtual-dataset EMD picture (the runner's mixture, which aggregation
+    /// resets to the population: what the *next* round starts from).
+    pub emd: EmdSnapshot,
+    /// Training-history EMD picture: the same mixture tracked through the
+    /// migration chain but never reset by aggregation — the label
+    /// distribution of the data that actually generated each model
+    /// replica's gradients. FedAvg keeps this pinned at the local
+    /// distribution (each model only ever trains on its host's shard);
+    /// migration is what drives it down.
+    pub train_emd: EmdSnapshot,
+    /// Client-drift picture (absent when parameters were not sampled).
+    pub drift: Option<DriftSnapshot>,
+    /// DDPG introspection (absent for non-DRL schemes).
+    pub drl: Option<DrlSnapshot>,
+    /// Migration-graph statistics.
+    pub graph: GraphSnapshot,
+    /// The round's migration edge list.
+    pub migrations: Vec<MigrationEdge>,
+}
+
+/// Run-level outcome written when the run finishes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FlightSummary {
+    /// Epochs actually run.
+    pub epochs_run: usize,
+    /// Last evaluated accuracy.
+    pub final_accuracy: f64,
+    /// Best evaluated accuracy.
+    pub best_accuracy: f64,
+    /// Total wire bytes.
+    pub total_bytes: u64,
+    /// Total virtual seconds.
+    pub sim_time: f64,
+    /// Intra-LAN migrations executed.
+    pub migrations_local: usize,
+    /// Cross-LAN migrations executed.
+    pub migrations_global: usize,
+    /// Fleet-mean virtual-dataset EMD at the final round.
+    pub final_emd_mean: f64,
+    /// Whether the run hit its target accuracy.
+    pub target_reached: bool,
+    /// Whether the run ran out of resource budget.
+    pub budget_exhausted: bool,
+}
+
+/// Streaming JSONL writer for a flight recording.
+pub struct FlightRecorder {
+    out: BufWriter<Box<dyn Write + Send>>,
+}
+
+impl FlightRecorder {
+    /// Opens (truncating) `path` for recording.
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::to_writer(Box::new(file)))
+    }
+
+    /// Records into an arbitrary writer (tests use a `Vec<u8>` proxy).
+    pub fn to_writer(w: Box<dyn Write + Send>) -> Self {
+        FlightRecorder { out: BufWriter::new(w) }
+    }
+
+    /// Writes the header line. Call exactly once, first.
+    pub fn header(&mut self, h: &FlightHeader) -> std::io::Result<()> {
+        writeln!(
+            self.out,
+            "{{\"kind\":\"header\",\"version\":{},\"scheme\":{},\"clients\":{},\"epochs\":{},\"seed\":{},\"agg_interval\":{},\"codec\":{}}}",
+            json_num(h.version as f64),
+            json_str(&h.scheme),
+            json_num(h.clients as f64),
+            json_num(h.epochs as f64),
+            json_num(h.seed as f64),
+            json_num(h.agg_interval as f64),
+            json_str(&h.codec),
+        )
+    }
+
+    /// Writes one round line.
+    pub fn round(&mut self, r: &RoundRecord) -> std::io::Result<()> {
+        let mut line = String::with_capacity(512);
+        line.push_str("{\"kind\":\"round\"");
+        push_field(&mut line, "epoch", json_num(r.epoch as f64));
+        push_field(&mut line, "train_loss", json_num(r.train_loss));
+        let acc = r.test_accuracy.map(json_num).unwrap_or_else(|| "null".into());
+        push_field(&mut line, "test_accuracy", acc);
+        push_field(&mut line, "sim_time", json_num(r.sim_time));
+        push_field(&mut line, "c2s_bytes", json_num(r.c2s_bytes as f64));
+        push_field(&mut line, "c2c_local_bytes", json_num(r.c2c_local_bytes as f64));
+        push_field(&mut line, "c2c_global_bytes", json_num(r.c2c_global_bytes as f64));
+        push_field(
+            &mut line,
+            "phase",
+            format!(
+                "{{\"train_s\":{},\"c2s_s\":{},\"migration_s\":{},\"backoff_s\":{}}}",
+                json_num(r.phase_train_s),
+                json_num(r.phase_c2s_s),
+                json_num(r.phase_migration_s),
+                json_num(r.phase_backoff_s),
+            ),
+        );
+        push_field(
+            &mut line,
+            "emd",
+            format!(
+                "{{\"mean\":{},\"max\":{},\"per_client\":{}}}",
+                json_num(r.emd.mean),
+                json_num(r.emd.max),
+                num_array(&r.emd.per_client),
+            ),
+        );
+        push_field(
+            &mut line,
+            "train_emd",
+            format!(
+                "{{\"mean\":{},\"max\":{},\"per_client\":{}}}",
+                json_num(r.train_emd.mean),
+                json_num(r.train_emd.max),
+                num_array(&r.train_emd.per_client),
+            ),
+        );
+        let drift = match &r.drift {
+            None => "null".to_string(),
+            Some(d) => format!(
+                "{{\"mean_dist\":{},\"max_dist\":{},\"mean_cosine\":{},\"mean_divergence\":{},\"dist\":{},\"cosine\":{},\"divergence\":{}}}",
+                json_num(d.mean_dist),
+                json_num(d.max_dist),
+                json_num(d.mean_cosine),
+                json_num(d.mean_divergence),
+                num_array(&d.dist),
+                num_array(&d.cosine),
+                num_array(&d.divergence),
+            ),
+        };
+        push_field(&mut line, "drift", drift);
+        let drl = match &r.drl {
+            None => "null".to_string(),
+            Some(d) => format!(
+                "{{\"mean_entropy\":{},\"mean_saturation\":{},\"mean_q\":{},\"mean_abs_td\":{},\"max_abs_td\":{},\"critic_grad_norm\":{},\"actor_grad_norm\":{},\"replay_occupancy\":{},\"replay_capacity\":{},\"replay_priority_spread\":{},\"replay_mean_age\":{},\"replay_max_age\":{}}}",
+                json_num(d.mean_entropy),
+                json_num(d.mean_saturation),
+                json_num(d.mean_q),
+                json_num(d.mean_abs_td),
+                json_num(d.max_abs_td),
+                json_num(d.critic_grad_norm),
+                json_num(d.actor_grad_norm),
+                json_num(d.replay_occupancy as f64),
+                json_num(d.replay_capacity as f64),
+                json_num(d.replay_priority_spread),
+                json_num(d.replay_mean_age),
+                json_num(d.replay_max_age),
+            ),
+        };
+        push_field(&mut line, "drl", drl);
+        push_field(
+            &mut line,
+            "graph",
+            format!(
+                "{{\"attempted\":{},\"delivered\":{},\"fallbacks\":{},\"out_concentration\":{},\"in_concentration\":{},\"cycles\":{}}}",
+                json_num(r.graph.attempted as f64),
+                json_num(r.graph.delivered as f64),
+                json_num(r.graph.fallbacks as f64),
+                json_num(r.graph.out_concentration),
+                json_num(r.graph.in_concentration),
+                json_num(r.graph.cycles as f64),
+            ),
+        );
+        let edges: Vec<String> = r
+            .migrations
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"src\":{},\"dst\":{},\"bytes\":{},\"time_s\":{},\"outcome\":{}}}",
+                    json_num(e.src as f64),
+                    json_num(e.dst as f64),
+                    json_num(e.bytes as f64),
+                    json_num(e.time_s),
+                    json_str(e.outcome.name()),
+                )
+            })
+            .collect();
+        push_field(&mut line, "migrations", format!("[{}]", edges.join(",")));
+        line.push('}');
+        writeln!(self.out, "{line}")
+    }
+
+    /// Writes the summary line and flushes.
+    pub fn finish(&mut self, s: &FlightSummary) -> std::io::Result<()> {
+        writeln!(
+            self.out,
+            "{{\"kind\":\"summary\",\"epochs_run\":{},\"final_accuracy\":{},\"best_accuracy\":{},\"total_bytes\":{},\"sim_time\":{},\"migrations_local\":{},\"migrations_global\":{},\"final_emd_mean\":{},\"target_reached\":{},\"budget_exhausted\":{}}}",
+            json_num(s.epochs_run as f64),
+            json_num(s.final_accuracy),
+            json_num(s.best_accuracy),
+            json_num(s.total_bytes as f64),
+            json_num(s.sim_time),
+            json_num(s.migrations_local as f64),
+            json_num(s.migrations_global as f64),
+            json_num(s.final_emd_mean),
+            s.target_reached,
+            s.budget_exhausted,
+        )?;
+        self.out.flush()
+    }
+
+    /// Writes a tolerances line (baselines only).
+    pub fn tolerances(&mut self, t: &Tolerances) -> std::io::Result<()> {
+        writeln!(
+            self.out,
+            "{{\"kind\":\"tolerances\",\"accuracy_drop\":{},\"emd_rise\":{},\"bytes_rise_frac\":{},\"time_rise_frac\":{}}}",
+            json_num(t.accuracy_drop),
+            json_num(t.emd_rise),
+            json_num(t.bytes_rise_frac),
+            json_num(t.time_rise_frac),
+        )?;
+        self.out.flush()
+    }
+}
+
+fn push_field(line: &mut String, key: &str, value: String) {
+    line.push_str(",\"");
+    line.push_str(key);
+    line.push_str("\":");
+    line.push_str(&value);
+}
+
+fn num_array(xs: &[f64]) -> String {
+    let cells: Vec<String> = xs.iter().map(|&x| json_num(x)).collect();
+    format!("[{}]", cells.join(","))
+}
+
+/// A parsed flight recording.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlightRecording {
+    /// The run's header.
+    pub header: FlightHeader,
+    /// Per-round diagnostics, in epoch order.
+    pub rounds: Vec<RoundRecord>,
+    /// Run-level summary, if the run finished cleanly.
+    pub summary: Option<FlightSummary>,
+    /// Regression budgets, when this recording is a tagged baseline.
+    pub tolerances: Option<Tolerances>,
+}
+
+impl FlightRecording {
+    /// Reads and parses a recording from disk.
+    pub fn from_file(path: &str) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Self::parse(&text).map_err(|e| format!("{path}: {e}"))
+    }
+
+    /// Parses a recording from JSONL text.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut header = None;
+        let mut rounds = Vec::new();
+        let mut summary = None;
+        let mut tolerances = None;
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let n = idx + 1;
+            let v = JsonValue::parse(line).map_err(|e| format!("line {n}: {e}"))?;
+            let obj = v.as_object().ok_or(format!("line {n}: not an object"))?;
+            match obj.get("kind").and_then(JsonValue::as_str) {
+                Some("header") => {
+                    let version = get_u64(obj, "version", n)?;
+                    if version > FLIGHT_VERSION {
+                        return Err(format!(
+                            "recording version {version} is newer than supported {FLIGHT_VERSION}"
+                        ));
+                    }
+                    header = Some(FlightHeader {
+                        version,
+                        scheme: get_str(obj, "scheme", n)?,
+                        clients: get_u64(obj, "clients", n)? as usize,
+                        epochs: get_u64(obj, "epochs", n)? as usize,
+                        seed: get_u64(obj, "seed", n)?,
+                        agg_interval: get_u64(obj, "agg_interval", n)? as usize,
+                        codec: get_str(obj, "codec", n)?,
+                    });
+                }
+                Some("round") => rounds.push(parse_round(obj, n)?),
+                Some("summary") => {
+                    summary = Some(FlightSummary {
+                        epochs_run: get_u64(obj, "epochs_run", n)? as usize,
+                        final_accuracy: get_f64(obj, "final_accuracy", n)?,
+                        best_accuracy: get_f64(obj, "best_accuracy", n)?,
+                        total_bytes: get_u64(obj, "total_bytes", n)?,
+                        sim_time: get_f64(obj, "sim_time", n)?,
+                        migrations_local: get_u64(obj, "migrations_local", n)? as usize,
+                        migrations_global: get_u64(obj, "migrations_global", n)? as usize,
+                        final_emd_mean: get_f64(obj, "final_emd_mean", n)?,
+                        target_reached: get_bool(obj, "target_reached", n)?,
+                        budget_exhausted: get_bool(obj, "budget_exhausted", n)?,
+                    });
+                }
+                Some("tolerances") => {
+                    tolerances = Some(Tolerances {
+                        accuracy_drop: get_f64(obj, "accuracy_drop", n)?,
+                        emd_rise: get_f64(obj, "emd_rise", n)?,
+                        bytes_rise_frac: get_f64(obj, "bytes_rise_frac", n)?,
+                        time_rise_frac: get_f64(obj, "time_rise_frac", n)?,
+                    });
+                }
+                other => return Err(format!("line {n}: unknown record kind {other:?}")),
+            }
+        }
+        let header = header.ok_or("recording has no header line")?;
+        Ok(FlightRecording { header, rounds, summary, tolerances })
+    }
+
+    /// Last evaluated accuracy (summary, else scanned from rounds).
+    pub fn final_accuracy(&self) -> f64 {
+        if let Some(s) = &self.summary {
+            return s.final_accuracy;
+        }
+        self.rounds.iter().rev().find_map(|r| r.test_accuracy).unwrap_or(0.0)
+    }
+
+    /// Best evaluated accuracy (summary, else scanned from rounds).
+    pub fn best_accuracy(&self) -> f64 {
+        if let Some(s) = &self.summary {
+            return s.best_accuracy;
+        }
+        self.rounds.iter().filter_map(|r| r.test_accuracy).fold(0.0, f64::max)
+    }
+
+    /// Total wire bytes (summary, else from the last round).
+    pub fn total_bytes(&self) -> u64 {
+        if let Some(s) = &self.summary {
+            return s.total_bytes;
+        }
+        self.rounds
+            .last()
+            .map(|r| r.c2s_bytes + r.c2c_local_bytes + r.c2c_global_bytes)
+            .unwrap_or(0)
+    }
+
+    /// Total virtual seconds (summary, else from the last round).
+    pub fn sim_time(&self) -> f64 {
+        if let Some(s) = &self.summary {
+            return s.sim_time;
+        }
+        self.rounds.last().map(|r| r.sim_time).unwrap_or(0.0)
+    }
+
+    /// Fleet-mean EMD at the final recorded round.
+    pub fn final_emd_mean(&self) -> f64 {
+        self.rounds.last().map(|r| r.emd.mean).unwrap_or(0.0)
+    }
+
+    /// Fleet-mean EMD averaged over every recorded round.
+    pub fn mean_emd_over_run(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.rounds.iter().map(|r| r.emd.mean).sum::<f64>() / self.rounds.len() as f64
+    }
+
+    /// Fleet-mean *training-history* EMD averaged over every recorded round
+    /// — the trajectory integral the FedMigr-vs-FedAvg comparison uses
+    /// (never reset by aggregation, so it measures what migration alone
+    /// buys).
+    pub fn mean_train_emd_over_run(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.rounds.iter().map(|r| r.train_emd.mean).sum::<f64>() / self.rounds.len() as f64
+    }
+}
+
+type Obj = BTreeMap<String, JsonValue>;
+
+fn get_f64(obj: &Obj, key: &str, line: usize) -> Result<f64, String> {
+    obj.get(key).and_then(JsonValue::as_f64).ok_or(format!("line {line}: missing number {key:?}"))
+}
+
+fn get_u64(obj: &Obj, key: &str, line: usize) -> Result<u64, String> {
+    Ok(get_f64(obj, key, line)?.max(0.0) as u64)
+}
+
+fn get_str(obj: &Obj, key: &str, line: usize) -> Result<String, String> {
+    obj.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or(format!("line {line}: missing string {key:?}"))
+}
+
+fn get_bool(obj: &Obj, key: &str, line: usize) -> Result<bool, String> {
+    match obj.get(key) {
+        Some(JsonValue::Bool(b)) => Ok(*b),
+        _ => Err(format!("line {line}: missing bool {key:?}")),
+    }
+}
+
+fn opt_f64(obj: &Obj, key: &str) -> Option<f64> {
+    obj.get(key).and_then(JsonValue::as_f64)
+}
+
+fn get_num_array(obj: &Obj, key: &str, line: usize) -> Result<Vec<f64>, String> {
+    match obj.get(key) {
+        Some(JsonValue::Array(xs)) => xs
+            .iter()
+            .map(|x| x.as_f64().ok_or(format!("line {line}: non-number in {key:?}")))
+            .collect(),
+        _ => Err(format!("line {line}: missing array {key:?}")),
+    }
+}
+
+fn sub_object<'a>(obj: &'a Obj, key: &str, line: usize) -> Result<Option<&'a Obj>, String> {
+    match obj.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(JsonValue::Object(m)) => Ok(Some(m)),
+        Some(_) => Err(format!("line {line}: {key:?} is not an object or null")),
+    }
+}
+
+fn parse_round(obj: &Obj, n: usize) -> Result<RoundRecord, String> {
+    let phase = sub_object(obj, "phase", n)?.ok_or(format!("line {n}: missing \"phase\""))?;
+    let emd = sub_object(obj, "emd", n)?.ok_or(format!("line {n}: missing \"emd\""))?;
+    let train_emd =
+        sub_object(obj, "train_emd", n)?.ok_or(format!("line {n}: missing \"train_emd\""))?;
+    let graph = sub_object(obj, "graph", n)?.ok_or(format!("line {n}: missing \"graph\""))?;
+    let drift = match sub_object(obj, "drift", n)? {
+        None => None,
+        Some(d) => Some(DriftSnapshot {
+            dist: get_num_array(d, "dist", n)?,
+            cosine: get_num_array(d, "cosine", n)?,
+            divergence: get_num_array(d, "divergence", n)?,
+            mean_dist: get_f64(d, "mean_dist", n)?,
+            max_dist: get_f64(d, "max_dist", n)?,
+            mean_cosine: get_f64(d, "mean_cosine", n)?,
+            mean_divergence: get_f64(d, "mean_divergence", n)?,
+        }),
+    };
+    let drl = match sub_object(obj, "drl", n)? {
+        None => None,
+        Some(d) => Some(DrlSnapshot {
+            mean_entropy: get_f64(d, "mean_entropy", n)?,
+            mean_saturation: get_f64(d, "mean_saturation", n)?,
+            mean_q: get_f64(d, "mean_q", n)?,
+            mean_abs_td: get_f64(d, "mean_abs_td", n)?,
+            max_abs_td: get_f64(d, "max_abs_td", n)?,
+            critic_grad_norm: get_f64(d, "critic_grad_norm", n)?,
+            actor_grad_norm: get_f64(d, "actor_grad_norm", n)?,
+            replay_occupancy: get_u64(d, "replay_occupancy", n)? as usize,
+            replay_capacity: get_u64(d, "replay_capacity", n)? as usize,
+            replay_priority_spread: get_f64(d, "replay_priority_spread", n)?,
+            replay_mean_age: get_f64(d, "replay_mean_age", n)?,
+            replay_max_age: get_f64(d, "replay_max_age", n)?,
+        }),
+    };
+    let migrations = match obj.get("migrations") {
+        Some(JsonValue::Array(xs)) => {
+            let mut edges = Vec::with_capacity(xs.len());
+            for x in xs {
+                let e = x.as_object().ok_or(format!("line {n}: migration is not an object"))?;
+                let outcome_name = get_str(e, "outcome", n)?;
+                let outcome = EdgeOutcome::parse(&outcome_name)
+                    .ok_or(format!("line {n}: unknown outcome {outcome_name:?}"))?;
+                edges.push(MigrationEdge {
+                    src: get_u64(e, "src", n)? as usize,
+                    dst: get_u64(e, "dst", n)? as usize,
+                    bytes: get_u64(e, "bytes", n)?,
+                    time_s: get_f64(e, "time_s", n)?,
+                    outcome,
+                });
+            }
+            edges
+        }
+        _ => return Err(format!("line {n}: missing array \"migrations\"")),
+    };
+    Ok(RoundRecord {
+        epoch: get_u64(obj, "epoch", n)? as usize,
+        train_loss: get_f64(obj, "train_loss", n)?,
+        test_accuracy: opt_f64(obj, "test_accuracy"),
+        sim_time: get_f64(obj, "sim_time", n)?,
+        c2s_bytes: get_u64(obj, "c2s_bytes", n)?,
+        c2c_local_bytes: get_u64(obj, "c2c_local_bytes", n)?,
+        c2c_global_bytes: get_u64(obj, "c2c_global_bytes", n)?,
+        phase_train_s: get_f64(phase, "train_s", n)?,
+        phase_c2s_s: get_f64(phase, "c2s_s", n)?,
+        phase_migration_s: get_f64(phase, "migration_s", n)?,
+        phase_backoff_s: get_f64(phase, "backoff_s", n)?,
+        emd: EmdSnapshot {
+            per_client: get_num_array(emd, "per_client", n)?,
+            mean: get_f64(emd, "mean", n)?,
+            max: get_f64(emd, "max", n)?,
+        },
+        train_emd: EmdSnapshot {
+            per_client: get_num_array(train_emd, "per_client", n)?,
+            mean: get_f64(train_emd, "mean", n)?,
+            max: get_f64(train_emd, "max", n)?,
+        },
+        drift,
+        drl,
+        graph: GraphSnapshot {
+            attempted: get_u64(graph, "attempted", n)? as usize,
+            delivered: get_u64(graph, "delivered", n)? as usize,
+            fallbacks: get_u64(graph, "fallbacks", n)? as usize,
+            out_concentration: get_f64(graph, "out_concentration", n)?,
+            in_concentration: get_f64(graph, "in_concentration", n)?,
+            cycles: get_u64(graph, "cycles", n)? as usize,
+        },
+        migrations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_round(epoch: usize) -> RoundRecord {
+        RoundRecord {
+            epoch,
+            train_loss: 2.25,
+            test_accuracy: if epoch.is_multiple_of(2) {
+                Some(0.5 + epoch as f64 / 100.0)
+            } else {
+                None
+            },
+            sim_time: epoch as f64 * 10.0,
+            c2s_bytes: 1000 * epoch as u64,
+            c2c_local_bytes: 500,
+            c2c_global_bytes: 250,
+            phase_train_s: 6.0,
+            phase_c2s_s: 2.0,
+            phase_migration_s: 1.5,
+            phase_backoff_s: 0.5,
+            emd: EmdSnapshot { per_client: vec![0.4, 0.1], mean: 0.25, max: 0.4 },
+            train_emd: EmdSnapshot { per_client: vec![0.5, 0.2], mean: 0.35, max: 0.5 },
+            drift: Some(DriftSnapshot {
+                dist: vec![1.0, 2.0],
+                cosine: vec![0.9, -0.1],
+                divergence: vec![0.5, 0.6],
+                mean_dist: 1.5,
+                max_dist: 2.0,
+                mean_cosine: 0.4,
+                mean_divergence: 0.55,
+            }),
+            drl: Some(DrlSnapshot {
+                mean_entropy: 1.2,
+                mean_saturation: 0.6,
+                mean_q: 0.3,
+                mean_abs_td: 0.05,
+                max_abs_td: 0.2,
+                critic_grad_norm: 1.1,
+                actor_grad_norm: 0.7,
+                replay_occupancy: 12,
+                replay_capacity: 64,
+                replay_priority_spread: 3.0,
+                replay_mean_age: 4.5,
+                replay_max_age: 11.0,
+            }),
+            graph: GraphSnapshot {
+                attempted: 2,
+                delivered: 2,
+                fallbacks: 1,
+                out_concentration: 0.5,
+                in_concentration: 0.5,
+                cycles: 1,
+            },
+            migrations: vec![
+                MigrationEdge {
+                    src: 0,
+                    dst: 1,
+                    bytes: 100,
+                    time_s: 0.75,
+                    outcome: EdgeOutcome::Direct,
+                },
+                MigrationEdge {
+                    src: 1,
+                    dst: 0,
+                    bytes: 100,
+                    time_s: 1.5,
+                    outcome: EdgeOutcome::Relay,
+                },
+            ],
+        }
+    }
+
+    fn sample_recording() -> (FlightHeader, Vec<RoundRecord>, FlightSummary) {
+        let header = FlightHeader {
+            version: FLIGHT_VERSION,
+            scheme: "FedMigr".into(),
+            clients: 2,
+            epochs: 4,
+            seed: 47,
+            agg_interval: 2,
+            codec: "identity".into(),
+        };
+        let rounds = vec![sample_round(1), sample_round(2)];
+        let summary = FlightSummary {
+            epochs_run: 2,
+            final_accuracy: 0.52,
+            best_accuracy: 0.52,
+            total_bytes: 2750,
+            sim_time: 20.0,
+            migrations_local: 1,
+            migrations_global: 1,
+            final_emd_mean: 0.25,
+            target_reached: false,
+            budget_exhausted: false,
+        };
+        (header, rounds, summary)
+    }
+
+    #[test]
+    fn recording_round_trips_through_jsonl() {
+        let (header, rounds, summary) = sample_recording();
+        let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        struct Proxy(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+        impl Write for Proxy {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut rec = FlightRecorder::to_writer(Box::new(Proxy(buf.clone())));
+        rec.header(&header).unwrap();
+        for r in &rounds {
+            rec.round(r).unwrap();
+        }
+        rec.finish(&summary).unwrap();
+        rec.tolerances(&Tolerances::default()).unwrap();
+        drop(rec);
+
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 5, "header + 2 rounds + summary + tolerances");
+        let parsed = FlightRecording::parse(&text).unwrap();
+        assert_eq!(parsed.header, header);
+        assert_eq!(parsed.rounds, rounds);
+        assert_eq!(parsed.summary, Some(summary));
+        assert_eq!(parsed.tolerances, Some(Tolerances::default()));
+        assert_eq!(parsed.final_accuracy(), 0.52);
+        assert_eq!(parsed.total_bytes(), 2750);
+        assert_eq!(parsed.final_emd_mean(), 0.25);
+    }
+
+    #[test]
+    fn summary_accessors_fall_back_to_rounds() {
+        let (header, rounds, _) = sample_recording();
+        let rec = FlightRecording { header, rounds, summary: None, tolerances: None };
+        assert_eq!(rec.final_accuracy(), 0.52);
+        assert_eq!(rec.best_accuracy(), 0.52);
+        assert_eq!(rec.total_bytes(), 2000 + 500 + 250);
+        assert_eq!(rec.sim_time(), 20.0);
+        assert_eq!(rec.mean_emd_over_run(), 0.25);
+    }
+
+    #[test]
+    fn parser_rejects_bad_input() {
+        assert!(FlightRecording::parse("").unwrap_err().contains("no header"));
+        assert!(FlightRecording::parse("{\"kind\":\"wat\"}").is_err());
+        assert!(FlightRecording::parse("not json").is_err());
+        let future = format!(
+            "{{\"kind\":\"header\",\"version\":{},\"scheme\":\"x\",\"clients\":1.0,\"epochs\":1.0,\"seed\":0.0,\"agg_interval\":1.0,\"codec\":\"identity\"}}",
+            json_num((FLIGHT_VERSION + 1) as f64)
+        );
+        assert!(FlightRecording::parse(&future).unwrap_err().contains("newer"));
+    }
+}

@@ -2,7 +2,7 @@ use std::io;
 use std::path::Path;
 
 use fedmigr_nn::checkpoint;
-use fedmigr_nn::params::{param_vector, set_param_vector};
+use fedmigr_nn::params::{grad_vector, param_vector, set_param_vector};
 use fedmigr_nn::{zoo, Layer, Model, Sgd};
 use fedmigr_tensor::{argmax_slice, softmax_rows, Tensor};
 use rand::rngs::StdRng;
@@ -77,6 +77,41 @@ impl AgentConfig {
     }
 }
 
+/// Learning-dynamics snapshot of one [`DdpgAgent::update`] step, kept for
+/// introspection (the agent exposes the latest via
+/// [`DdpgAgent::last_update_stats`]). All quantities are mini-batch
+/// statistics of the step that produced them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UpdateStats {
+    /// Mean critic estimate `Q(s, a)` over the batch.
+    pub mean_q: f64,
+    /// Mean absolute TD error `|Q(s, a) - h|`.
+    pub mean_abs_td: f64,
+    /// Largest absolute TD error in the batch.
+    pub max_abs_td: f64,
+    /// L2 norm of the critic's parameter gradient for this step.
+    pub critic_grad_norm: f64,
+    /// L2 norm of the actor's parameter gradient for this step.
+    pub actor_grad_norm: f64,
+}
+
+/// Shannon entropy (nats) and saturation (largest probability) of a policy
+/// distribution such as [`DdpgAgent::action_probs`]. Entropy near 0 with
+/// saturation near 1 means the policy has collapsed onto one destination;
+/// entropy near `ln K` means it is still effectively uniform.
+pub fn policy_entropy_saturation(probs: &[f32]) -> (f64, f64) {
+    let mut entropy = 0.0f64;
+    let mut saturation = 0.0f64;
+    for &p in probs {
+        let p = p as f64;
+        if p > 0.0 {
+            entropy -= p * p.ln();
+        }
+        saturation = saturation.max(p);
+    }
+    (entropy, saturation)
+}
+
 /// DDPG agent for migration-policy generation.
 ///
 /// The actor maps a state to a softmax distribution over destination
@@ -96,6 +131,7 @@ pub struct DdpgAgent {
     rng: StdRng,
     ou: Option<OuNoise>,
     updates: u64,
+    last_stats: Option<UpdateStats>,
 }
 
 impl DdpgAgent {
@@ -138,6 +174,7 @@ impl DdpgAgent {
             config,
             ou,
             updates: 0,
+            last_stats: None,
         }
     }
 
@@ -154,6 +191,17 @@ impl DdpgAgent {
     /// Number of buffered transitions.
     pub fn replay_len(&self) -> usize {
         self.replay.len()
+    }
+
+    /// Health summary of the prioritized replay buffer.
+    pub fn replay_health(&self) -> crate::replay::ReplayHealth {
+        self.replay.health()
+    }
+
+    /// Learning-dynamics statistics of the most recent [`DdpgAgent::update`]
+    /// that actually trained (`None` until warmup completes).
+    pub fn last_update_stats(&self) -> Option<UpdateStats> {
+        self.last_stats
     }
 
     /// Adjusts the ρ-greedy exploration probability at runtime (used to
@@ -306,6 +354,7 @@ impl DdpgAgent {
         }
         self.critic.net_mut().zero_grad();
         self.critic.net_mut().backward(&Tensor::from_vec(vec![b, 1], grad_q));
+        let critic_grad_norm = l2_norm(&grad_vector(self.critic.net_mut()));
         self.critic_opt.step(self.critic.net_mut());
 
         // Actor update: ascend ∇_θ Q(s, π(s)) (Eqs. 20/24/28).
@@ -326,6 +375,7 @@ impl DdpgAgent {
         let grad_logits = softmax_backward(&probs, &grad_action, b, k);
         self.actor.net_mut().zero_grad();
         self.actor.net_mut().backward(&Tensor::from_vec(vec![b, k], grad_logits));
+        let actor_grad_norm = l2_norm(&grad_vector(self.actor.net_mut()));
         self.actor_opt.step(self.actor.net_mut());
         // Drop the gradients the actor pass left in the critic.
         self.critic.net_mut().zero_grad();
@@ -339,7 +389,15 @@ impl DdpgAgent {
 
         self.soft_update_targets();
         self.updates += 1;
-        Some(td.iter().map(|e| e.abs()).sum::<f32>() / b as f32)
+        let mean_abs_td = td.iter().map(|e| e.abs()).sum::<f32>() / b as f32;
+        self.last_stats = Some(UpdateStats {
+            mean_q: q.data().iter().map(|&v| v as f64).sum::<f64>() / b as f64,
+            mean_abs_td: mean_abs_td as f64,
+            max_abs_td: td.iter().map(|e| e.abs() as f64).fold(0.0, f64::max),
+            critic_grad_norm,
+            actor_grad_norm,
+        });
+        Some(mean_abs_td)
     }
 
     fn soft_update_targets(&mut self) {
@@ -355,6 +413,10 @@ impl DdpgAgent {
             set_param_vector(target.net_mut(), &dst);
         }
     }
+}
+
+fn l2_norm(xs: &[f32]) -> f64 {
+    xs.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
 }
 
 /// Concatenates two 2-D tensors along columns.
@@ -499,6 +561,43 @@ mod tests {
         let mut b = DdpgAgent::new(AgentConfig::new(6, 3, 5));
         assert!(b.load(&dir).is_err());
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn update_stats_surface_finite_learning_signals() {
+        let mut agent = DdpgAgent::new(bandit_config(4));
+        assert!(agent.last_update_stats().is_none(), "no stats before the first update");
+        let state = vec![1.0f32, 0.0, 0.0];
+        for _ in 0..64 {
+            let a = agent.select_action(&state, None);
+            agent.observe(Transition {
+                state: state.clone(),
+                action: a,
+                reward: if a == 0 { 1.0 } else { 0.0 },
+                next_state: state.clone(),
+                done: true,
+            });
+            agent.update();
+        }
+        let stats = agent.last_update_stats().expect("updates ran past warmup");
+        assert!(stats.mean_q.is_finite());
+        assert!(stats.mean_abs_td >= 0.0 && stats.mean_abs_td.is_finite());
+        assert!(stats.max_abs_td >= stats.mean_abs_td - 1e-12);
+        assert!(stats.critic_grad_norm > 0.0 && stats.critic_grad_norm.is_finite());
+        assert!(stats.actor_grad_norm.is_finite());
+        let health = agent.replay_health();
+        assert_eq!(health.occupancy, 64);
+        assert_eq!(health.pushes, 64);
+    }
+
+    #[test]
+    fn entropy_and_saturation_span_uniform_to_collapsed() {
+        let (h_uniform, s_uniform) = policy_entropy_saturation(&[0.25; 4]);
+        assert!((h_uniform - (4.0f64).ln()).abs() < 1e-6);
+        assert!((s_uniform - 0.25).abs() < 1e-9);
+        let (h_point, s_point) = policy_entropy_saturation(&[0.0, 1.0, 0.0]);
+        assert_eq!(h_point, 0.0);
+        assert_eq!(s_point, 1.0);
     }
 
     #[test]

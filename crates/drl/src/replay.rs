@@ -31,6 +31,33 @@ pub struct PrioritizedReplay {
     tree: Vec<f64>,
     next_slot: usize,
     max_priority: f64,
+    /// Total number of `push` calls over the buffer's lifetime.
+    pushes: u64,
+    /// Push counter value at which each occupied slot was last written —
+    /// the basis of the age distribution in [`ReplayHealth`].
+    inserted_at: Vec<u64>,
+}
+
+/// Point-in-time health summary of a [`PrioritizedReplay`] buffer: how
+/// full it is, how skewed prioritized sampling currently is, and how stale
+/// its contents are (ages are measured in pushes: the most recent
+/// transition has age 0, one pushed `n` insertions ago has age `n`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReplayHealth {
+    /// Stored transitions.
+    pub occupancy: usize,
+    /// Buffer capacity.
+    pub capacity: usize,
+    /// Lifetime number of insertions (≥ occupancy; the excess counts
+    /// evictions).
+    pub pushes: u64,
+    /// Max/min stored sampling-weight ratio (1.0 = uniform); see
+    /// [`PrioritizedReplay::priority_spread`].
+    pub priority_spread: f64,
+    /// Mean age of stored transitions, in pushes.
+    pub mean_age: f64,
+    /// Age of the oldest stored transition, in pushes (0 when empty).
+    pub max_age: u64,
 }
 
 impl PrioritizedReplay {
@@ -47,6 +74,8 @@ impl PrioritizedReplay {
             tree: vec![0.0; 2 * capacity],
             next_slot: 0,
             max_priority: 1.0,
+            pushes: 0,
+            inserted_at: Vec::with_capacity(capacity),
         }
     }
 
@@ -66,11 +95,38 @@ impl PrioritizedReplay {
         let slot = self.next_slot;
         if self.items.len() < self.capacity {
             self.items.push(t);
+            self.inserted_at.push(self.pushes);
         } else {
             self.items[slot] = t;
+            self.inserted_at[slot] = self.pushes;
         }
+        self.pushes += 1;
         self.set_weight(slot, self.max_priority.powf(self.xi));
         self.next_slot = (slot + 1) % self.capacity;
+    }
+
+    /// Current buffer health: occupancy, sampling skew, and the age
+    /// distribution of stored transitions.
+    pub fn health(&self) -> ReplayHealth {
+        let newest = self.pushes.saturating_sub(1);
+        let ages = self.inserted_at.iter().map(|&at| newest - at);
+        let (mut sum, mut max) = (0u64, 0u64);
+        for age in ages {
+            sum += age;
+            max = max.max(age);
+        }
+        ReplayHealth {
+            occupancy: self.items.len(),
+            capacity: self.capacity,
+            pushes: self.pushes,
+            priority_spread: self.priority_spread(),
+            mean_age: if self.items.is_empty() {
+                0.0
+            } else {
+                sum as f64 / self.items.len() as f64
+            },
+            max_age: max,
+        }
     }
 
     /// Updates the priority `p_z` of a transition after replaying it.
@@ -236,6 +292,26 @@ mod tests {
         assert!((buf.priority_spread() - 1.0).abs() < 1e-12);
         buf.update_priority(2, 8.0);
         assert!((buf.priority_spread() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn health_tracks_occupancy_and_ages() {
+        let mut buf = PrioritizedReplay::new(3, 0.6, 0.4);
+        assert_eq!(buf.health().occupancy, 0);
+        assert_eq!(buf.health().mean_age, 0.0);
+        for i in 0..3 {
+            buf.push(t(i as f32));
+        }
+        let h = buf.health();
+        assert_eq!((h.occupancy, h.capacity, h.pushes), (3, 3, 3));
+        // Ages are 2, 1, 0 pushes for the three slots.
+        assert_eq!(h.max_age, 2);
+        assert!((h.mean_age - 1.0).abs() < 1e-12);
+        // Two evictions later the oldest survivor was pushed 2 pushes ago.
+        buf.push(t(3.0));
+        buf.push(t(4.0));
+        let h = buf.health();
+        assert_eq!((h.occupancy, h.pushes, h.max_age), (3, 5, 2));
     }
 
     #[test]

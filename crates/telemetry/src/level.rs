@@ -116,6 +116,20 @@ impl Filter {
         Ok(filter)
     }
 
+    /// Resolves the effective process filter from an explicit `--log-level`
+    /// flag value and the `FEDMIGR_LOG` environment spec, in precedence
+    /// order **flag > env > default**: a present flag wins outright (even
+    /// over a set environment variable), the environment is consulted only
+    /// when no flag was given, and with neither the [`Filter::default`]
+    /// (`info`) applies. Returns the parse error of whichever layer won.
+    pub fn resolve(flag: Option<&str>, env: Option<&str>) -> Result<Self, String> {
+        match (flag, env) {
+            (Some(spec), _) => Self::parse(spec),
+            (None, Some(spec)) => Self::parse(spec),
+            (None, None) => Ok(Self::default()),
+        }
+    }
+
     /// Adds or replaces a per-target override.
     pub fn with_target(mut self, target: &str, threshold: Threshold) -> Self {
         self.targets.retain(|(t, _)| t != target);
@@ -186,6 +200,22 @@ mod tests {
         let f = Filter::off();
         assert!(!f.enabled("anything", Level::Error));
         assert_eq!(f.max_threshold(), None);
+    }
+
+    #[test]
+    fn resolve_precedence_is_flag_env_default() {
+        // Flag beats a set environment variable.
+        let f = Filter::resolve(Some("debug"), Some("trace")).unwrap();
+        assert!(f.enabled("core", Level::Debug) && !f.enabled("core", Level::Trace));
+        // Environment applies only when no flag is given.
+        let f = Filter::resolve(None, Some("warn,drl=trace")).unwrap();
+        assert!(!f.enabled("core", Level::Info) && f.enabled("drl", Level::Trace));
+        // Neither set: the stock `info` default.
+        assert_eq!(Filter::resolve(None, None).unwrap(), Filter::default());
+        // The winning layer's parse error surfaces; the loser is ignored.
+        assert!(Filter::resolve(Some("loud"), Some("info")).is_err());
+        assert!(Filter::resolve(None, Some("loud")).is_err());
+        assert!(Filter::resolve(Some("info"), Some("loud")).is_ok());
     }
 
     #[test]

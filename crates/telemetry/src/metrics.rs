@@ -282,6 +282,23 @@ impl Registry {
         }
     }
 
+    /// Point-in-time snapshots of every histogram series registered under
+    /// `name`, paired with their label sets and ordered deterministically
+    /// by labels. Series of other names or metric types are ignored; an
+    /// unknown name yields an empty vector.
+    pub fn histogram_family(&self, name: &str) -> Vec<(Labels, HistogramSnapshot)> {
+        let map = self.entries.lock().expect("metrics registry poisoned");
+        let mut out: Vec<(Labels, HistogramSnapshot)> = map
+            .iter()
+            .filter_map(|((n, labels), entry)| match entry {
+                MetricEntry::Histogram(h) if n == name => Some((labels.clone(), h.snapshot())),
+                _ => None,
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Drops every registered metric (tests only; production code should
     /// let series accumulate for the process lifetime).
     pub fn clear(&self) {
@@ -350,6 +367,13 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
+/// Escapes a label value per the Prometheus text exposition format: the
+/// backslash, the double quote, and the line feed are the three characters
+/// the spec requires escaping inside quoted label values.
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
 fn render_labels(labels: &Labels, extra: &[(&str, &str)]) -> String {
     if labels.is_empty() && extra.is_empty() {
         return String::new();
@@ -358,7 +382,7 @@ fn render_labels(labels: &Labels, extra: &[(&str, &str)]) -> String {
         .iter()
         .map(|(k, v)| (k.as_str(), v.as_str()))
         .chain(extra.iter().copied())
-        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
         .collect();
     format!("{{{}}}", parts.join(","))
 }
@@ -443,6 +467,38 @@ mod tests {
                         c_seconds_sum 3.5\n\
                         c_seconds_count 2\n";
         assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn label_values_are_escaped_per_text_format_spec() {
+        let r = Registry::new();
+        // Backslash, double quote, and newline are the three characters the
+        // exposition format requires escaping inside label values.
+        r.counter("adversarial_total", &[("path", "c:\\tmp\\x"), ("msg", "say \"hi\"\nbye")])
+            .add(1);
+        let text = r.render_prometheus();
+        assert_eq!(
+            text,
+            "# TYPE adversarial_total counter\n\
+             adversarial_total{msg=\"say \\\"hi\\\"\\nbye\",path=\"c:\\\\tmp\\\\x\"} 1\n"
+        );
+        // Each physical exposition line stays a single line: the raw
+        // newline must not survive into the output.
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn histogram_family_enumerates_label_sets() {
+        let r = Registry::new();
+        r.histogram_with("phase_seconds", &[("phase", "train")], || vec![1.0]).observe(0.5);
+        r.histogram_with("phase_seconds", &[("phase", "agg")], || vec![1.0]).observe(2.0);
+        r.counter("phase_seconds_other", &[]).inc();
+        let fam = r.histogram_family("phase_seconds");
+        assert_eq!(fam.len(), 2);
+        assert_eq!(fam[0].0, vec![("phase".to_string(), "agg".to_string())]);
+        assert_eq!(fam[1].0, vec![("phase".to_string(), "train".to_string())]);
+        assert!((fam[0].1.sum - 2.0).abs() < 1e-12);
+        assert!(r.histogram_family("absent").is_empty());
     }
 
     #[test]

@@ -137,22 +137,24 @@ impl TraceEvent {
     }
 }
 
-fn json_num(v: f64) -> String {
+/// Serializes an `f64` as a JSON number (shortest round-trippable form;
+/// integers gain `.0` so the value stays typed as a float for downstream
+/// tools; non-finite values clamp to `0.0` since JSON has no Inf/NaN).
+/// Shared by every hand-written JSONL emitter in the workspace.
+pub fn json_num(v: f64) -> String {
     if v.is_finite() {
-        // Shortest round-trippable f64 formatting; integers gain ".0" so
-        // the value stays typed as a float for downstream tools.
         if v == v.trunc() && v.abs() < 1e15 {
             format!("{v:.1}")
         } else {
             format!("{v}")
         }
     } else {
-        // JSON has no Inf/NaN; clamp to null-adjacent sentinel.
         "0.0".to_string()
     }
 }
 
-fn json_str(s: &str) -> String {
+/// Serializes a string as a quoted, escaped JSON string literal.
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -9,7 +9,7 @@
 //! writes the per-epoch curve for external plotting. Run with `--help` for
 //! the full flag list.
 
-use fedmigr::core::{CodecConfig, DpConfig, Experiment, RunConfig, Scheme};
+use fedmigr::core::{CodecConfig, DiagConfig, DpConfig, Experiment, RunConfig, Scheme};
 use fedmigr::data::{
     partition_dirichlet, partition_dominant, partition_iid, partition_missing_classes,
     partition_shards, SyntheticConfig, SyntheticDataset,
@@ -48,6 +48,12 @@ OPTIONS:
     --fault-seed <n>     seed of the fault schedule (default 13)
     --seed <n>           master seed (default 7)
     --csv <path>         write the per-epoch curve as CSV
+    --diag               enable learning-dynamics diagnostics (EMD/drift/DRL
+                         gauges and per-migration EMD-delta logs); strictly
+                         observation-only — results are byte-identical
+    --flight-out <path>  record a JSONL flight recording of the run (implies
+                         the diagnostics; inspect with fedmigr_report,
+                         gate with fedmigr_diff)
     --log-level <spec>   log verbosity: error|warn|info|debug|trace, with
                          per-target overrides like debug,drl=trace,net=off
                          (default info; FEDMIGR_LOG is honoured too)
@@ -58,11 +64,12 @@ OPTIONS:
 
 fn main() {
     let args = Args::parse();
-    if let Some(spec) = &args.log_level {
-        match Filter::parse(spec) {
-            Ok(f) => fedmigr_telemetry::set_filter(f),
-            Err(e) => die(&format!("--log-level: {e}")),
-        }
+    // Same precedence as the bench binaries: flag > FEDMIGR_LOG > default.
+    let log_env = std::env::var("FEDMIGR_LOG").ok();
+    match Filter::resolve(args.log_level.as_deref(), log_env.as_deref()) {
+        Ok(f) => fedmigr_telemetry::set_filter(f),
+        Err(e) if args.log_level.is_some() => die(&format!("--log-level: {e}")),
+        Err(e) => error!("cli", "ignoring FEDMIGR_LOG: {e}"),
     }
     if let Some(path) = &args.trace_out {
         if let Err(e) = fedmigr_telemetry::set_trace_file(path) {
@@ -128,6 +135,7 @@ fn main() {
         cfg.fault = FaultConfig::edge_churn(dropout, args.fault_seed);
     }
     cfg.seed = args.seed;
+    cfg.diag = DiagConfig { enabled: args.diag, flight_out: args.flight_out.clone() };
 
     info!(
         "cli",
@@ -213,6 +221,8 @@ struct Args {
     fault_seed: u64,
     seed: u64,
     csv: Option<String>,
+    diag: bool,
+    flight_out: Option<String>,
     log_level: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -239,6 +249,8 @@ impl Args {
             fault_seed: 13,
             seed: 7,
             csv: None,
+            diag: false,
+            flight_out: None,
             log_level: None,
             trace_out: None,
             metrics_out: None,
@@ -250,6 +262,11 @@ impl Args {
             if flag == "--help" || flag == "-h" {
                 print!("{HELP}");
                 std::process::exit(0);
+            }
+            if flag == "--diag" {
+                out.diag = true;
+                i += 1;
+                continue;
             }
             let value =
                 argv.get(i + 1).unwrap_or_else(|| die(&format!("flag {flag} needs a value")));
@@ -274,6 +291,7 @@ impl Args {
                 "--fault-seed" => out.fault_seed = parse(value, flag),
                 "--seed" => out.seed = parse(value, flag),
                 "--csv" => out.csv = Some(value.clone()),
+                "--flight-out" => out.flight_out = Some(value.clone()),
                 "--log-level" => out.log_level = Some(value.clone()),
                 "--trace-out" => out.trace_out = Some(value.clone()),
                 "--metrics-out" => out.metrics_out = Some(value.clone()),

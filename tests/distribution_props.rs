@@ -1,0 +1,91 @@
+//! Property tests for the distribution/EMD arithmetic in `fedmigr-data`
+//! (paper Sec. II-C): the metric axioms the diagnostics layer leans on, and
+//! the migration-composition contraction the convergence argument needs.
+
+use fedmigr::data::distribution::{emd_1d, l1_distance, normalized_emd, virtual_distribution};
+use proptest::prelude::*;
+
+fn histogram() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1.0, 6)
+}
+
+fn normalize(v: &[f64]) -> Vec<f64> {
+    let s: f64 = v.iter().sum::<f64>().max(1e-9);
+    v.iter().map(|x| x / s).collect()
+}
+
+proptest! {
+    /// EMD is symmetric in its arguments.
+    #[test]
+    fn emd_is_symmetric(a in histogram(), b in histogram()) {
+        let d_ab = emd_1d(&a, &b);
+        let d_ba = emd_1d(&b, &a);
+        prop_assert!((d_ab - d_ba).abs() < 1e-12, "{d_ab} != {d_ba}");
+        let n_ab = normalized_emd(&a, &b);
+        let n_ba = normalized_emd(&b, &a);
+        prop_assert!((n_ab - n_ba).abs() < 1e-12);
+    }
+
+    /// EMD is zero exactly when the distributions coincide: identical
+    /// inputs give zero, and any coordinate-wise separation forces a
+    /// strictly positive distance.
+    #[test]
+    fn emd_is_zero_iff_equal(a in histogram(), b in histogram()) {
+        let (a, b) = (normalize(&a), normalize(&b));
+        prop_assert!(emd_1d(&a, &a).abs() < 1e-12);
+        let gap = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).fold(0.0f64, f64::max);
+        if gap > 1e-9 {
+            prop_assert!(emd_1d(&a, &b) > 0.0, "distinct histograms must be EMD-separated");
+        }
+    }
+
+    /// Normalized EMD between probability histograms lies in [0, 1], with
+    /// the plain EMD bounded by the label-axis diameter n - 1.
+    #[test]
+    fn normalized_emd_is_bounded_by_one(a in histogram(), b in histogram()) {
+        let (a, b) = (normalize(&a), normalize(&b));
+        let d = normalized_emd(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&d), "normalized EMD {d} outside [0, 1]");
+        prop_assert!(emd_1d(&a, &b) <= (a.len() - 1) as f64 + 1e-12);
+    }
+
+    /// Composing a migration's virtual dataset (Eq. 13) never increases
+    /// the EMD to the population, and each further migration hop keeps
+    /// shrinking it — the Sec. II-C contraction, under the EMD the
+    /// diagnostics actually report rather than the paper's L1.
+    #[test]
+    fn virtual_dataset_composition_never_increases_emd(
+        local in prop::collection::vec(0usize..50, 2..8),
+        m in 1usize..20,
+        k in 2usize..30,
+    ) {
+        prop_assume!(local.iter().sum::<usize>() > 0);
+        let pop: Vec<usize> = local.iter().map(|&c| c + 10).collect();
+        let n: f64 = pop.iter().sum::<usize>() as f64;
+        let q: Vec<f64> = pop.iter().map(|&c| c as f64 / n).collect();
+        let n_k: f64 = local.iter().sum::<usize>() as f64;
+        let q_k: Vec<f64> = local.iter().map(|&c| c as f64 / n_k).collect();
+
+        let mut prev = normalized_emd(&q_k, &q);
+        for hops in m..m + 3 {
+            let q_virtual = virtual_distribution(&local, &pop, hops, k);
+            let after = normalized_emd(&q_virtual, &q);
+            prop_assert!(after <= prev + 1e-12, "EMD grew after migration: {after} > {prev}");
+            prev = after;
+        }
+    }
+
+    /// EMD refines L1: moving mass further along the label axis costs
+    /// more, but EMD can never undercut half the L1 mass mismatch on
+    /// adjacent labels. Sanity-bound both metrics against each other.
+    #[test]
+    fn emd_and_l1_agree_on_scale(a in histogram(), b in histogram()) {
+        let (a, b) = (normalize(&a), normalize(&b));
+        let emd = emd_1d(&a, &b);
+        let l1 = l1_distance(&a, &b);
+        // Each unit of |a_l - b_l| contributes at least half a unit of
+        // transport work somewhere, and at most (n - 1) units.
+        prop_assert!(emd >= l1 / 2.0 - 1e-12, "EMD {emd} below L1/2 {}", l1 / 2.0);
+        prop_assert!(emd <= l1 * (a.len() - 1) as f64 + 1e-12);
+    }
+}
