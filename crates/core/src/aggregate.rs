@@ -29,6 +29,50 @@ use serde::{Deserialize, Serialize};
 
 use crate::metrics::RobustStats;
 
+/// Staleness discounting for the degraded aggregation path.
+///
+/// Under the flow transport an upload can finish after its round's
+/// deadline. Rather than stalling the round (or discarding the work), the
+/// runner buffers the late update and folds it into a *later* aggregation
+/// with its sample weight scaled by `discount^age`, where `age >= 1` is
+/// how many aggregation rounds late it arrives — the standard staleness
+/// weighting of asynchronous FL, applied here as graceful degradation.
+/// Updates older than `max_age` rounds are dropped instead.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StalenessPolicy {
+    /// Per-round-of-age weight multiplier, in `(0, 1]`.
+    pub discount: f64,
+    /// Oldest age (in aggregation rounds) still folded in; older updates
+    /// are dropped.
+    pub max_age: usize,
+}
+
+impl StalenessPolicy {
+    /// The standard policy: weight x0.6 per round of age, dropped after 3.
+    pub fn standard() -> Self {
+        Self { discount: 0.6, max_age: 3 }
+    }
+
+    /// Weight multiplier for an update `age` aggregation rounds old.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range discount.
+    pub fn weight(&self, age: usize) -> f64 {
+        assert!(
+            self.discount > 0.0 && self.discount <= 1.0,
+            "staleness discount must be in (0, 1], got {}",
+            self.discount
+        );
+        self.discount.powi(age as i32)
+    }
+}
+
+impl Default for StalenessPolicy {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
 /// The aggregation rule applied to the uploads of a synchronization round.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub enum Aggregator {
@@ -163,6 +207,32 @@ impl Aggregator {
                 norm_clip(&finite, prev_global, multiplier, stats)
             }
         }
+    }
+
+    /// [`Self::aggregate`] with a staleness-tolerant degraded path: `stale`
+    /// entries are `(params, weight, age)` for uploads that missed their
+    /// round's deadline, folded in with weight `w * discount^age`. Callers
+    /// drop entries past `policy.max_age` before calling (and account them
+    /// as dropped). With no stale entries this is exactly
+    /// [`Self::aggregate`] — fresh-only rounds stay bit-identical.
+    pub fn aggregate_with_stale(
+        &self,
+        fresh: &[(&[f32], f64)],
+        stale: &[(&[f32], f64, usize)],
+        policy: &StalenessPolicy,
+        prev_global: &[f32],
+        stats: &mut RobustStats,
+    ) -> Vec<f32> {
+        if stale.is_empty() {
+            return self.aggregate(fresh, prev_global, stats);
+        }
+        let mut entries: Vec<(&[f32], f64)> = fresh.to_vec();
+        for &(p, w, age) in stale {
+            debug_assert!(age >= 1, "a stale update is at least one round old");
+            debug_assert!(age <= policy.max_age, "caller must drop over-age updates");
+            entries.push((p, w * policy.weight(age)));
+        }
+        self.aggregate(&entries, prev_global, stats)
     }
 }
 
@@ -412,6 +482,64 @@ mod tests {
             for (g, e) in got.iter().zip(&v) {
                 assert!((g - e).abs() < 1e-5, "{}: {got:?} != {v:?}", agg.name());
             }
+        }
+    }
+
+    #[test]
+    fn staleness_weight_decays_geometrically() {
+        let p = StalenessPolicy::standard();
+        assert_eq!(p.weight(0), 1.0);
+        assert!((p.weight(1) - 0.6).abs() < 1e-12);
+        assert!((p.weight(3) - 0.216).abs() < 1e-12);
+        assert_eq!(StalenessPolicy { discount: 1.0, max_age: 2 }.weight(5), 1.0);
+    }
+
+    #[test]
+    fn stale_updates_are_discounted_not_ignored() {
+        let fresh = vec![0.0f32];
+        let late = vec![10.0f32];
+        let fresh_entries: Vec<(&[f32], f64)> = vec![(&fresh, 1.0)];
+        let stale_entries: Vec<(&[f32], f64, usize)> = vec![(&late, 1.0, 1)];
+        let policy = StalenessPolicy { discount: 0.5, max_age: 3 };
+        let mut s = stats();
+        let got = Aggregator::FedAvg.aggregate_with_stale(
+            &fresh_entries,
+            &stale_entries,
+            &policy,
+            &[0.0],
+            &mut s,
+        );
+        // Weighted mean of 0 (w=1) and 10 (w=0.5): 10/3.
+        assert!((got[0] - 10.0 / 3.0).abs() < 1e-5, "got {got:?}");
+        // An age-2 update counts half as much again.
+        let stale2: Vec<(&[f32], f64, usize)> = vec![(&late, 1.0, 2)];
+        let got2 = Aggregator::FedAvg.aggregate_with_stale(
+            &fresh_entries,
+            &stale2,
+            &policy,
+            &[0.0],
+            &mut s,
+        );
+        assert!(got2[0] < got[0], "older updates must weigh less: {got2:?} vs {got:?}");
+    }
+
+    #[test]
+    fn no_stale_entries_is_bit_identical_to_plain_aggregate() {
+        let a = vec![1.0f32, 2.0];
+        let b = vec![-1.0f32, 0.5];
+        let entries: Vec<(&[f32], f64)> = vec![(&a, 2.0), (&b, 3.0)];
+        for agg in [Aggregator::FedAvg, Aggregator::CoordinateMedian, Aggregator::norm_clip()] {
+            let mut s1 = stats();
+            let mut s2 = stats();
+            let plain = agg.aggregate(&entries, &[0.0; 2], &mut s1);
+            let with = agg.aggregate_with_stale(
+                &entries,
+                &[],
+                &StalenessPolicy::standard(),
+                &[0.0; 2],
+                &mut s2,
+            );
+            assert_eq!(plain, with, "{}", agg.name());
         }
     }
 

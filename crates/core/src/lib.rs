@@ -75,7 +75,7 @@ mod runner;
 mod scheme;
 mod summary;
 
-pub use aggregate::Aggregator;
+pub use aggregate::{Aggregator, StalenessPolicy};
 pub use client::FlClient;
 pub use fedmigr_compress::{CodecConfig, CompressionStats};
 pub use fedmigr_diag::DiagConfig;

@@ -1,5 +1,5 @@
 use fedmigr_compress::CompressionStats;
-use fedmigr_net::TrafficBreakdown;
+use fedmigr_net::{TrafficBreakdown, TransportStats};
 use serde::Serialize;
 
 /// Fault-injection accounting for a run (all zero when the fault layer is
@@ -127,6 +127,12 @@ pub struct EpochRecord {
     /// Cumulative per-phase attribution of `sim_time` at the end of the
     /// epoch (`phase.total() ≈ sim_time`).
     pub phase: PhaseBreakdown,
+    /// Cumulative flow-transport retransmits at the end of the epoch
+    /// (always 0 under the lockstep transport).
+    pub retransmits: u64,
+    /// Cumulative uploads that missed their round deadline at the end of
+    /// the epoch (always 0 under the lockstep transport).
+    pub late_uploads: u64,
 }
 
 /// Everything a run produced: per-epoch curves, migration statistics and
@@ -156,6 +162,10 @@ pub struct RunMetrics {
     pub codec: String,
     /// Compression accounting across every model encode of the run.
     pub compression: CompressionStats,
+    /// Transport name the run was charged through (`"lockstep"`/`"flow"`).
+    pub transport: String,
+    /// Flow-transport accounting (all zero under lockstep).
+    pub transport_stats: TransportStats,
 }
 
 impl RunMetrics {
@@ -308,16 +318,40 @@ impl RunMetrics {
         ))
     }
 
+    /// One-line human-readable transport summary for run logs, or `None`
+    /// under the lockstep transport (no flows simulated).
+    pub fn transport_summary(&self) -> Option<String> {
+        let t = &self.transport_stats;
+        if !t.any() {
+            return None;
+        }
+        Some(format!(
+            "transport[{}]: {} flows ({} failed), {} retransmits ({} bytes), {} timeouts, queue delay p50 {:.3}s / p99 {:.3}s, link util {:.0}%, {} late uploads ({} folded stale, {} dropped)",
+            self.transport,
+            t.flows,
+            t.failed_flows,
+            t.retransmits,
+            t.retransmit_bytes,
+            t.timeouts,
+            t.queue_delay_p50,
+            t.queue_delay_p99,
+            t.mean_link_utilization * 100.0,
+            t.late_uploads,
+            t.stale_updates_folded,
+            t.stale_updates_dropped,
+        ))
+    }
+
     /// Renders the per-epoch records as CSV (for external plotting). The
     /// accuracy column is empty on non-evaluation epochs.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "epoch,train_loss,test_accuracy,c2s_bytes,c2c_local_bytes,c2c_global_bytes,sim_time_s,dropped_clients,stale_clients,rejected_migrations,bytes_saved,train_time_s,c2s_time_s,migration_time_s,backoff_time_s\n",
+            "epoch,train_loss,test_accuracy,c2s_bytes,c2c_local_bytes,c2c_global_bytes,sim_time_s,dropped_clients,stale_clients,rejected_migrations,bytes_saved,train_time_s,c2s_time_s,migration_time_s,backoff_time_s,retransmits,late_uploads\n",
         );
         for r in &self.records {
             let acc = r.test_accuracy.map(|a| format!("{a:.6}")).unwrap_or_default();
             out.push_str(&format!(
-                "{},{:.6},{},{},{},{},{:.3},{},{},{},{},{:.3},{:.3},{:.3},{:.3}\n",
+                "{},{:.6},{},{},{},{},{:.3},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{},{}\n",
                 r.epoch,
                 r.train_loss,
                 acc,
@@ -333,9 +367,32 @@ impl RunMetrics {
                 r.phase.c2s_s,
                 r.phase.migration_s,
                 r.phase.backoff_s,
+                r.retransmits,
+                r.late_uploads,
             ));
         }
         out
+    }
+
+    /// Renders the run-level `TransportStats` as a one-row CSV (bench
+    /// outputs and the flow determinism tests).
+    pub fn transport_csv(&self) -> String {
+        let t = &self.transport_stats;
+        format!(
+            "transport,flows,failed_flows,retransmits,timeouts,retransmit_bytes,queue_delay_p50,queue_delay_p99,mean_link_utilization,late_uploads,stale_folded,stale_dropped\n{},{},{},{},{},{},{:.6},{:.6},{:.6},{},{},{}\n",
+            self.transport,
+            t.flows,
+            t.failed_flows,
+            t.retransmits,
+            t.timeouts,
+            t.retransmit_bytes,
+            t.queue_delay_p50,
+            t.queue_delay_p99,
+            t.mean_link_utilization,
+            t.late_uploads,
+            t.stale_updates_folded,
+            t.stale_updates_dropped,
+        )
     }
 
     /// Renders the run-level `RobustStats` as a one-row CSV (used by the
@@ -365,6 +422,8 @@ mod tests {
             rejected_migrations: 0,
             bytes_saved: 0,
             phase: PhaseBreakdown { train_s: time * 0.5, c2s_s: time * 0.5, ..Default::default() },
+            retransmits: 0,
+            late_uploads: 0,
         }
     }
 
@@ -386,6 +445,8 @@ mod tests {
             robust: RobustStats::default(),
             codec: "identity".into(),
             compression: CompressionStats::default(),
+            transport: "lockstep".into(),
+            transport_stats: TransportStats::default(),
         }
     }
 
@@ -441,6 +502,8 @@ mod tests {
             robust: RobustStats::default(),
             codec: "identity".into(),
             compression: CompressionStats::default(),
+            transport: "lockstep".into(),
+            transport_stats: TransportStats::default(),
         };
         assert_eq!(m.final_accuracy(), 0.0);
         assert_eq!(m.traffic().total(), 0);
@@ -475,8 +538,37 @@ mod tests {
         let m = metrics();
         let csv = m.to_csv();
         assert!(csv.lines().next().unwrap().ends_with(
-            "dropped_clients,stale_clients,rejected_migrations,bytes_saved,train_time_s,c2s_time_s,migration_time_s,backoff_time_s"
+            "dropped_clients,stale_clients,rejected_migrations,bytes_saved,train_time_s,c2s_time_s,migration_time_s,backoff_time_s,retransmits,late_uploads"
         ));
+    }
+
+    #[test]
+    fn transport_summary_and_csv_report_flow_stats() {
+        let mut m = metrics();
+        assert!(m.transport_summary().is_none(), "lockstep runs carry no transport summary");
+        m.transport = "flow".into();
+        m.transport_stats = TransportStats {
+            flows: 120,
+            failed_flows: 3,
+            retransmits: 40,
+            timeouts: 7,
+            retransmit_bytes: 65536,
+            queue_delay_p50: 0.25,
+            queue_delay_p99: 1.5,
+            mean_link_utilization: 0.82,
+            late_uploads: 5,
+            stale_updates_folded: 4,
+            stale_updates_dropped: 1,
+        };
+        let s = m.transport_summary().unwrap();
+        for needle in
+            ["flow", "120 flows (3 failed)", "40 retransmits", "7 timeouts", "5 late uploads"]
+        {
+            assert!(s.contains(needle), "summary {s:?} missing {needle:?}");
+        }
+        let csv = m.transport_csv();
+        assert!(csv.starts_with("transport,flows,"));
+        assert!(csv.contains("flow,120,3,40,7,65536,"), "csv {csv:?}");
     }
 
     #[test]

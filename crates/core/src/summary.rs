@@ -4,6 +4,7 @@
 
 use crate::metrics::{FaultStats, PhaseBreakdown, RobustStats, RunMetrics};
 use fedmigr_compress::CompressionStats;
+use fedmigr_net::TransportStats;
 
 /// A comparison of several finished runs against a named baseline.
 pub struct SchemeComparison<'a> {
@@ -105,6 +106,22 @@ impl<'a> SchemeComparison<'a> {
             .collect()
     }
 
+    /// Transport comparison: for every run (baseline included), the flow
+    /// transport's accounting and the fraction of its flows that needed a
+    /// retransmission or missed their round deadline (the congestion tax).
+    /// All-zero rows for lockstep runs.
+    pub fn transport_report(&self) -> Vec<(String, TransportStats, f64)> {
+        std::iter::once(&self.baseline)
+            .chain(self.others.iter())
+            .map(|m| {
+                let t = m.transport_stats;
+                let degraded = t.retransmits + t.late_uploads + t.failed_flows;
+                let frac = if t.flows == 0 { 0.0 } else { degraded as f64 / t.flows as f64 };
+                (format!("{} [{}]", m.scheme, m.transport), t, frac)
+            })
+            .collect()
+    }
+
     /// Per-phase time comparison: for every run (baseline included), the
     /// virtual-time breakdown and the fraction of the run *not* spent
     /// training (communication + migration + backoff) — the overhead the
@@ -147,6 +164,8 @@ mod tests {
                     migration_s: 0.1 * time,
                     backoff_s: 0.0,
                 },
+                retransmits: 0,
+                late_uploads: 0,
             }],
             migrations_local: 0,
             migrations_global: 0,
@@ -157,7 +176,31 @@ mod tests {
             robust: RobustStats::default(),
             codec: "identity".into(),
             compression: CompressionStats::default(),
+            transport: "lockstep".into(),
+            transport_stats: TransportStats::default(),
         }
+    }
+
+    #[test]
+    fn transport_report_ranks_congestion_tax() {
+        let lockstep = run("FedAvg", 0.6, 900, 100, 100.0);
+        let mut flow = run("FedMigr", 0.7, 500, 100, 80.0);
+        flow.transport = "flow".into();
+        flow.transport_stats = TransportStats {
+            flows: 100,
+            failed_flows: 2,
+            retransmits: 10,
+            late_uploads: 8,
+            ..Default::default()
+        };
+        let cmp = SchemeComparison::new(&lockstep, vec![&flow]);
+        let report = cmp.transport_report();
+        assert_eq!(report.len(), 2);
+        assert_eq!(report[0].0, "FedAvg [lockstep]");
+        assert_eq!(report[0].2, 0.0, "lockstep pays no congestion tax");
+        assert_eq!(report[1].0, "FedMigr [flow]");
+        assert!((report[1].2 - 0.2).abs() < 1e-9, "(10+8+2)/100 flows degraded");
+        assert_eq!(report[1].1.flows, 100);
     }
 
     #[test]

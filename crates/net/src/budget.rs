@@ -52,13 +52,28 @@ impl TrafficBreakdown {
 pub struct ResourceMeter {
     budget: ResourceBudget,
     traffic: TrafficBreakdown,
+    /// Retransmission overhead put on the wire by the flow transport.
+    /// Charged against the bandwidth budget but kept out of the payload
+    /// [`TrafficBreakdown`], so payload totals stay comparable across
+    /// transports. Always zero under the lockstep transport.
+    overhead: u64,
+    /// Simulated transfer seconds (queueing + retransmits included) under
+    /// the flow transport; zero under lockstep, where transfers are priced
+    /// at nominal latency and the meter has nothing extra to say.
+    transfer_seconds: f64,
     compute_cost: f64,
 }
 
 impl ResourceMeter {
     /// Creates a meter against `budget`.
     pub fn new(budget: ResourceBudget) -> Self {
-        Self { budget, traffic: TrafficBreakdown::default(), compute_cost: 0.0 }
+        Self {
+            budget,
+            traffic: TrafficBreakdown::default(),
+            overhead: 0,
+            transfer_seconds: 0.0,
+            compute_cost: 0.0,
+        }
     }
 
     /// Records C2S traffic (counted against the bandwidth budget).
@@ -78,6 +93,21 @@ impl ResourceMeter {
         }
     }
 
+    /// Records retransmission overhead bytes from the flow transport.
+    /// Counted against the bandwidth budget (the bytes really crossed the
+    /// wire) but not against the payload traffic breakdown.
+    pub fn record_overhead(&mut self, bytes: u64) {
+        self.overhead += bytes;
+        count_bytes("overhead", bytes);
+    }
+
+    /// Records the simulated duration of a communication phase (queueing
+    /// and retransmission time included) under the flow transport.
+    pub fn record_transfer_seconds(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0 && seconds.is_finite(), "bad phase duration {seconds}");
+        self.transfer_seconds += seconds;
+    }
+
     /// Records computation cost in sample-passes.
     pub fn record_compute(&mut self, cost: f64) {
         self.compute_cost += cost;
@@ -86,6 +116,22 @@ impl ResourceMeter {
     /// Traffic accumulated so far.
     pub fn traffic(&self) -> TrafficBreakdown {
         self.traffic
+    }
+
+    /// Retransmission overhead accumulated so far (flow transport only).
+    pub fn overhead(&self) -> u64 {
+        self.overhead
+    }
+
+    /// Simulated transfer seconds accumulated so far (flow transport only).
+    pub fn transfer_seconds(&self) -> f64 {
+        self.transfer_seconds
+    }
+
+    /// Every byte charged against the bandwidth budget: payload traffic
+    /// plus retransmission overhead.
+    fn billed_bytes(&self) -> u64 {
+        self.traffic.total() + self.overhead
     }
 
     /// Computation cost accumulated so far.
@@ -99,7 +145,7 @@ impl ResourceMeter {
         if self.budget.bandwidth.is_infinite() {
             return 1.0;
         }
-        (1.0 - self.traffic.total() as f64 / self.budget.bandwidth).clamp(0.0, 1.0)
+        (1.0 - self.billed_bytes() as f64 / self.budget.bandwidth).clamp(0.0, 1.0)
     }
 
     /// Remaining compute budget fraction, clamped to `[0, 1]`.
@@ -112,7 +158,7 @@ impl ResourceMeter {
 
     /// Whether either budget is exhausted (`min G_T <= 0`, Eq. 18).
     pub fn exhausted(&self) -> bool {
-        self.traffic.total() as f64 >= self.budget.bandwidth
+        self.billed_bytes() as f64 >= self.budget.bandwidth
             || self.compute_cost >= self.budget.compute
     }
 
@@ -155,6 +201,21 @@ mod tests {
         m.record_c2c(40, false);
         assert!(m.exhausted());
         assert_eq!(m.bandwidth_remaining_frac(), 0.0);
+    }
+
+    #[test]
+    fn overhead_bytes_bill_the_budget_but_not_the_breakdown() {
+        let mut m = ResourceMeter::new(ResourceBudget { compute: f64::INFINITY, bandwidth: 100.0 });
+        m.record_c2s(60);
+        m.record_overhead(30);
+        m.record_transfer_seconds(1.5);
+        assert_eq!(m.traffic().total(), 60, "payload breakdown excludes overhead");
+        assert_eq!(m.overhead(), 30);
+        assert!((m.bandwidth_remaining_frac() - 0.1).abs() < 1e-12);
+        assert!(!m.exhausted());
+        m.record_overhead(10);
+        assert!(m.exhausted(), "overhead must exhaust the budget like payload");
+        assert!((m.transfer_seconds() - 1.5).abs() < 1e-12);
     }
 
     #[test]

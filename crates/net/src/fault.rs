@@ -74,6 +74,21 @@ pub struct FaultConfig {
     pub degraded_prob: f64,
     /// Fraction of bandwidth lost on a degraded link, in `[0, 1)`.
     pub degradation: f64,
+    /// Probability a link *flaps* (cycles up/down) for a given epoch. Only
+    /// the event-driven flow transport reacts to flapping; the lockstep
+    /// path treats a flapping link as healthy.
+    pub flap_prob: f64,
+    /// Full on/off cycle length of a flapping link, in seconds (> 0). The
+    /// link is up for the first half of each cycle.
+    pub flap_period: f64,
+    /// Probability a link suffers burst loss for a given epoch.
+    pub burst_loss_prob: f64,
+    /// Per-segment loss rate while a burst is active, in `[0, 1)`.
+    pub burst_loss_rate: f64,
+    /// Probability a link's bandwidth collapses for a given epoch.
+    pub bw_collapse_prob: f64,
+    /// Bandwidth multiplier on a collapsed link, in `(0, 1]`.
+    pub bw_collapse_factor: f64,
     /// Retry/backoff policy for failed transfers.
     pub retry: RetryPolicy,
     /// Seed of the fault schedule (independent of the run seed).
@@ -93,6 +108,12 @@ impl FaultConfig {
             c2s_outage_prob: 0.0,
             degraded_prob: 0.0,
             degradation: 0.0,
+            flap_prob: 0.0,
+            flap_period: 1.0,
+            burst_loss_prob: 0.0,
+            burst_loss_rate: 0.0,
+            bw_collapse_prob: 0.0,
+            bw_collapse_factor: 1.0,
             retry: RetryPolicy::standard(),
             seed: 0,
         }
@@ -113,9 +134,30 @@ impl FaultConfig {
             c2s_outage_prob: dropout / 4.0,
             degraded_prob: dropout,
             degradation: 0.5,
+            flap_prob: 0.0,
+            flap_period: 1.0,
+            burst_loss_prob: 0.0,
+            burst_loss_rate: 0.0,
+            bw_collapse_prob: 0.0,
+            bw_collapse_factor: 1.0,
             retry: RetryPolicy::standard(),
             seed,
         }
+    }
+
+    /// Layers transport-level network stress — flapping links, burst loss
+    /// and bandwidth collapse — on top of an existing config at intensity
+    /// `level` in `[0, 1)`. These processes only bite under the flow
+    /// transport; the lockstep path ignores them entirely.
+    pub fn with_network_stress(mut self, level: f64) -> Self {
+        assert!((0.0..1.0).contains(&level), "stress level must be in [0, 1)");
+        self.flap_prob = level / 2.0;
+        self.flap_period = 0.1;
+        self.burst_loss_prob = level;
+        self.burst_loss_rate = 0.3;
+        self.bw_collapse_prob = level / 2.0;
+        self.bw_collapse_factor = 0.25;
+        self
     }
 
     /// Whether every fault process is disabled.
@@ -125,6 +167,9 @@ impl FaultConfig {
             && self.link_outage_prob == 0.0
             && self.c2s_outage_prob == 0.0
             && self.degraded_prob == 0.0
+            && self.flap_prob == 0.0
+            && self.burst_loss_prob == 0.0
+            && self.bw_collapse_prob == 0.0
             && self.straggler_deadline.is_infinite()
     }
 }
@@ -152,6 +197,10 @@ const TAG_LINK: u64 = 4;
 const TAG_C2S: u64 = 5;
 const TAG_DEGRADED: u64 = 6;
 const TAG_RETRY: u64 = 7;
+const TAG_FLAP: u64 = 8;
+const TAG_BURST_LOSS: u64 = 9;
+const TAG_BW_COLLAPSE: u64 = 10;
+const TAG_FLAP_PHASE: u64 = 11;
 
 /// SplitMix64-style avalanche over `(seed, tag, a, b, t)`, mapped to a
 /// uniform value in `[0, 1)`. Shared by [`FaultModel`] and
@@ -189,12 +238,21 @@ impl FaultModel {
             config.link_outage_prob,
             config.c2s_outage_prob,
             config.degraded_prob,
+            config.flap_prob,
+            config.burst_loss_prob,
+            config.bw_collapse_prob,
             config.retry.retry_success_prob,
         ] {
             assert!((0.0..=1.0).contains(&p), "probabilities must be in [0, 1], got {p}");
         }
         assert!(config.crash_prob < 1.0, "crash_prob 1.0 would never let any client run");
         assert!((0.0..1.0).contains(&config.degradation), "degradation must be in [0, 1)");
+        assert!((0.0..1.0).contains(&config.burst_loss_rate), "loss rate must be in [0, 1)");
+        assert!(config.flap_period > 0.0, "flap period must be positive");
+        assert!(
+            config.bw_collapse_factor > 0.0 && config.bw_collapse_factor <= 1.0,
+            "collapse factor must be in (0, 1]"
+        );
         assert!(config.straggler_slowdown >= 1.0, "slowdown must be >= 1");
         assert!(config.max_outage_epochs >= 1, "outages last at least one epoch");
         assert!(
@@ -309,6 +367,55 @@ impl FaultModel {
         let (a, b) = (i.min(j) as u64, i.max(j) as u64);
         self.unit(TAG_RETRY, a, b, (epoch as u64) << 8 | attempt as u64)
             < self.config.retry.retry_success_prob
+    }
+
+    /// Up/down cycle of the `i <-> j` link at `epoch` when it flaps:
+    /// `Some((period, phase))` with the link up during the first half of
+    /// each `period`, shifted by `phase` seconds into the cycle. `None`
+    /// when the link is steady. Use `j = usize::MAX` for C2S paths. Only
+    /// the flow transport consumes this.
+    pub fn link_flap(&self, i: usize, j: usize, epoch: usize) -> Option<(f64, f64)> {
+        if !self.enabled || i == j || self.config.flap_prob == 0.0 {
+            return None;
+        }
+        let (a, b) = (i.min(j) as u64, i.max(j) as u64);
+        if self.unit(TAG_FLAP, a, b, epoch as u64) < self.config.flap_prob {
+            let period = self.config.flap_period;
+            let phase = self.unit(TAG_FLAP_PHASE, a, b, epoch as u64) * period;
+            Some((period, phase))
+        } else {
+            None
+        }
+    }
+
+    /// Per-segment burst-loss rate on the `i <-> j` link at `epoch` (zero
+    /// when no burst is active). Use `j = usize::MAX` for C2S paths. Only
+    /// the flow transport consumes this.
+    pub fn link_burst_loss(&self, i: usize, j: usize, epoch: usize) -> f64 {
+        if !self.enabled || i == j || self.config.burst_loss_prob == 0.0 {
+            return 0.0;
+        }
+        let (a, b) = (i.min(j) as u64, i.max(j) as u64);
+        if self.unit(TAG_BURST_LOSS, a, b, epoch as u64) < self.config.burst_loss_prob {
+            self.config.burst_loss_rate
+        } else {
+            0.0
+        }
+    }
+
+    /// Bandwidth-collapse multiplier of the `i <-> j` link at `epoch` (1.0
+    /// when healthy). Use `j = usize::MAX` for C2S paths. Composes with
+    /// [`Self::link_quality`]; only the flow transport consumes it.
+    pub fn link_bw_collapse(&self, i: usize, j: usize, epoch: usize) -> f64 {
+        if !self.enabled || i == j || self.config.bw_collapse_prob == 0.0 {
+            return 1.0;
+        }
+        let (a, b) = (i.min(j) as u64, i.max(j) as u64);
+        if self.unit(TAG_BW_COLLAPSE, a, b, epoch as u64) < self.config.bw_collapse_prob {
+            self.config.bw_collapse_factor
+        } else {
+            1.0
+        }
     }
 
     /// The retry policy in force.
@@ -455,6 +562,51 @@ mod tests {
         let f = churn();
         assert_eq!(f.deadline(2.0), Some(5.0));
         assert_eq!(FaultModel::none(3).deadline(2.0), None);
+    }
+
+    #[test]
+    fn network_stress_composes_with_churn_and_is_symmetric() {
+        let cfg = FaultConfig::edge_churn(0.2, 9).with_network_stress(0.5);
+        assert!(!cfg.is_none());
+        let f = FaultModel::new(cfg, 10);
+        let (mut flaps, mut bursts, mut collapses) = (0, 0, 0);
+        for e in 0..100 {
+            for i in 0..10 {
+                for j in (i + 1)..10 {
+                    assert_eq!(f.link_flap(i, j, e), f.link_flap(j, i, e));
+                    assert_eq!(f.link_burst_loss(i, j, e), f.link_burst_loss(j, i, e));
+                    assert_eq!(f.link_bw_collapse(i, j, e), f.link_bw_collapse(j, i, e));
+                    if let Some((period, phase)) = f.link_flap(i, j, e) {
+                        flaps += 1;
+                        assert!(period > 0.0 && (0.0..period).contains(&phase));
+                    }
+                    if f.link_burst_loss(i, j, e) > 0.0 {
+                        bursts += 1;
+                        assert_eq!(f.link_burst_loss(i, j, e), 0.3);
+                    }
+                    if f.link_bw_collapse(i, j, e) < 1.0 {
+                        collapses += 1;
+                        assert_eq!(f.link_bw_collapse(i, j, e), 0.25);
+                    }
+                }
+            }
+        }
+        assert!(flaps > 0 && bursts > 0 && collapses > 0, "{flaps}/{bursts}/{collapses}");
+    }
+
+    #[test]
+    fn stress_processes_are_silent_when_disabled() {
+        let f = churn(); // churn carries no transport stress
+        for e in 0..50 {
+            assert_eq!(f.link_flap(0, 5, e), None);
+            assert_eq!(f.link_burst_loss(0, 5, e), 0.0);
+            assert_eq!(f.link_bw_collapse(0, 5, e), 1.0);
+        }
+        // C2S paths use the j = MAX convention.
+        let stressed = FaultModel::new(FaultConfig::none().with_network_stress(0.6), 4);
+        assert!(!stressed.config().is_none());
+        let hits = (0..100).filter(|&e| stressed.link_burst_loss(1, usize::MAX, e) > 0.0).count();
+        assert!(hits > 20, "c2s burst loss never fired: {hits}");
     }
 
     #[test]

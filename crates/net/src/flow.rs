@@ -1,0 +1,718 @@
+//! Deterministic event-driven flow simulator.
+//!
+//! The lockstep accounting in [`crate::transfer_time`] prices every
+//! transfer at `bytes / bandwidth` as if it had the wire to itself. This
+//! module replaces that with a fluid *flow* model: concurrent transfers
+//! share link capacity under a configurable queueing discipline, and every
+//! transfer runs a small transport state machine — segments are lost to
+//! burst loss and retransmitted, an AIMD congestion window throttles the
+//! send rate, and a flow that gets no capacity (downed or flapping link)
+//! arms a retransmission timeout with bounded exponential backoff before
+//! giving up. A transfer's completion time therefore depends on what else
+//! is on the wire, not on a fixed nominal latency.
+//!
+//! The simulator is a *pure* function of its inputs: capacities, flows and
+//! the loss seed. Loss rolls use the same SplitMix64 hash family as
+//! [`crate::FaultModel`] (no shared RNG stream), event ties are broken by
+//! flow index, and time only advances to explicitly computed event times —
+//! so the same setup replays bit-identically, which the runner's
+//! determinism contract relies on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fault::hash_unit;
+
+/// How concurrent flows share a link's capacity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueDiscipline {
+    /// Max-min fair share: capacity is split evenly among bottlenecked
+    /// flows (progressive filling), the fluid limit of per-flow fair
+    /// queueing.
+    #[default]
+    FairShare,
+    /// Per-link FIFO: the oldest active flow on a link holds it until done;
+    /// later arrivals queue behind it.
+    Fifo,
+}
+
+/// Tuning of the flow transport. [`FlowConfig::standard`] matches a small
+/// TCP-like profile sized for model-scale transfers (hundreds of KB) on
+/// megabyte-per-second edge links.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlowConfig {
+    /// Queueing discipline of shared links.
+    pub discipline: QueueDiscipline,
+    /// Segment size in bytes — the granularity of loss, retransmission and
+    /// congestion-window accounting.
+    pub segment_bytes: u64,
+    /// Initial congestion window in segments.
+    pub init_cwnd: u32,
+    /// Slow-start threshold in segments; below it the window grows by one
+    /// segment per delivered segment, above it by roughly one per window.
+    pub ssthresh: u32,
+    /// Congestion-window ceiling in segments.
+    pub max_cwnd: u32,
+    /// Round-trip-time floor in seconds; the window caps the send rate at
+    /// `cwnd * segment_bytes / max(min_rtt, 2 * path_latency)`.
+    pub min_rtt: f64,
+    /// Retransmission timeout armed when a flow receives no capacity, in
+    /// seconds.
+    pub base_rto: f64,
+    /// Multiplicative RTO growth per consecutive timeout (>= 1).
+    pub rto_backoff: f64,
+    /// Consecutive timeouts tolerated before the flow fails. Bounds how
+    /// long a flow can stall on a dead link, so rounds never hang.
+    pub max_timeouts: u32,
+    /// Per-round upload deadline as a multiple of the *median* completed
+    /// upload time; uploads finishing later are folded in as stale on a
+    /// later round. `f64::INFINITY` disables the deadline.
+    pub deadline_factor: f64,
+    /// Seed of the per-segment loss schedule.
+    pub seed: u64,
+}
+
+impl FlowConfig {
+    /// The standard profile: fair-share links, 16 KiB segments, a 4-segment
+    /// initial window, 10 ms RTT floor, 250 ms base RTO doubling up to five
+    /// timeouts, and a 3x-median upload deadline.
+    pub fn standard(seed: u64) -> Self {
+        Self {
+            discipline: QueueDiscipline::FairShare,
+            segment_bytes: 16 * 1024,
+            init_cwnd: 4,
+            ssthresh: 32,
+            max_cwnd: 256,
+            min_rtt: 0.01,
+            base_rto: 0.25,
+            rto_backoff: 2.0,
+            max_timeouts: 5,
+            deadline_factor: 3.0,
+            seed,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.segment_bytes > 0, "segment size must be positive");
+        assert!(self.init_cwnd >= 1 && self.max_cwnd >= self.init_cwnd, "bad cwnd bounds");
+        assert!(self.min_rtt > 0.0 && self.base_rto > 0.0, "rtt/rto must be positive");
+        assert!(self.rto_backoff >= 1.0, "rto backoff must be >= 1");
+        assert!(self.deadline_factor > 0.0, "deadline factor must be positive");
+    }
+}
+
+/// Handle to a link added to a [`FlowSim`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkId(usize);
+
+/// Handle to a flow added to a [`FlowSim`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowId(usize);
+
+/// Result of one flow after [`FlowSim::run`]. Byte accounting satisfies
+/// `wire_bytes == delivered_bytes + retransmit_bytes` exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlowOutcome {
+    /// Whether the whole payload was delivered.
+    pub completed: bool,
+    /// Completion (or failure) time in seconds from simulation start.
+    pub finish: f64,
+    /// Payload size requested.
+    pub payload_bytes: u64,
+    /// Payload bytes actually delivered (equals `payload_bytes` when
+    /// completed; partial progress when failed).
+    pub delivered_bytes: u64,
+    /// Bytes put on the wire, including retransmitted segments.
+    pub wire_bytes: u64,
+    /// Bytes burned by retransmissions alone.
+    pub retransmit_bytes: u64,
+    /// Number of lost-and-retransmitted segments.
+    pub retransmits: u64,
+    /// Number of retransmission timeouts (stalls with no capacity).
+    pub timeouts: u64,
+    /// Seconds spent queued with zero allocated rate.
+    pub queue_delay: f64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum FlowState {
+    Running,
+    Backoff { until: f64 },
+    Done { at: f64 },
+    Failed { at: f64 },
+}
+
+struct Link {
+    capacity: f64,
+    loss: f64,
+    latency: f64,
+    /// `Some((period, phase))` — up during the first half of each cycle.
+    flap: Option<(f64, f64)>,
+    served_bytes: f64,
+}
+
+impl Link {
+    fn up_at(&self, t: f64) -> bool {
+        match self.flap {
+            None => true,
+            Some((period, phase)) => ((t + phase) % period) < period / 2.0,
+        }
+    }
+
+    /// Next flap boundary strictly after `t`, if the link flaps.
+    fn next_toggle(&self, t: f64) -> Option<f64> {
+        let (period, phase) = self.flap?;
+        let half = period / 2.0;
+        let pos = (t + phase) % half;
+        Some(t + (half - pos).max(half * 1e-9))
+    }
+}
+
+struct Flow {
+    path: Vec<usize>,
+    bytes: u64,
+    remaining: f64,
+    seg_size: f64,
+    seg_sent: f64,
+    tx_counter: u64,
+    state: FlowState,
+    cwnd: f64,
+    ssthresh: f64,
+    rto: f64,
+    strikes: u32,
+    stall_since: Option<f64>,
+    retransmits: u64,
+    timeouts: u64,
+    wire_bytes: f64,
+    retransmit_bytes: f64,
+    queue_delay: f64,
+    rtt: f64,
+    rate: f64,
+}
+
+const EPS_BYTES: f64 = 1e-6;
+const EPS_RATE: f64 = 1e-6;
+const EPS_TIME: f64 = 1e-9;
+/// Hard horizon: any flow still in flight this far in is declared failed.
+/// Unreachable in practice (timeout strikes fail flows much earlier); this
+/// is the belt-and-braces guarantee that rounds terminate.
+const HORIZON_S: f64 = 1e7;
+const TAG_FLOW_LOSS: u64 = 101;
+
+/// The event-driven simulator. Build one per communication phase: add the
+/// links, add the flows, [`FlowSim::run`], then read the outcomes.
+pub struct FlowSim {
+    cfg: FlowConfig,
+    links: Vec<Link>,
+    flows: Vec<Flow>,
+    now: f64,
+}
+
+impl FlowSim {
+    /// An empty simulation at time zero.
+    pub fn new(cfg: FlowConfig) -> Self {
+        cfg.validate();
+        Self { cfg, links: Vec::new(), flows: Vec::new(), now: 0.0 }
+    }
+
+    /// Adds a link. `capacity` may be zero to model a hard outage (flows on
+    /// it stall into timeouts and fail); `loss` is the per-segment loss
+    /// rate in `[0, 1)`; `flap` is `Some((period, phase))` for a flapping
+    /// link.
+    pub fn add_link(
+        &mut self,
+        capacity: f64,
+        loss: f64,
+        latency: f64,
+        flap: Option<(f64, f64)>,
+    ) -> LinkId {
+        assert!(capacity >= 0.0 && capacity.is_finite(), "bad capacity {capacity}");
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0, 1)");
+        assert!(latency >= 0.0, "latency must be non-negative");
+        if let Some((period, phase)) = flap {
+            assert!(period > 0.0 && (0.0..=period).contains(&phase), "bad flap cycle");
+        }
+        self.links.push(Link { capacity, loss, latency, flap, served_bytes: 0.0 });
+        LinkId(self.links.len() - 1)
+    }
+
+    /// Adds a flow of `bytes` across `path` (all links traversed in
+    /// series; the slowest governs).
+    pub fn add_flow(&mut self, path: &[LinkId], bytes: u64) -> FlowId {
+        assert!(!path.is_empty(), "flow needs at least one link");
+        let path: Vec<usize> = path.iter().map(|l| l.0).collect();
+        let latency: f64 = path.iter().map(|&l| self.links[l].latency).sum();
+        let cfg = &self.cfg;
+        let seg = (cfg.segment_bytes as f64).min((bytes as f64).max(1.0));
+        self.flows.push(Flow {
+            path,
+            bytes,
+            remaining: bytes as f64,
+            seg_size: seg,
+            seg_sent: 0.0,
+            tx_counter: 0,
+            state: if bytes == 0 { FlowState::Done { at: 0.0 } } else { FlowState::Running },
+            cwnd: cfg.init_cwnd as f64,
+            ssthresh: cfg.ssthresh as f64,
+            rto: cfg.base_rto,
+            strikes: 0,
+            stall_since: None,
+            retransmits: 0,
+            timeouts: 0,
+            wire_bytes: 0.0,
+            retransmit_bytes: 0.0,
+            queue_delay: 0.0,
+            rtt: cfg.min_rtt.max(2.0 * latency),
+            rate: 0.0,
+        });
+        FlowId(self.flows.len() - 1)
+    }
+
+    /// Runs every flow to completion or failure. Guaranteed to terminate:
+    /// stalls are bounded by the timeout-strike budget and everything else
+    /// makes byte progress.
+    pub fn run(&mut self) {
+        while self.flows.iter().any(|f| !is_settled(f.state)) {
+            self.assign_rates();
+            let t_next = self.next_event_time();
+            debug_assert!(t_next >= self.now - EPS_TIME, "event time went backwards");
+            let dt = (t_next - self.now).max(0.0);
+            self.integrate(dt);
+            self.now = t_next;
+            self.fire_events();
+            if self.now > HORIZON_S {
+                for f in &mut self.flows {
+                    if !is_settled(f.state) {
+                        f.state = FlowState::Failed { at: self.now };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-flow rate cap imposed by the congestion window.
+    fn cwnd_cap(&self, f: &Flow) -> f64 {
+        f.cwnd * self.cfg.segment_bytes as f64 / f.rtt
+    }
+
+    /// Computes the instantaneous rate of every flow under the configured
+    /// discipline, and starts/clears stall timers accordingly.
+    fn assign_rates(&mut self) {
+        let caps: Vec<f64> =
+            self.links.iter().map(|l| if l.up_at(self.now) { l.capacity } else { 0.0 }).collect();
+        let n = self.flows.len();
+        let mut rates = vec![0.0f64; n];
+        let running: Vec<usize> =
+            (0..n).filter(|&i| matches!(self.flows[i].state, FlowState::Running)).collect();
+        match self.cfg.discipline {
+            QueueDiscipline::FairShare => {
+                let mut unfrozen: Vec<usize> = running
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.flows[i].path.iter().all(|&l| caps[l] > EPS_RATE))
+                    .collect();
+                let mut used = vec![0.0f64; self.links.len()];
+                while !unfrozen.is_empty() {
+                    let mut crossing = vec![0usize; self.links.len()];
+                    for &i in &unfrozen {
+                        for &l in &self.flows[i].path {
+                            crossing[l] += 1;
+                        }
+                    }
+                    let mut delta = f64::INFINITY;
+                    for (l, &c) in crossing.iter().enumerate() {
+                        if c > 0 {
+                            delta = delta.min((caps[l] - used[l]).max(0.0) / c as f64);
+                        }
+                    }
+                    for &i in &unfrozen {
+                        delta = delta.min((self.cwnd_cap(&self.flows[i]) - rates[i]).max(0.0));
+                    }
+                    for &i in &unfrozen {
+                        rates[i] += delta;
+                        for &l in &self.flows[i].path {
+                            used[l] += delta;
+                        }
+                    }
+                    // Freeze flows that hit their window cap or a saturated
+                    // link; at least one freezes per pass, so this halts.
+                    let before = unfrozen.len();
+                    unfrozen.retain(|&i| {
+                        rates[i] + EPS_RATE < self.cwnd_cap(&self.flows[i])
+                            && self.flows[i].path.iter().all(|&l| used[l] + EPS_RATE < caps[l])
+                    });
+                    if unfrozen.len() == before {
+                        break;
+                    }
+                }
+            }
+            QueueDiscipline::Fifo => {
+                // A flow holds a link iff no lower-indexed running flow
+                // shares it; index order is admission order, and the
+                // total order keeps head-of-line globally consistent.
+                for &i in &running {
+                    let blocked = running
+                        .iter()
+                        .any(|&j| j < i && shares_link(&self.flows[i].path, &self.flows[j].path));
+                    if blocked {
+                        continue;
+                    }
+                    let link_cap =
+                        self.flows[i].path.iter().map(|&l| caps[l]).fold(f64::INFINITY, f64::min);
+                    rates[i] = link_cap.min(self.cwnd_cap(&self.flows[i]));
+                }
+            }
+        }
+        for (i, f) in self.flows.iter_mut().enumerate() {
+            f.rate = rates[i];
+            if matches!(f.state, FlowState::Running) {
+                if f.rate > EPS_RATE {
+                    f.stall_since = None;
+                } else if f.path.iter().any(|&l| caps[l] <= EPS_RATE) {
+                    // No capacity at all on the path (outage or flap-down):
+                    // arm the retransmission timeout.
+                    if f.stall_since.is_none() {
+                        f.stall_since = Some(self.now);
+                    }
+                } else {
+                    // Queued behind other flows on a live link: waiting is
+                    // queue delay, not a timeout — the queue drains via the
+                    // head flow's events.
+                    f.stall_since = None;
+                }
+            }
+        }
+    }
+
+    fn next_event_time(&self) -> f64 {
+        let mut t = f64::INFINITY;
+        let mut any_active_link = vec![false; self.links.len()];
+        for f in &self.flows {
+            match f.state {
+                FlowState::Running => {
+                    for &l in &f.path {
+                        any_active_link[l] = true;
+                    }
+                    if f.rate > EPS_RATE {
+                        t = t.min(self.now + (f.seg_size - f.seg_sent).max(0.0) / f.rate);
+                    } else if let Some(s) = f.stall_since {
+                        t = t.min(s + f.rto);
+                    }
+                }
+                FlowState::Backoff { until } => t = t.min(until),
+                _ => {}
+            }
+        }
+        for (l, link) in self.links.iter().enumerate() {
+            if any_active_link[l] {
+                if let Some(toggle) = link.next_toggle(self.now) {
+                    t = t.min(toggle);
+                }
+            }
+        }
+        // All flows settled is handled by the caller; an active flow always
+        // schedules either a segment boundary, an RTO or a backoff expiry.
+        debug_assert!(t.is_finite(), "no next event for an active simulation");
+        t
+    }
+
+    /// Advances byte progress and accounting across `[now, now + dt)`.
+    fn integrate(&mut self, dt: f64) {
+        if dt <= 0.0 {
+            return;
+        }
+        for f in &mut self.flows {
+            if !matches!(f.state, FlowState::Running) {
+                continue;
+            }
+            if f.rate > EPS_RATE {
+                f.seg_sent = (f.seg_sent + f.rate * dt).min(f.seg_size);
+                for &l in &f.path {
+                    self.links[l].served_bytes += f.rate * dt;
+                }
+            } else {
+                f.queue_delay += dt;
+            }
+        }
+    }
+
+    fn fire_events(&mut self) {
+        let now = self.now;
+        for (i, f) in self.flows.iter_mut().enumerate() {
+            match f.state {
+                FlowState::Running if f.rate > EPS_RATE && f.seg_size - f.seg_sent <= EPS_BYTES => {
+                    f.wire_bytes += f.seg_size;
+                    let lost = hash_unit(self.cfg.seed, TAG_FLOW_LOSS, i as u64, f.tx_counter, 0)
+                        < path_loss(&f.path, &self.links);
+                    f.tx_counter += 1;
+                    if lost {
+                        f.retransmits += 1;
+                        f.retransmit_bytes += f.seg_size;
+                        f.seg_sent = 0.0;
+                        // Multiplicative decrease; keep at least one
+                        // segment in flight.
+                        f.cwnd = (f.cwnd / 2.0).max(1.0);
+                        f.ssthresh = f.cwnd;
+                    } else {
+                        f.remaining -= f.seg_size;
+                        f.seg_sent = 0.0;
+                        f.strikes = 0;
+                        f.rto = self.cfg.base_rto;
+                        if f.cwnd < f.ssthresh {
+                            f.cwnd += 1.0;
+                        } else {
+                            f.cwnd += 1.0 / f.cwnd;
+                        }
+                        f.cwnd = f.cwnd.min(self.cfg.max_cwnd as f64);
+                        if f.remaining <= EPS_BYTES {
+                            f.remaining = 0.0;
+                            f.state = FlowState::Done { at: now };
+                        } else {
+                            f.seg_size = (self.cfg.segment_bytes as f64).min(f.remaining);
+                        }
+                    }
+                }
+                FlowState::Running => {
+                    if let Some(s) = f.stall_since {
+                        if now >= s + f.rto - EPS_TIME {
+                            f.timeouts += 1;
+                            f.strikes += 1;
+                            f.stall_since = None;
+                            if f.strikes > self.cfg.max_timeouts {
+                                f.state = FlowState::Failed { at: now };
+                            } else {
+                                f.state = FlowState::Backoff { until: now + f.rto };
+                                f.rto *= self.cfg.rto_backoff;
+                                f.cwnd = self.cfg.init_cwnd as f64;
+                                f.seg_sent = 0.0;
+                            }
+                        }
+                    }
+                }
+                FlowState::Backoff { until } if now >= until - EPS_TIME => {
+                    f.state = FlowState::Running;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Outcome of flow `id`; call after [`FlowSim::run`].
+    pub fn outcome(&self, id: FlowId) -> FlowOutcome {
+        let f = &self.flows[id.0];
+        let (completed, finish) = match f.state {
+            FlowState::Done { at } => (true, at),
+            FlowState::Failed { at } => (false, at),
+            _ => panic!("outcome read before run() settled the flow"),
+        };
+        FlowOutcome {
+            completed,
+            finish,
+            payload_bytes: f.bytes,
+            delivered_bytes: (f.bytes as f64 - f.remaining).round() as u64,
+            wire_bytes: f.wire_bytes.round() as u64,
+            retransmit_bytes: f.retransmit_bytes.round() as u64,
+            retransmits: f.retransmits,
+            timeouts: f.timeouts,
+            queue_delay: f.queue_delay,
+        }
+    }
+
+    /// Outcomes of every flow, in admission order.
+    pub fn outcomes(&self) -> Vec<FlowOutcome> {
+        (0..self.flows.len()).map(|i| self.outcome(FlowId(i))).collect()
+    }
+
+    /// Latest finish (or failure) time across all flows.
+    pub fn makespan(&self) -> f64 {
+        self.flows
+            .iter()
+            .map(|f| match f.state {
+                FlowState::Done { at } | FlowState::Failed { at } => at,
+                _ => panic!("makespan read before run() settled every flow"),
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean utilization across links that carried any traffic: served bytes
+    /// over `capacity * makespan`. Zero for an empty or instant simulation.
+    pub fn mean_link_utilization(&self) -> f64 {
+        let span = self.makespan();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        let utils: Vec<f64> = self
+            .links
+            .iter()
+            .filter(|l| l.capacity > 0.0 && l.served_bytes > 0.0)
+            .map(|l| (l.served_bytes / (l.capacity * span)).min(1.0))
+            .collect();
+        if utils.is_empty() {
+            0.0
+        } else {
+            utils.iter().sum::<f64>() / utils.len() as f64
+        }
+    }
+}
+
+fn is_settled(s: FlowState) -> bool {
+    matches!(s, FlowState::Done { .. } | FlowState::Failed { .. })
+}
+
+fn shares_link(a: &[usize], b: &[usize]) -> bool {
+    a.iter().any(|l| b.contains(l))
+}
+
+fn path_loss(path: &[usize], links: &[Link]) -> f64 {
+    path.iter().map(|&l| links[l].loss).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FlowConfig {
+        FlowConfig::standard(11)
+    }
+
+    fn run_one(capacity: f64, bytes: u64) -> (FlowOutcome, f64) {
+        let mut sim = FlowSim::new(cfg());
+        let l = sim.add_link(capacity, 0.0, 0.0, None);
+        let f = sim.add_flow(&[l], bytes);
+        sim.run();
+        (sim.outcome(f), sim.makespan())
+    }
+
+    #[test]
+    fn lone_flow_approaches_fluid_time() {
+        let (o, span) = run_one(1.0e6, 1_000_000);
+        assert!(o.completed);
+        assert_eq!(o.delivered_bytes, 1_000_000);
+        assert_eq!(o.wire_bytes, 1_000_000);
+        assert_eq!(o.retransmits, 0);
+        // Fluid time is 1 s; the AIMD ramp adds a little.
+        assert!(o.finish >= 1.0 - 1e-9 && o.finish < 2.0, "finish {}", o.finish);
+        assert_eq!(span, o.finish);
+    }
+
+    #[test]
+    fn fair_share_splits_capacity_evenly() {
+        let mut sim = FlowSim::new(cfg());
+        let l = sim.add_link(1.0e6, 0.0, 0.0, None);
+        let a = sim.add_flow(&[l], 500_000);
+        let b = sim.add_flow(&[l], 500_000);
+        sim.run();
+        let (oa, ob) = (sim.outcome(a), sim.outcome(b));
+        assert!(oa.completed && ob.completed);
+        // Both contend for the whole run: each sees ~half the link.
+        assert!((oa.finish - ob.finish).abs() < 0.05, "{} vs {}", oa.finish, ob.finish);
+        assert!(oa.finish > 0.9, "contention must slow both flows: {}", oa.finish);
+    }
+
+    #[test]
+    fn fifo_serves_in_admission_order() {
+        let mut c = cfg();
+        c.discipline = QueueDiscipline::Fifo;
+        let mut sim = FlowSim::new(c);
+        let l = sim.add_link(1.0e6, 0.0, 0.0, None);
+        let a = sim.add_flow(&[l], 500_000);
+        let b = sim.add_flow(&[l], 500_000);
+        sim.run();
+        let (oa, ob) = (sim.outcome(a), sim.outcome(b));
+        assert!(oa.finish < ob.finish, "head of line finishes first");
+        assert!(ob.queue_delay > 0.3, "the queued flow waits: {}", ob.queue_delay);
+    }
+
+    #[test]
+    fn loss_burns_wire_bytes_but_conserves_accounting() {
+        let mut sim = FlowSim::new(cfg());
+        let l = sim.add_link(1.0e6, 0.3, 0.0, None);
+        let f = sim.add_flow(&[l], 1_000_000);
+        sim.run();
+        let o = sim.outcome(f);
+        assert!(o.completed);
+        assert!(o.retransmits > 0, "30% loss must cost retransmits");
+        assert_eq!(o.wire_bytes, o.delivered_bytes + o.retransmit_bytes);
+        let (clean, _) = run_one(1.0e6, 1_000_000);
+        assert!(o.finish > clean.finish, "loss must slow the flow down");
+    }
+
+    #[test]
+    fn dead_link_fails_fast_instead_of_hanging() {
+        let (o, span) = run_one(0.0, 1_000_000);
+        assert!(!o.completed);
+        assert!(o.timeouts as usize > 0);
+        assert_eq!(o.delivered_bytes, 0);
+        // Strikes bound the stall: base 0.25 s doubling six times.
+        assert!(span < 60.0, "failure must be prompt, took {span}");
+    }
+
+    #[test]
+    fn flapping_link_stalls_then_recovers() {
+        let mut sim = FlowSim::new(cfg());
+        // Up for [0, 0.5) of every 1 s cycle; 1.2 MB at 1 MB/s must cross
+        // at least one down phase.
+        let l = sim.add_link(1.0e6, 0.0, 0.0, Some((1.0, 0.0)));
+        let f = sim.add_flow(&[l], 1_200_000);
+        sim.run();
+        let o = sim.outcome(f);
+        assert!(o.completed, "half-duty flapping still drains the flow");
+        assert!(o.timeouts > 0, "the down phase must trip the stall timer");
+        let (clean, _) = run_one(1.0e6, 1_200_000);
+        assert!(
+            o.finish > clean.finish + 0.4,
+            "down-time must show up in the finish time: {} vs {}",
+            o.finish,
+            clean.finish
+        );
+    }
+
+    #[test]
+    fn outcomes_are_bit_deterministic() {
+        let build = || {
+            let mut sim = FlowSim::new(cfg());
+            let wan = sim.add_link(2.0e6, 0.2, 0.01, None);
+            let lan = sim.add_link(1.0e7, 0.0, 0.0, Some((0.5, 0.1)));
+            for i in 0..5 {
+                let path = if i % 2 == 0 { vec![wan] } else { vec![lan, wan] };
+                sim.add_flow(&path, 300_000 + i * 10_000);
+            }
+            sim.run();
+            sim.outcomes()
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a, b, "same setup must replay bit-identically");
+        assert!(a.iter().all(|o| o.completed));
+    }
+
+    #[test]
+    fn saturation_starves_no_flow() {
+        let mut sim = FlowSim::new(cfg());
+        let l = sim.add_link(1.0e6, 0.0, 0.0, None);
+        let ids: Vec<FlowId> = (0..16).map(|_| sim.add_flow(&[l], 200_000)).collect();
+        sim.run();
+        for id in ids {
+            assert!(sim.outcome(id).completed, "every flow must drain under saturation");
+        }
+        assert!(sim.mean_link_utilization() > 0.9, "{}", sim.mean_link_utilization());
+    }
+
+    #[test]
+    fn two_hop_flows_are_governed_by_the_bottleneck() {
+        let mut sim = FlowSim::new(cfg());
+        let fast = sim.add_link(1.0e7, 0.0, 0.0, None);
+        let slow = sim.add_link(1.0e6, 0.0, 0.0, None);
+        let f = sim.add_flow(&[fast, slow], 1_000_000);
+        sim.run();
+        let o = sim.outcome(f);
+        assert!(o.completed);
+        assert!(o.finish >= 1.0 - 1e-9, "bottleneck link governs: {}", o.finish);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_instantly() {
+        let (o, span) = run_one(1.0e6, 0);
+        assert!(o.completed);
+        assert_eq!(span, 0.0);
+        assert_eq!(o.wire_bytes, 0);
+    }
+}

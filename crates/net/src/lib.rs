@@ -16,21 +16,33 @@
 //! * [`ResourceMeter`] / [`ResourceBudget`] — the computation and bandwidth
 //!   budgets `B_c`, `B_b` of the FLMM problem (Eq. 16), split into C2S and
 //!   local/global C2C traffic,
-//! * [`SimClock`] — virtual wall-clock time of a synchronous FL round.
+//! * [`SimClock`] — virtual wall-clock time of a synchronous FL round,
+//! * [`FlowSim`] / [`TransportConfig`] — an event-driven flow transport in
+//!   which concurrent transfers share link capacity (fair-share or FIFO)
+//!   and run timeout/retransmission state machines with AIMD congestion
+//!   control; the lockstep accounting above remains the default and stays
+//!   byte-identical to the seeded baselines.
 
 pub mod attack;
 mod budget;
 mod clock;
 mod compute;
 pub mod fault;
+pub mod flow;
 mod topology;
+pub mod transport;
 
 pub use attack::{AttackConfig, AttackKind, AttackModel};
 pub use budget::{ResourceBudget, ResourceMeter, TrafficBreakdown};
 pub use clock::SimClock;
 pub use compute::{ClientCompute, DeviceTier};
 pub use fault::{FaultConfig, FaultModel, RetryPolicy};
+pub use flow::{FlowConfig, FlowOutcome, FlowSim, QueueDiscipline};
 pub use topology::{LinkClass, Topology, TopologyConfig};
+pub use transport::{
+    simulate_c2s, simulate_migrations, upload_deadline, PhaseSim, TransportAccum, TransportConfig,
+    TransportStats,
+};
 
 /// Seconds to move `bytes` over a link of `bandwidth` bytes/second, or
 /// `None` when the link is effectively down (`bandwidth` zero, negative, or

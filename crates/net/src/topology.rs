@@ -29,6 +29,11 @@ pub struct TopologyConfig {
     pub cross_slow_bandwidth: f64,
     /// Probability that a cross-LAN link is `Slow` (rest are `Moderate`).
     pub slow_fraction: f64,
+    /// Aggregate capacity of the inter-LAN backbone in bytes/second. Only
+    /// the event-driven flow transport uses it: concurrent cross-LAN
+    /// transfers share this capacity on top of their per-pair link rates.
+    /// The lockstep path ignores it.
+    pub backbone_bandwidth: f64,
     /// Relative amplitude of per-epoch multiplicative bandwidth jitter in
     /// `[0, 1)`; 0 disables time variation.
     pub jitter: f64,
@@ -52,6 +57,7 @@ impl TopologyConfig {
             cross_moderate_bandwidth: 1.25e7,
             cross_slow_bandwidth: 2.0e6,
             slow_fraction: 0.3,
+            backbone_bandwidth: 2.5e7,
             jitter: 0.0,
             c2s_latency: 0.0,
             c2c_latency: 0.0,
@@ -76,6 +82,7 @@ impl TopologyConfig {
 pub struct Topology {
     lan_of: Vec<usize>,
     c2s_bandwidth: f64,
+    backbone_bandwidth: f64,
     c2c_bandwidth: Vec<f64>,
     link_class: Vec<LinkClass>,
     c2s_latency: f64,
@@ -97,7 +104,8 @@ impl Topology {
             config.c2s_bandwidth > 0.0
                 && config.lan_bandwidth > 0.0
                 && config.cross_moderate_bandwidth > 0.0
-                && config.cross_slow_bandwidth > 0.0,
+                && config.cross_slow_bandwidth > 0.0
+                && config.backbone_bandwidth > 0.0,
             "bandwidths must be positive"
         );
         assert!((0.0..1.0).contains(&config.jitter), "jitter must be in [0, 1)");
@@ -127,6 +135,7 @@ impl Topology {
         Self {
             lan_of,
             c2s_bandwidth: config.c2s_bandwidth,
+            backbone_bandwidth: config.backbone_bandwidth,
             c2c_bandwidth: c2c,
             link_class: class,
             c2s_latency: config.c2s_latency,
@@ -156,6 +165,13 @@ impl Topology {
     /// C2S (WAN) bandwidth in bytes/second, with per-epoch jitter applied.
     pub fn c2s_bandwidth(&self, epoch: usize) -> f64 {
         self.c2s_bandwidth * self.jitter_factor(epoch, usize::MAX)
+    }
+
+    /// Aggregate inter-LAN backbone capacity in bytes/second, with
+    /// per-epoch jitter applied. Shared by all concurrent cross-LAN flows
+    /// under the flow transport.
+    pub fn backbone_bandwidth(&self, epoch: usize) -> f64 {
+        self.backbone_bandwidth * self.jitter_factor(epoch, usize::MAX - 1)
     }
 
     /// C2C bandwidth between clients `i` and `j` at `epoch`, in

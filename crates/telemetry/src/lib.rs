@@ -48,6 +48,21 @@ pub use trace::TraceEvent;
 /// Name of the span-duration histogram family.
 pub const PHASE_SECONDS: &str = "fedmigr_phase_seconds";
 
+/// Canonical metric names shared across crates, so producers (the network
+/// simulator, the runner) and consumers (`telemetry_validate`, dashboards)
+/// agree on spelling.
+pub mod names {
+    /// Gauge: mean link utilization of the last simulated transport phase.
+    pub const LINK_UTILIZATION: &str = "fedmigr_net_link_utilization";
+    /// Histogram: per-flow queueing delay in seconds (time spent with zero
+    /// allocated rate) under the flow transport.
+    pub const QUEUE_DELAY_SECONDS: &str = "fedmigr_net_queue_delay_seconds";
+    /// Counter: segments lost and retransmitted by the flow transport.
+    pub const RETRANSMITS_TOTAL: &str = "fedmigr_net_retransmits_total";
+    /// Counter: retransmission timeouts fired by the flow transport.
+    pub const FLOW_TIMEOUTS_TOTAL: &str = "fedmigr_net_flow_timeouts_total";
+}
+
 /// Where rendered log lines go.
 pub enum LogSink {
     /// Standard error (the default — matches the historical `eprintln!`s).

@@ -21,6 +21,7 @@ fn main() {
         cross_moderate_bandwidth: 8.0e6,
         cross_slow_bandwidth: 1.0e6,
         slow_fraction: 0.4,
+        backbone_bandwidth: 1.6e7,
         jitter: 0.1,
         c2s_latency: 0.05,
         c2c_latency: 0.01,

@@ -14,7 +14,7 @@ use fedmigr::data::{
     partition_dirichlet, partition_dominant, partition_iid, partition_missing_classes,
     partition_shards, SyntheticConfig, SyntheticDataset,
 };
-use fedmigr::net::{ClientCompute, FaultConfig, Topology, TopologyConfig};
+use fedmigr::net::{ClientCompute, FaultConfig, Topology, TopologyConfig, TransportConfig};
 use fedmigr::nn::zoo::{self, NetScale};
 use fedmigr_telemetry::{error, info, Filter};
 
@@ -45,6 +45,15 @@ OPTIONS:
     --target <f>         stop at this test accuracy
     --dropout <f>        inject edge churn at this dropout rate in [0, 1)
                          (crashes, stragglers, link/WAN outages; default off)
+    --net-stress <f>     inject network stress at this level in [0, 1)
+                         (flapping links, burst loss, bandwidth collapse);
+                         composes with --dropout (default off)
+    --transport <t>      lockstep | flow (default lockstep). flow simulates
+                         every communication phase as concurrent transfers
+                         contending for link capacity, with AIMD congestion
+                         control, timeout/retransmission state machines,
+                         per-round upload deadlines and staleness-tolerant
+                         degraded aggregation
     --fault-seed <n>     seed of the fault schedule (default 13)
     --seed <n>           master seed (default 7)
     --csv <path>         write the per-epoch curve as CSV
@@ -134,6 +143,18 @@ fn main() {
         }
         cfg.fault = FaultConfig::edge_churn(dropout, args.fault_seed);
     }
+    if let Some(stress) = args.net_stress {
+        if !(0.0..1.0).contains(&stress) {
+            die(&format!("--net-stress must be in [0, 1), got {stress}"));
+        }
+        cfg.fault.seed = args.fault_seed;
+        cfg.fault = cfg.fault.with_network_stress(stress);
+    }
+    cfg.transport = match args.transport.as_str() {
+        "lockstep" => TransportConfig::Lockstep,
+        "flow" => TransportConfig::flow(args.seed),
+        other => die(&format!("unknown transport {other:?} (try --help)")),
+    };
     cfg.seed = args.seed;
     cfg.diag = DiagConfig { enabled: args.diag, flight_out: args.flight_out.clone() };
 
@@ -172,6 +193,9 @@ fn main() {
     }
     if let Some(compression) = metrics.compression_summary() {
         println!("{compression}");
+    }
+    if let Some(transport) = metrics.transport_summary() {
+        println!("{transport}");
     }
     if metrics.target_reached {
         println!("stopped early:    target accuracy reached");
@@ -218,6 +242,8 @@ struct Args {
     dp_eps: Option<f64>,
     target: Option<f64>,
     dropout: Option<f64>,
+    net_stress: Option<f64>,
+    transport: String,
     fault_seed: u64,
     seed: u64,
     csv: Option<String>,
@@ -246,6 +272,8 @@ impl Args {
             dp_eps: None,
             target: None,
             dropout: None,
+            net_stress: None,
+            transport: "lockstep".into(),
             fault_seed: 13,
             seed: 7,
             csv: None,
@@ -288,6 +316,8 @@ impl Args {
                 "--dp-eps" => out.dp_eps = Some(parse(value, flag)),
                 "--target" => out.target = Some(parse(value, flag)),
                 "--dropout" => out.dropout = Some(parse(value, flag)),
+                "--net-stress" => out.net_stress = Some(parse(value, flag)),
+                "--transport" => out.transport = value.clone(),
                 "--fault-seed" => out.fault_seed = parse(value, flag),
                 "--seed" => out.seed = parse(value, flag),
                 "--csv" => out.csv = Some(value.clone()),
