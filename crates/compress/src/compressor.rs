@@ -27,6 +27,22 @@ fn mix(seed: u64, seq: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The silent mutable state of a [`Compressor`], as captured for run
+/// checkpoints: residual lanes in both directions, the transmission
+/// counter that seeds stochastic rounding, and cumulative stats. The codec
+/// itself is rebuilt from `RunConfig`, not persisted.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompressorState {
+    /// Client-egress residual lanes (`None` without error feedback).
+    pub feedback: Option<Vec<Vec<f32>>>,
+    /// Server-egress residual lanes, last lane = broadcast.
+    pub down_feedback: Option<Vec<Vec<f32>>>,
+    /// Transmission counter (drives per-transfer rounding noise).
+    pub seq: u64,
+    /// Cumulative stats so far.
+    pub stats: CompressionStats,
+}
+
 /// Stateful wire compressor for one run: a codec, per-lane error-feedback
 /// residuals, a transmission counter, and cumulative stats.
 #[derive(Clone, Debug)]
@@ -85,6 +101,34 @@ impl Compressor {
                 (0..ef.lanes()).map(|l| ef.residual_norm(l)).sum::<f64>() / lanes as f64
             }
         }
+    }
+
+    /// Captures the compressor's mutable state for a run checkpoint.
+    pub fn export_state(&self) -> CompressorState {
+        CompressorState {
+            feedback: self.feedback.as_ref().map(|ef| ef.residuals().to_vec()),
+            down_feedback: self.down_feedback.as_ref().map(|ef| ef.residuals().to_vec()),
+            seq: self.seq,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured by [`Compressor::export_state`]. The
+    /// compressor must have been built from the same `CodecConfig` and lane
+    /// count (the snapshot's lane structure must match).
+    pub fn import_state(&mut self, state: CompressorState) {
+        let lanes = |fb: &Option<ErrorFeedback>| fb.as_ref().map(|ef| ef.lanes());
+        let snap_lanes = |fb: &Option<Vec<Vec<f32>>>| fb.as_ref().map(|r| r.len());
+        assert_eq!(lanes(&self.feedback), snap_lanes(&state.feedback), "egress lane mismatch");
+        assert_eq!(
+            lanes(&self.down_feedback),
+            snap_lanes(&state.down_feedback),
+            "downlink lane mismatch"
+        );
+        self.feedback = state.feedback.map(ErrorFeedback::from_residuals);
+        self.down_feedback = state.down_feedback.map(ErrorFeedback::from_residuals);
+        self.seq = state.seq;
+        self.stats = state.stats;
     }
 
     /// Client-egress transfer on `lane`: compensates with the lane's
@@ -343,6 +387,32 @@ mod tests {
         assert_ne!(a1, a2, "successive transfers use fresh rounding noise");
         assert_eq!(a1, b.transmit(0, &v), "same seed, same sequence, same bits");
         assert_eq!(a2, b.transmit(0, &v));
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_exact_stream() {
+        let cfg = CodecConfig::stochastic8(3);
+        let v = vals(400);
+        let mut live = Compressor::new(&cfg, 2, 9);
+        live.transmit(0, &v);
+        live.broadcast(&v);
+        live.transmit_down(1, &v);
+        let snap = live.export_state();
+        let mut resumed = Compressor::new(&cfg, 2, 9);
+        resumed.import_state(snap);
+        for lane in [0usize, 1] {
+            assert_eq!(live.transmit(lane, &v), resumed.transmit(lane, &v));
+        }
+        assert_eq!(live.broadcast(&v), resumed.broadcast(&v));
+        assert_eq!(live.stats(), resumed.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "lane mismatch")]
+    fn import_rejects_mismatched_lanes() {
+        let cfg = CodecConfig::int8();
+        let snap = Compressor::new(&cfg, 2, 9).export_state();
+        Compressor::new(&cfg, 3, 9).import_state(snap);
     }
 
     #[test]

@@ -21,9 +21,20 @@ impl ErrorFeedback {
         Self { residuals: vec![Vec::new(); lanes] }
     }
 
+    /// Rebuilds residual state captured by [`ErrorFeedback::residuals`]
+    /// (run-checkpoint restore).
+    pub fn from_residuals(residuals: Vec<Vec<f32>>) -> Self {
+        Self { residuals }
+    }
+
     /// Number of lanes.
     pub fn lanes(&self) -> usize {
         self.residuals.len()
+    }
+
+    /// The raw per-lane residuals (run-checkpoint capture).
+    pub fn residuals(&self) -> &[Vec<f32>] {
+        &self.residuals
     }
 
     /// The transmit intent for `lane`: `values + residual`. With an empty

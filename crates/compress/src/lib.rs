@@ -37,7 +37,7 @@ mod sparse;
 mod stats;
 
 pub use codec::{Codec, CompressedBlob, WireCodec, CHUNK};
-pub use compressor::Compressor;
+pub use compressor::{Compressor, CompressorState};
 pub use feedback::ErrorFeedback;
 pub use stats::CompressionStats;
 

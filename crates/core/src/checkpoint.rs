@@ -1,0 +1,1151 @@
+//! Versioned whole-run checkpoints: everything a round depends on, in one
+//! magic-tagged, CRC-checked binary blob.
+//!
+//! The format follows the `FEDMIGR1` conventions of
+//! `fedmigr_nn::checkpoint` (little-endian, length-prefixed, CRC-32
+//! trailer) but carries a *run*, not a model, under its own magic:
+//!
+//! ```text
+//! [8]  magic  b"FEDMIGRR"
+//! [4]  u32    format version (RUN_STATE_VERSION)
+//! [..] stamp  identifying run configuration (scheme/seed/epochs/clients/
+//!             num_params/codec/transport/agg_interval) — validated against
+//!             the resuming run's configuration before any state is decoded
+//! [..] state  the RunState payload
+//! [4]  u32    CRC-32 (IEEE) over everything above
+//! ```
+//!
+//! Determinism contract: restoring a [`RunState`] and replaying rounds
+//! `epoch+1..` must be *byte-identical* to never having stopped. That is
+//! only possible because every source of run randomness is explicit state
+//! (the shared `StdRng`, each client's private RNG, the DDPG agent's RNG
+//! and OU process, the compressor's rounding counter) and every hash-based
+//! process (faults, attacks) is a pure function of `(seed, epoch)`. The
+//! chaos harness in `tests/chaos_resume.rs` enforces the contract.
+
+use std::io;
+
+use fedmigr_compress::{CompressionStats, CompressorState};
+use fedmigr_drl::{AgentState, OuState, ReplayState, Transition, UpdateStats};
+use fedmigr_net::{MeterState, TrafficBreakdown, TransportAccumState, TransportStats};
+use fedmigr_nn::checkpoint::crc32;
+
+use crate::client::ClientState;
+use crate::metrics::{EpochRecord, FaultStats, PhaseBreakdown, RecoveryStats, RobustStats};
+use crate::migration::QuarantineState;
+
+/// Magic tag opening every run checkpoint (distinct from the model
+/// checkpoint's `FEDMIGR1`).
+pub const RUN_STATE_MAGIC: &[u8; 8] = b"FEDMIGRR";
+
+/// Current run-checkpoint format version.
+pub const RUN_STATE_VERSION: u32 = 1;
+
+/// Identifying configuration a checkpoint is only valid for. Stamped into
+/// every checkpoint and validated field by field on load: resuming a run
+/// under a different scheme, seed, architecture, codec or transport is an
+/// error, not a silent divergence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunStamp {
+    /// Scheme name.
+    pub scheme: String,
+    /// Run seed.
+    pub seed: u64,
+    /// Configured epoch budget.
+    pub epochs: u64,
+    /// Number of clients `K`.
+    pub clients: u64,
+    /// Scalar parameter count of the model architecture.
+    pub num_params: u64,
+    /// Wire-codec name.
+    pub codec: String,
+    /// Transport name.
+    pub transport: String,
+    /// Aggregation interval.
+    pub agg_interval: u64,
+}
+
+/// A late upload buffered across a checkpoint (the flow transport's
+/// staleness buffer).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LateUploadState {
+    /// The uploading client.
+    pub client: usize,
+    /// The decoded payload the wire delivered.
+    pub params: Vec<f32>,
+    /// Aggregation counter when the upload was buffered.
+    pub seq: usize,
+}
+
+/// The DDPG agent plus the runner's reward-pending decision queue.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AgentSnapshot {
+    /// Full agent state (networks, replay, RNG, OU noise).
+    pub agent: AgentState,
+    /// Decisions awaiting their reward: `(state, destination, client)`.
+    pub pending: Vec<(Vec<f32>, usize, usize)>,
+}
+
+/// Everything a round depends on, captured after a completed epoch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunState {
+    /// Last completed epoch; resume continues at `epoch + 1`.
+    pub epoch: usize,
+    /// Server-held global model parameters.
+    pub global: Vec<f32>,
+    /// Per-client mutable state (model, RNG, shuffled indices, counters).
+    pub clients: Vec<ClientState>,
+    /// The shared runner RNG's raw stream position.
+    pub rng: [u64; 4],
+    /// Resource-meter consumption.
+    pub meter: MeterState,
+    /// Virtual clock time in seconds.
+    pub clock_now: f64,
+    /// Per-phase attribution of the virtual clock.
+    pub phase: PhaseBreakdown,
+    /// Fault accounting so far.
+    pub fault_stats: FaultStats,
+    /// Per-client downtime EMAs.
+    pub flaky: Vec<f64>,
+    /// Flow-transport accumulator state.
+    pub taccum: TransportAccumState,
+    /// Buffered late uploads awaiting a future aggregation.
+    pub late_buf: Vec<LateUploadState>,
+    /// Completed-aggregation counter.
+    pub agg_seq: usize,
+    /// Migration-quarantine state (`None` without an active adversary).
+    pub quarantine: Option<QuarantineState>,
+    /// Byzantine-defense accounting so far.
+    pub robust_total: RobustStats,
+    /// Per-client model-mixture estimates.
+    pub mix: Vec<Vec<f64>>,
+    /// Diagnostic training-history mixture twin.
+    pub train_mix: Vec<Vec<f64>>,
+    /// Wire-compressor state (error-feedback residuals, rounding counter).
+    pub compressor: CompressorState,
+    /// DDPG agent state (`None` for non-DRL schemes).
+    pub agent: Option<AgentSnapshot>,
+    /// Per-epoch records produced so far.
+    pub records: Vec<EpochRecord>,
+    /// `K x K` migration-count matrix.
+    pub link_migrations: Vec<u32>,
+    /// Intra-LAN migrations executed.
+    pub migrations_local: usize,
+    /// Cross-LAN migrations executed.
+    pub migrations_global: usize,
+    /// Previous round's mean training loss.
+    pub prev_loss: Option<f32>,
+    /// Previous round's (compute, bandwidth) budget usage fractions.
+    pub last_epoch_usage: (f64, f64),
+    /// Most recent DRL step reward.
+    pub last_step_reward: f64,
+    /// Clients the watchdog excluded after implicating them in a
+    /// divergence (empty in normal runs; excluded clients sit rounds out).
+    pub excluded: Vec<bool>,
+    /// Recovery accounting carried across resumes.
+    pub recovery: RecoveryStats,
+}
+
+impl RunState {
+    /// Encodes the state under `stamp` into the checkpoint wire format.
+    pub fn to_bytes(&self, stamp: &RunStamp) -> Vec<u8> {
+        let mut e = Enc { buf: Vec::with_capacity(4096) };
+        e.buf.extend_from_slice(RUN_STATE_MAGIC);
+        e.u32(RUN_STATE_VERSION);
+        put_stamp(&mut e, stamp);
+        put_state(&mut e, self);
+        let crc = crc32(&e.buf);
+        e.u32(crc);
+        e.buf
+    }
+
+    /// Decodes a checkpoint, validating the magic, version, CRC and every
+    /// stamp field against `expect` before touching the payload. Any
+    /// corruption or mismatch yields [`io::ErrorKind::InvalidData`].
+    pub fn from_bytes(bytes: &[u8], expect: &RunStamp) -> io::Result<RunState> {
+        if bytes.len() < RUN_STATE_MAGIC.len() + 8 {
+            return Err(bad("run checkpoint too short"));
+        }
+        if &bytes[..8] != RUN_STATE_MAGIC {
+            return Err(bad("not a fedmigr run checkpoint (bad magic)"));
+        }
+        let body_len = bytes.len() - 4;
+        let stored = u32::from_le_bytes(bytes[body_len..].try_into().unwrap());
+        if crc32(&bytes[..body_len]) != stored {
+            return Err(bad("run checkpoint checksum mismatch"));
+        }
+        let mut d = Dec { b: &bytes[8..body_len], pos: 0 };
+        let version = d.u32()?;
+        if version != RUN_STATE_VERSION {
+            return Err(bad(&format!(
+                "unsupported run checkpoint version {version} (expected {RUN_STATE_VERSION})"
+            )));
+        }
+        let stamp = take_stamp(&mut d)?;
+        check_stamp(&stamp, expect)?;
+        let state = take_state(&mut d)?;
+        if d.pos != d.b.len() {
+            return Err(bad("trailing bytes after run checkpoint payload"));
+        }
+        Ok(state)
+    }
+
+    /// Writes the encoded checkpoint to `path` atomically (write to a
+    /// sibling temp file, then rename): a crash mid-write never leaves a
+    /// torn checkpoint where a good one stood.
+    pub fn save(&self, path: &std::path::Path, stamp: &RunStamp) -> io::Result<u64> {
+        let bytes = self.to_bytes(stamp);
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Reads and decodes a checkpoint from `path`.
+    pub fn load(path: &std::path::Path, expect: &RunStamp) -> io::Result<RunState> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes, expect)
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Encoder / decoder primitives (little-endian, length-prefixed).
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn us(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+    fn str(&mut self, s: &str) {
+        self.us(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn f32s(&mut self, xs: &[f32]) {
+        self.us(xs.len());
+        for &x in xs {
+            self.f32(x);
+        }
+    }
+    fn f64s(&mut self, xs: &[f64]) {
+        self.us(xs.len());
+        for &x in xs {
+            self.f64(x);
+        }
+    }
+    fn u64s(&mut self, xs: &[u64]) {
+        self.us(xs.len());
+        for &x in xs {
+            self.u64(x);
+        }
+    }
+    fn rng(&mut self, s: &[u64; 4]) {
+        for &w in s {
+            self.u64(w);
+        }
+    }
+}
+
+struct Dec<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.b.len() - self.pos < n {
+            return Err(bad("run checkpoint truncated"));
+        }
+        let out = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn us(&mut self) -> io::Result<usize> {
+        usize::try_from(self.u64()?).map_err(|_| bad("count overflows usize"))
+    }
+    /// A length prefix for elements of `elem` bytes each; rejected when the
+    /// declared payload exceeds the remaining buffer (a corrupt length must
+    /// not trigger a huge allocation).
+    fn len(&mut self, elem: usize) -> io::Result<usize> {
+        let n = self.us()?;
+        if n.saturating_mul(elem.max(1)) > self.b.len() - self.pos {
+            return Err(bad("length prefix exceeds checkpoint size"));
+        }
+        Ok(n)
+    }
+    fn f32(&mut self) -> io::Result<f32> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn bool(&mut self) -> io::Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(bad("invalid bool byte")),
+        }
+    }
+    fn str(&mut self) -> io::Result<String> {
+        let n = self.len(1)?;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| bad("invalid utf-8 string"))
+    }
+    fn f32s(&mut self) -> io::Result<Vec<f32>> {
+        let n = self.len(4)?;
+        (0..n).map(|_| self.f32()).collect()
+    }
+    fn f64s(&mut self) -> io::Result<Vec<f64>> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+    fn u64s(&mut self) -> io::Result<Vec<u64>> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+    fn rng(&mut self) -> io::Result<[u64; 4]> {
+        Ok([self.u64()?, self.u64()?, self.u64()?, self.u64()?])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stamp.
+
+fn put_stamp(e: &mut Enc, s: &RunStamp) {
+    e.str(&s.scheme);
+    e.u64(s.seed);
+    e.u64(s.epochs);
+    e.u64(s.clients);
+    e.u64(s.num_params);
+    e.str(&s.codec);
+    e.str(&s.transport);
+    e.u64(s.agg_interval);
+}
+
+fn take_stamp(d: &mut Dec) -> io::Result<RunStamp> {
+    Ok(RunStamp {
+        scheme: d.str()?,
+        seed: d.u64()?,
+        epochs: d.u64()?,
+        clients: d.u64()?,
+        num_params: d.u64()?,
+        codec: d.str()?,
+        transport: d.str()?,
+        agg_interval: d.u64()?,
+    })
+}
+
+fn check_stamp(found: &RunStamp, expect: &RunStamp) -> io::Result<()> {
+    macro_rules! field {
+        ($name:ident) => {
+            if found.$name != expect.$name {
+                return Err(bad(&format!(
+                    "run checkpoint {} mismatch: checkpoint has {:?}, run configured {:?}",
+                    stringify!($name),
+                    found.$name,
+                    expect.$name
+                )));
+            }
+        };
+    }
+    field!(scheme);
+    field!(seed);
+    field!(epochs);
+    field!(clients);
+    field!(num_params);
+    field!(codec);
+    field!(transport);
+    field!(agg_interval);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Payload.
+
+fn put_state(e: &mut Enc, s: &RunState) {
+    e.us(s.epoch);
+    e.f32s(&s.global);
+    e.us(s.clients.len());
+    for c in &s.clients {
+        e.f32s(&c.params);
+        e.rng(&c.rng);
+        e.us(c.indices.len());
+        for &i in &c.indices {
+            e.us(i);
+        }
+        e.us(c.migrations_received);
+    }
+    e.rng(&s.rng);
+    put_meter(e, &s.meter);
+    e.f64(s.clock_now);
+    put_phase(e, &s.phase);
+    put_fault(e, &s.fault_stats);
+    e.f64s(&s.flaky);
+    put_taccum(e, &s.taccum);
+    e.us(s.late_buf.len());
+    for lu in &s.late_buf {
+        e.us(lu.client);
+        e.f32s(&lu.params);
+        e.us(lu.seq);
+    }
+    e.us(s.agg_seq);
+    match &s.quarantine {
+        None => e.bool(false),
+        Some(q) => {
+            e.bool(true);
+            e.f64s(&q.norms);
+            e.f64s(&q.suspicion);
+            e.us(q.rejected);
+        }
+    }
+    put_robust(e, &s.robust_total);
+    put_mat(e, &s.mix);
+    put_mat(e, &s.train_mix);
+    put_compressor(e, &s.compressor);
+    match &s.agent {
+        None => e.bool(false),
+        Some(a) => {
+            e.bool(true);
+            put_agent(e, &a.agent);
+            e.us(a.pending.len());
+            for (state, dest, client) in &a.pending {
+                e.f32s(state);
+                e.us(*dest);
+                e.us(*client);
+            }
+        }
+    }
+    e.us(s.records.len());
+    for r in &s.records {
+        put_record(e, r);
+    }
+    e.us(s.link_migrations.len());
+    for &m in &s.link_migrations {
+        e.u32(m);
+    }
+    e.us(s.migrations_local);
+    e.us(s.migrations_global);
+    match s.prev_loss {
+        None => e.bool(false),
+        Some(l) => {
+            e.bool(true);
+            e.f32(l);
+        }
+    }
+    e.f64(s.last_epoch_usage.0);
+    e.f64(s.last_epoch_usage.1);
+    e.f64(s.last_step_reward);
+    e.us(s.excluded.len());
+    for &x in &s.excluded {
+        e.bool(x);
+    }
+    put_recovery(e, &s.recovery);
+}
+
+fn take_state(d: &mut Dec) -> io::Result<RunState> {
+    let epoch = d.us()?;
+    let global = d.f32s()?;
+    let n_clients = d.len(1)?;
+    let mut clients = Vec::with_capacity(n_clients);
+    for _ in 0..n_clients {
+        let params = d.f32s()?;
+        let rng = d.rng()?;
+        let n_idx = d.len(8)?;
+        let indices = (0..n_idx).map(|_| d.us()).collect::<io::Result<Vec<usize>>>()?;
+        let migrations_received = d.us()?;
+        clients.push(ClientState { params, rng, indices, migrations_received });
+    }
+    let rng = d.rng()?;
+    let meter = take_meter(d)?;
+    let clock_now = d.f64()?;
+    let phase = take_phase(d)?;
+    let fault_stats = take_fault(d)?;
+    let flaky = d.f64s()?;
+    let taccum = take_taccum(d)?;
+    let n_late = d.len(1)?;
+    let mut late_buf = Vec::with_capacity(n_late);
+    for _ in 0..n_late {
+        late_buf.push(LateUploadState { client: d.us()?, params: d.f32s()?, seq: d.us()? });
+    }
+    let agg_seq = d.us()?;
+    let quarantine = if d.bool()? {
+        Some(QuarantineState { norms: d.f64s()?, suspicion: d.f64s()?, rejected: d.us()? })
+    } else {
+        None
+    };
+    let robust_total = take_robust(d)?;
+    let mix = take_mat(d)?;
+    let train_mix = take_mat(d)?;
+    let compressor = take_compressor(d)?;
+    let agent = if d.bool()? {
+        let agent = take_agent(d)?;
+        let n_pending = d.len(1)?;
+        let mut pending = Vec::with_capacity(n_pending);
+        for _ in 0..n_pending {
+            pending.push((d.f32s()?, d.us()?, d.us()?));
+        }
+        Some(AgentSnapshot { agent, pending })
+    } else {
+        None
+    };
+    let n_records = d.len(1)?;
+    let mut records = Vec::with_capacity(n_records);
+    for _ in 0..n_records {
+        records.push(take_record(d)?);
+    }
+    let n_links = d.len(4)?;
+    let link_migrations = (0..n_links).map(|_| d.u32()).collect::<io::Result<Vec<u32>>>()?;
+    let migrations_local = d.us()?;
+    let migrations_global = d.us()?;
+    let prev_loss = if d.bool()? { Some(d.f32()?) } else { None };
+    let last_epoch_usage = (d.f64()?, d.f64()?);
+    let last_step_reward = d.f64()?;
+    let n_excl = d.len(1)?;
+    let excluded = (0..n_excl).map(|_| d.bool()).collect::<io::Result<Vec<bool>>>()?;
+    let recovery = take_recovery(d)?;
+    Ok(RunState {
+        epoch,
+        global,
+        clients,
+        rng,
+        meter,
+        clock_now,
+        phase,
+        fault_stats,
+        flaky,
+        taccum,
+        late_buf,
+        agg_seq,
+        quarantine,
+        robust_total,
+        mix,
+        train_mix,
+        compressor,
+        agent,
+        records,
+        link_migrations,
+        migrations_local,
+        migrations_global,
+        prev_loss,
+        last_epoch_usage,
+        last_step_reward,
+        excluded,
+        recovery,
+    })
+}
+
+fn put_mat(e: &mut Enc, m: &[Vec<f64>]) {
+    e.us(m.len());
+    for row in m {
+        e.f64s(row);
+    }
+}
+
+fn take_mat(d: &mut Dec) -> io::Result<Vec<Vec<f64>>> {
+    let n = d.len(8)?;
+    (0..n).map(|_| d.f64s()).collect()
+}
+
+fn put_meter(e: &mut Enc, m: &MeterState) {
+    put_traffic(e, &m.traffic);
+    e.u64(m.overhead);
+    e.f64(m.transfer_seconds);
+    e.f64(m.compute_cost);
+}
+
+fn take_meter(d: &mut Dec) -> io::Result<MeterState> {
+    Ok(MeterState {
+        traffic: take_traffic(d)?,
+        overhead: d.u64()?,
+        transfer_seconds: d.f64()?,
+        compute_cost: d.f64()?,
+    })
+}
+
+fn put_traffic(e: &mut Enc, t: &TrafficBreakdown) {
+    e.u64(t.c2s);
+    e.u64(t.c2c_local);
+    e.u64(t.c2c_global);
+}
+
+fn take_traffic(d: &mut Dec) -> io::Result<TrafficBreakdown> {
+    Ok(TrafficBreakdown { c2s: d.u64()?, c2c_local: d.u64()?, c2c_global: d.u64()? })
+}
+
+fn put_phase(e: &mut Enc, p: &PhaseBreakdown) {
+    e.f64(p.train_s);
+    e.f64(p.c2s_s);
+    e.f64(p.migration_s);
+    e.f64(p.backoff_s);
+}
+
+fn take_phase(d: &mut Dec) -> io::Result<PhaseBreakdown> {
+    Ok(PhaseBreakdown {
+        train_s: d.f64()?,
+        c2s_s: d.f64()?,
+        migration_s: d.f64()?,
+        backoff_s: d.f64()?,
+    })
+}
+
+fn put_fault(e: &mut Enc, f: &FaultStats) {
+    e.us(f.client_drops);
+    e.us(f.stale_client_epochs);
+    e.us(f.transfer_retries);
+    e.us(f.rerouted_migrations);
+    e.us(f.cancelled_migrations);
+    e.u64(f.wasted_bytes);
+    e.us(f.client_panics);
+}
+
+fn take_fault(d: &mut Dec) -> io::Result<FaultStats> {
+    Ok(FaultStats {
+        client_drops: d.us()?,
+        stale_client_epochs: d.us()?,
+        transfer_retries: d.us()?,
+        rerouted_migrations: d.us()?,
+        cancelled_migrations: d.us()?,
+        wasted_bytes: d.u64()?,
+        client_panics: d.us()?,
+    })
+}
+
+fn put_robust(e: &mut Enc, r: &RobustStats) {
+    e.us(r.rejected_migrations);
+    e.us(r.trimmed_clients);
+    e.us(r.clipped_norms);
+    e.us(r.nan_uploads);
+    e.u64(r.nan_batches);
+}
+
+fn take_robust(d: &mut Dec) -> io::Result<RobustStats> {
+    Ok(RobustStats {
+        rejected_migrations: d.us()?,
+        trimmed_clients: d.us()?,
+        clipped_norms: d.us()?,
+        nan_uploads: d.us()?,
+        nan_batches: d.u64()?,
+    })
+}
+
+fn put_recovery(e: &mut Enc, r: &RecoveryStats) {
+    e.us(r.checkpoints_written);
+    e.u64(r.checkpoint_bytes);
+    e.us(r.checkpoints_loaded);
+    e.us(r.rollbacks);
+    e.us(r.rounds_replayed);
+}
+
+fn take_recovery(d: &mut Dec) -> io::Result<RecoveryStats> {
+    Ok(RecoveryStats {
+        checkpoints_written: d.us()?,
+        checkpoint_bytes: d.u64()?,
+        checkpoints_loaded: d.us()?,
+        rollbacks: d.us()?,
+        rounds_replayed: d.us()?,
+    })
+}
+
+fn put_taccum(e: &mut Enc, t: &TransportAccumState) {
+    put_transport_stats(e, &t.stats);
+    e.f64s(&t.queue_delays);
+    e.f64s(&t.utils);
+}
+
+fn take_taccum(d: &mut Dec) -> io::Result<TransportAccumState> {
+    Ok(TransportAccumState {
+        stats: take_transport_stats(d)?,
+        queue_delays: d.f64s()?,
+        utils: d.f64s()?,
+    })
+}
+
+fn put_transport_stats(e: &mut Enc, t: &TransportStats) {
+    e.u64(t.flows);
+    e.u64(t.failed_flows);
+    e.u64(t.retransmits);
+    e.u64(t.timeouts);
+    e.u64(t.retransmit_bytes);
+    e.f64(t.queue_delay_p50);
+    e.f64(t.queue_delay_p99);
+    e.f64(t.mean_link_utilization);
+    e.u64(t.late_uploads);
+    e.u64(t.stale_updates_folded);
+    e.u64(t.stale_updates_dropped);
+}
+
+fn take_transport_stats(d: &mut Dec) -> io::Result<TransportStats> {
+    Ok(TransportStats {
+        flows: d.u64()?,
+        failed_flows: d.u64()?,
+        retransmits: d.u64()?,
+        timeouts: d.u64()?,
+        retransmit_bytes: d.u64()?,
+        queue_delay_p50: d.f64()?,
+        queue_delay_p99: d.f64()?,
+        mean_link_utilization: d.f64()?,
+        late_uploads: d.u64()?,
+        stale_updates_folded: d.u64()?,
+        stale_updates_dropped: d.u64()?,
+    })
+}
+
+fn put_compressor(e: &mut Enc, c: &CompressorState) {
+    put_opt_lanes(e, &c.feedback);
+    put_opt_lanes(e, &c.down_feedback);
+    e.u64(c.seq);
+    put_compression_stats(e, &c.stats);
+}
+
+fn take_compressor(d: &mut Dec) -> io::Result<CompressorState> {
+    Ok(CompressorState {
+        feedback: take_opt_lanes(d)?,
+        down_feedback: take_opt_lanes(d)?,
+        seq: d.u64()?,
+        stats: take_compression_stats(d)?,
+    })
+}
+
+fn put_opt_lanes(e: &mut Enc, lanes: &Option<Vec<Vec<f32>>>) {
+    match lanes {
+        None => e.bool(false),
+        Some(ls) => {
+            e.bool(true);
+            e.us(ls.len());
+            for l in ls {
+                e.f32s(l);
+            }
+        }
+    }
+}
+
+fn take_opt_lanes(d: &mut Dec) -> io::Result<Option<Vec<Vec<f32>>>> {
+    if !d.bool()? {
+        return Ok(None);
+    }
+    let n = d.len(8)?;
+    Ok(Some((0..n).map(|_| d.f32s()).collect::<io::Result<Vec<Vec<f32>>>>()?))
+}
+
+fn put_compression_stats(e: &mut Enc, s: &CompressionStats) {
+    e.u64(s.encodes);
+    e.u64(s.uncompressed_bytes);
+    e.u64(s.compressed_bytes);
+    e.f64(s.sum_sq_error);
+    e.u64(s.coords);
+    e.f64(s.residual_norm_sum);
+    e.u64(s.ef_transmits);
+}
+
+fn take_compression_stats(d: &mut Dec) -> io::Result<CompressionStats> {
+    Ok(CompressionStats {
+        encodes: d.u64()?,
+        uncompressed_bytes: d.u64()?,
+        compressed_bytes: d.u64()?,
+        sum_sq_error: d.f64()?,
+        coords: d.u64()?,
+        residual_norm_sum: d.f64()?,
+        ef_transmits: d.u64()?,
+    })
+}
+
+fn put_agent(e: &mut Enc, a: &AgentState) {
+    e.f32s(&a.actor);
+    e.f32s(&a.critic);
+    e.f32s(&a.actor_target);
+    e.f32s(&a.critic_target);
+    put_replay(e, &a.replay);
+    e.rng(&a.rng);
+    match &a.ou {
+        None => e.bool(false),
+        Some(ou) => {
+            e.bool(true);
+            e.f32s(&ou.state);
+            e.rng(&ou.rng);
+        }
+    }
+    e.f64(a.rho);
+    e.u64(a.updates);
+    match &a.last_stats {
+        None => e.bool(false),
+        Some(u) => {
+            e.bool(true);
+            e.f64(u.mean_q);
+            e.f64(u.mean_abs_td);
+            e.f64(u.max_abs_td);
+            e.f64(u.critic_grad_norm);
+            e.f64(u.actor_grad_norm);
+        }
+    }
+}
+
+fn take_agent(d: &mut Dec) -> io::Result<AgentState> {
+    let actor = d.f32s()?;
+    let critic = d.f32s()?;
+    let actor_target = d.f32s()?;
+    let critic_target = d.f32s()?;
+    let replay = take_replay(d)?;
+    let rng = d.rng()?;
+    let ou = if d.bool()? { Some(OuState { state: d.f32s()?, rng: d.rng()? }) } else { None };
+    let rho = d.f64()?;
+    let updates = d.u64()?;
+    let last_stats = if d.bool()? {
+        Some(UpdateStats {
+            mean_q: d.f64()?,
+            mean_abs_td: d.f64()?,
+            max_abs_td: d.f64()?,
+            critic_grad_norm: d.f64()?,
+            actor_grad_norm: d.f64()?,
+        })
+    } else {
+        None
+    };
+    Ok(AgentState {
+        actor,
+        critic,
+        actor_target,
+        critic_target,
+        replay,
+        rng,
+        ou,
+        rho,
+        updates,
+        last_stats,
+    })
+}
+
+fn put_replay(e: &mut Enc, r: &ReplayState) {
+    e.us(r.items.len());
+    for t in &r.items {
+        e.f32s(&t.state);
+        e.us(t.action);
+        e.f32(t.reward);
+        e.f32s(&t.next_state);
+        e.bool(t.done);
+    }
+    e.f64s(&r.weights);
+    e.us(r.next_slot);
+    e.f64(r.max_priority);
+    e.u64(r.pushes);
+    e.u64s(&r.inserted_at);
+}
+
+fn take_replay(d: &mut Dec) -> io::Result<ReplayState> {
+    let n = d.len(1)?;
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        items.push(Transition {
+            state: d.f32s()?,
+            action: d.us()?,
+            reward: d.f32()?,
+            next_state: d.f32s()?,
+            done: d.bool()?,
+        });
+    }
+    Ok(ReplayState {
+        items,
+        weights: d.f64s()?,
+        next_slot: d.us()?,
+        max_priority: d.f64()?,
+        pushes: d.u64()?,
+        inserted_at: d.u64s()?,
+    })
+}
+
+fn put_record(e: &mut Enc, r: &EpochRecord) {
+    e.us(r.epoch);
+    e.f32(r.train_loss);
+    match r.test_accuracy {
+        None => e.bool(false),
+        Some(a) => {
+            e.bool(true);
+            e.f64(a);
+        }
+    }
+    put_traffic(e, &r.traffic);
+    e.f64(r.sim_time);
+    e.us(r.dropped_clients);
+    e.us(r.stale_clients);
+    e.us(r.rejected_migrations);
+    e.u64(r.bytes_saved);
+    put_phase(e, &r.phase);
+    e.u64(r.retransmits);
+    e.u64(r.late_uploads);
+}
+
+fn take_record(d: &mut Dec) -> io::Result<EpochRecord> {
+    let epoch = d.us()?;
+    let train_loss = d.f32()?;
+    let test_accuracy = if d.bool()? { Some(d.f64()?) } else { None };
+    Ok(EpochRecord {
+        epoch,
+        train_loss,
+        test_accuracy,
+        traffic: take_traffic(d)?,
+        sim_time: d.f64()?,
+        dropped_clients: d.us()?,
+        stale_clients: d.us()?,
+        rejected_migrations: d.us()?,
+        bytes_saved: d.u64()?,
+        phase: take_phase(d)?,
+        retransmits: d.u64()?,
+        late_uploads: d.u64()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stamp() -> RunStamp {
+        RunStamp {
+            scheme: "FedMigr".into(),
+            seed: 7,
+            epochs: 40,
+            clients: 2,
+            num_params: 3,
+            codec: "identity".into(),
+            transport: "lockstep".into(),
+            agg_interval: 10,
+        }
+    }
+
+    fn sample_state() -> RunState {
+        RunState {
+            epoch: 6,
+            global: vec![0.5, -1.25, 3.0],
+            clients: vec![
+                ClientState {
+                    params: vec![0.5, -1.0, 2.0],
+                    rng: [1, 2, 3, 4],
+                    indices: vec![4, 0, 2],
+                    migrations_received: 1,
+                },
+                ClientState {
+                    params: vec![-0.5, 1.0, -2.0],
+                    rng: [5, 6, 7, 8],
+                    indices: vec![1, 3],
+                    migrations_received: 0,
+                },
+            ],
+            rng: [9, 10, 11, 12],
+            meter: MeterState {
+                traffic: TrafficBreakdown { c2s: 100, c2c_local: 50, c2c_global: 25 },
+                overhead: 8,
+                transfer_seconds: 1.5,
+                compute_cost: 240.0,
+            },
+            clock_now: 12.5,
+            phase: PhaseBreakdown { train_s: 6.0, c2s_s: 4.0, migration_s: 2.0, backoff_s: 0.5 },
+            fault_stats: FaultStats { client_drops: 2, client_panics: 1, ..Default::default() },
+            flaky: vec![0.1, 0.0],
+            taccum: TransportAccumState {
+                stats: TransportStats { flows: 12, retransmits: 3, ..Default::default() },
+                queue_delays: vec![0.1, 0.4],
+                utils: vec![0.8],
+            },
+            late_buf: vec![LateUploadState { client: 1, params: vec![1.0, 2.0, 3.0], seq: 2 }],
+            agg_seq: 3,
+            quarantine: Some(QuarantineState {
+                norms: vec![1.0, 1.5],
+                suspicion: vec![0.0, 0.6],
+                rejected: 2,
+            }),
+            robust_total: RobustStats { nan_uploads: 4, ..Default::default() },
+            mix: vec![vec![0.25, 0.75], vec![0.5, 0.5]],
+            train_mix: vec![vec![0.3, 0.7], vec![0.6, 0.4]],
+            compressor: CompressorState {
+                feedback: Some(vec![vec![0.1, 0.2, 0.3], vec![0.0; 3]]),
+                down_feedback: None,
+                seq: 19,
+                stats: CompressionStats { encodes: 19, coords: 57, ..Default::default() },
+            },
+            agent: Some(AgentSnapshot {
+                agent: AgentState {
+                    actor: vec![0.1, 0.2],
+                    critic: vec![0.3],
+                    actor_target: vec![0.1, 0.2],
+                    critic_target: vec![0.3],
+                    replay: ReplayState {
+                        items: vec![Transition {
+                            state: vec![1.0, 0.0],
+                            action: 1,
+                            reward: -0.5,
+                            next_state: vec![0.0, 1.0],
+                            done: false,
+                        }],
+                        weights: vec![1.0],
+                        next_slot: 1,
+                        max_priority: 1.0,
+                        pushes: 1,
+                        inserted_at: vec![0],
+                    },
+                    rng: [13, 14, 15, 16],
+                    ou: Some(OuState { state: vec![0.05, -0.05], rng: [17, 18, 19, 20] }),
+                    rho: 0.35,
+                    updates: 11,
+                    last_stats: Some(UpdateStats {
+                        mean_q: 0.2,
+                        mean_abs_td: 0.1,
+                        max_abs_td: 0.4,
+                        critic_grad_norm: 1.1,
+                        actor_grad_norm: 0.9,
+                    }),
+                },
+                pending: vec![(vec![1.0, 2.0], 0, 1)],
+            }),
+            records: vec![EpochRecord {
+                epoch: 6,
+                train_loss: 1.25,
+                test_accuracy: Some(0.5),
+                traffic: TrafficBreakdown { c2s: 100, c2c_local: 50, c2c_global: 25 },
+                sim_time: 12.5,
+                dropped_clients: 1,
+                stale_clients: 0,
+                rejected_migrations: 2,
+                bytes_saved: 0,
+                phase: PhaseBreakdown {
+                    train_s: 6.0,
+                    c2s_s: 4.0,
+                    migration_s: 2.0,
+                    backoff_s: 0.5,
+                },
+                retransmits: 3,
+                late_uploads: 1,
+            }],
+            link_migrations: vec![0, 1, 2, 0],
+            migrations_local: 2,
+            migrations_global: 1,
+            prev_loss: Some(1.25),
+            last_epoch_usage: (0.1, 0.2),
+            last_step_reward: -0.75,
+            excluded: vec![false, true],
+            recovery: RecoveryStats {
+                checkpoints_written: 2,
+                checkpoint_bytes: 4096,
+                checkpoints_loaded: 1,
+                rollbacks: 0,
+                rounds_replayed: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn state_round_trips_bit_for_bit() {
+        let s = sample_state();
+        let bytes = s.to_bytes(&stamp());
+        let back = RunState::from_bytes(&bytes, &stamp()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn every_stamp_field_is_validated() {
+        let s = sample_state();
+        let bytes = s.to_bytes(&stamp());
+        let mutations: Vec<(&str, Box<dyn Fn(&mut RunStamp)>)> = vec![
+            ("scheme", Box::new(|st| st.scheme = "FedAvg".into())),
+            ("seed", Box::new(|st| st.seed = 8)),
+            ("epochs", Box::new(|st| st.epochs = 41)),
+            ("clients", Box::new(|st| st.clients = 3)),
+            ("num_params", Box::new(|st| st.num_params = 4)),
+            ("codec", Box::new(|st| st.codec = "int8+ef".into())),
+            ("transport", Box::new(|st| st.transport = "flow".into())),
+            ("agg_interval", Box::new(|st| st.agg_interval = 5)),
+        ];
+        for (name, mutate) in mutations {
+            let mut wrong = stamp();
+            mutate(&mut wrong);
+            let err = RunState::from_bytes(&bytes, &wrong).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{name}");
+            assert!(err.to_string().contains(name), "{name}: {err}");
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_rejected() {
+        let s = sample_state();
+        let bytes = s.to_bytes(&stamp());
+        for pos in (0..bytes.len()).step_by(97) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x10;
+            let err = RunState::from_bytes(&corrupt, &stamp()).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "byte {pos}");
+        }
+    }
+
+    #[test]
+    fn truncations_are_rejected() {
+        let s = sample_state();
+        let bytes = s.to_bytes(&stamp());
+        for keep in [0, 7, 8, 12, bytes.len() / 2, bytes.len() - 1] {
+            let err = RunState::from_bytes(&bytes[..keep], &stamp()).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "len {keep}");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let s = sample_state();
+        let mut bytes = s.to_bytes(&stamp());
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[..8].copy_from_slice(b"FEDMIGR1");
+        assert!(RunState::from_bytes(&wrong_magic, &stamp())
+            .unwrap_err()
+            .to_string()
+            .contains("magic"));
+        // A future version must be rejected even with a valid CRC.
+        bytes[8] = 2;
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        assert!(RunState::from_bytes(&bytes, &stamp())
+            .unwrap_err()
+            .to_string()
+            .contains("version"));
+    }
+
+    #[test]
+    fn save_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("fedmigr_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt_round_6.fmrs");
+        let s = sample_state();
+        let wrote = s.save(&path, &stamp()).unwrap();
+        assert_eq!(wrote, std::fs::metadata(&path).unwrap().len());
+        let back = RunState::load(&path, &stamp()).unwrap();
+        assert_eq!(back, s);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

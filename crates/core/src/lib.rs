@@ -66,6 +66,7 @@
 //!   the CLI) and never touch `RunMetrics`.
 
 mod aggregate;
+mod checkpoint;
 mod client;
 mod metrics;
 mod migration;
@@ -76,13 +77,18 @@ mod scheme;
 mod summary;
 
 pub use aggregate::{Aggregator, StalenessPolicy};
-pub use client::FlClient;
+pub use checkpoint::{
+    AgentSnapshot, LateUploadState, RunStamp, RunState, RUN_STATE_MAGIC, RUN_STATE_VERSION,
+};
+pub use client::{ClientState, FlClient};
 pub use fedmigr_compress::{CodecConfig, CompressionStats};
 pub use fedmigr_diag::DiagConfig;
-pub use metrics::{EpochRecord, FaultStats, PhaseBreakdown, RobustStats, RunMetrics};
-pub use migration::{MigrationPlan, Quarantine, QuarantineConfig};
+pub use metrics::{
+    EpochRecord, FaultStats, PhaseBreakdown, RecoveryStats, RobustStats, RunMetrics,
+};
+pub use migration::{MigrationPlan, Quarantine, QuarantineConfig, QuarantineState};
 pub use privacy::DpConfig;
 pub use reward::{step_reward, terminal_reward, RewardConfig};
-pub use runner::{Experiment, RunConfig};
+pub use runner::{Experiment, RunConfig, WatchdogConfig};
 pub use scheme::{FedMigrConfig, MigrationStrategy, Scheme};
 pub use summary::SchemeComparison;

@@ -20,10 +20,42 @@ pub struct FaultStats {
     pub cancelled_migrations: usize,
     /// Bytes burned on transfer attempts that did not complete.
     pub wasted_bytes: u64,
+    /// Client training threads that panicked mid-epoch (software crash
+    /// injection or a genuine bug); the client sat the round out.
+    pub client_panics: usize,
 }
 
 impl FaultStats {
     /// Whether any fault was observed at all.
+    pub fn any(&self) -> bool {
+        *self != Self::default()
+    }
+}
+
+/// Crash-safety accounting for a run: checkpoints taken, resumes performed
+/// and watchdog rollbacks executed. Deliberately kept out of
+/// [`RunMetrics::to_csv`] and the flight recording — a killed-and-resumed
+/// run accumulates different recovery counters than its uninterrupted twin
+/// while every learning-relevant output stays byte-identical.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct RecoveryStats {
+    /// Run-state snapshots taken (in memory and, when a checkpoint
+    /// directory is configured, on disk).
+    pub checkpoints_written: usize,
+    /// Total encoded bytes across all snapshots taken.
+    pub checkpoint_bytes: u64,
+    /// Snapshots decoded back into a live run: one per `--resume`, plus one
+    /// per watchdog rollback.
+    pub checkpoints_loaded: usize,
+    /// Divergence rollbacks executed by the watchdog.
+    pub rollbacks: usize,
+    /// Rounds re-executed after rollbacks (distance from the restored
+    /// checkpoint to the round that tripped the watchdog).
+    pub rounds_replayed: usize,
+}
+
+impl RecoveryStats {
+    /// Whether any recovery machinery ran at all.
     pub fn any(&self) -> bool {
         *self != Self::default()
     }
@@ -101,7 +133,7 @@ impl PhaseBreakdown {
 }
 
 /// Per-epoch measurements of a run.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct EpochRecord {
     /// 1-based training epoch.
     pub epoch: usize,
@@ -166,6 +198,9 @@ pub struct RunMetrics {
     pub transport: String,
     /// Flow-transport accounting (all zero under lockstep).
     pub transport_stats: TransportStats,
+    /// Checkpoint/resume/rollback accounting (all zero when checkpointing
+    /// and the watchdog are off).
+    pub recovery: RecoveryStats,
 }
 
 impl RunMetrics {
@@ -248,14 +283,49 @@ impl RunMetrics {
         }
         let f = &self.fault;
         Some(format!(
-            "faults: {} drop-epochs, {} stale, {} retries, {} rerouted, {} cancelled, {} wasted bytes",
+            "faults: {} drop-epochs, {} stale, {} retries, {} rerouted, {} cancelled, {} panics, {} wasted bytes",
             f.client_drops,
             f.stale_client_epochs,
             f.transfer_retries,
             f.rerouted_migrations,
             f.cancelled_migrations,
+            f.client_panics,
             f.wasted_bytes,
         ))
+    }
+
+    /// One-line human-readable recovery summary for run logs, or `None`
+    /// when no checkpoint/rollback machinery ran.
+    pub fn recovery_summary(&self) -> Option<String> {
+        if !self.recovery.any() {
+            return None;
+        }
+        let r = &self.recovery;
+        Some(format!(
+            "recovery: {} checkpoints written ({} bytes), {} loaded, {} rollbacks, {} rounds replayed",
+            r.checkpoints_written,
+            r.checkpoint_bytes,
+            r.checkpoints_loaded,
+            r.rollbacks,
+            r.rounds_replayed,
+        ))
+    }
+
+    /// Renders the run-level [`RecoveryStats`] as a one-row CSV. Kept
+    /// separate from [`RunMetrics::to_csv`] on purpose: recovery counters
+    /// legitimately differ between a killed-and-resumed run and its
+    /// uninterrupted twin, while `to_csv` is part of the byte-identity
+    /// contract.
+    pub fn recovery_csv(&self) -> String {
+        let r = &self.recovery;
+        format!(
+            "checkpoints_written,checkpoint_bytes,checkpoints_loaded,rollbacks,rounds_replayed\n{},{},{},{},{}\n",
+            r.checkpoints_written,
+            r.checkpoint_bytes,
+            r.checkpoints_loaded,
+            r.rollbacks,
+            r.rounds_replayed,
+        )
     }
 
     /// Final per-phase attribution of the run's virtual time.
@@ -447,6 +517,7 @@ mod tests {
             compression: CompressionStats::default(),
             transport: "lockstep".into(),
             transport_stats: TransportStats::default(),
+            recovery: RecoveryStats::default(),
         }
     }
 
@@ -504,6 +575,7 @@ mod tests {
             compression: CompressionStats::default(),
             transport: "lockstep".into(),
             transport_stats: TransportStats::default(),
+            recovery: RecoveryStats::default(),
         };
         assert_eq!(m.final_accuracy(), 0.0);
         assert_eq!(m.traffic().total(), 0);
@@ -522,15 +594,44 @@ mod tests {
             rerouted_migrations: 2,
             cancelled_migrations: 1,
             wasted_bytes: 4096,
+            client_panics: 5,
         };
         assert!(m.fault.any());
         let s = m.fault_summary().unwrap();
-        for needle in
-            ["7 drop-epochs", "3 stale", "11 retries", "2 rerouted", "1 cancelled", "4096"]
-        {
+        for needle in [
+            "7 drop-epochs",
+            "3 stale",
+            "11 retries",
+            "2 rerouted",
+            "1 cancelled",
+            "5 panics",
+            "4096",
+        ] {
             assert!(s.contains(needle), "summary {s:?} missing {needle:?}");
         }
         assert_eq!(m.total_drops(), 7);
+    }
+
+    #[test]
+    fn recovery_summary_and_csv_report_counters() {
+        let mut m = metrics();
+        assert!(m.recovery_summary().is_none(), "clean run has no recovery summary");
+        m.recovery = RecoveryStats {
+            checkpoints_written: 4,
+            checkpoint_bytes: 8192,
+            checkpoints_loaded: 2,
+            rollbacks: 1,
+            rounds_replayed: 3,
+        };
+        assert!(m.recovery.any());
+        let s = m.recovery_summary().unwrap();
+        for needle in ["4 checkpoints", "8192 bytes", "2 loaded", "1 rollbacks", "3 rounds"] {
+            assert!(s.contains(needle), "summary {s:?} missing {needle:?}");
+        }
+        assert_eq!(
+            m.recovery_csv(),
+            "checkpoints_written,checkpoint_bytes,checkpoints_loaded,rollbacks,rounds_replayed\n4,8192,2,1,3\n"
+        );
     }
 
     #[test]

@@ -23,8 +23,11 @@ use rand::SeedableRng;
 use fedmigr_telemetry::{span, warn};
 
 use crate::aggregate::{Aggregator, StalenessPolicy};
+use crate::checkpoint::{AgentSnapshot, LateUploadState, RunStamp, RunState};
 use crate::client::FlClient;
-use crate::metrics::{EpochRecord, FaultStats, PhaseBreakdown, RobustStats, RunMetrics};
+use crate::metrics::{
+    EpochRecord, FaultStats, PhaseBreakdown, RecoveryStats, RobustStats, RunMetrics,
+};
 use crate::migration::{MigrationPlan, Quarantine, QuarantineConfig};
 use crate::privacy::DpConfig;
 use crate::reward::{step_reward, terminal_reward, RewardConfig};
@@ -103,6 +106,54 @@ pub struct RunConfig {
     /// consumes the run's RNG stream or touches the virtual clock, so
     /// `RunMetrics` stays byte-identical either way.
     pub diag: DiagConfig,
+    /// Capture a whole-run checkpoint every this many completed epochs
+    /// (`None` disables the cadence). Capturing consumes no randomness and
+    /// never touches the virtual clock, so a checkpointed run stays
+    /// byte-identical to an unchekpointed one.
+    pub checkpoint_every: Option<usize>,
+    /// Directory to persist checkpoints into (`ckpt_round_<N>.fmrs` plus a
+    /// `latest.fmrs` alias). `None` keeps snapshots in memory only — still
+    /// enough for the divergence watchdog to roll back within the process.
+    pub checkpoint_dir: Option<String>,
+    /// Resume from a checkpoint file written by a previous (killed) run of
+    /// the *same* configuration. The checkpoint's stamp (scheme, seed,
+    /// epochs, clients, architecture, codec, transport, aggregation
+    /// interval) is validated before any state is restored; training
+    /// continues at the checkpoint's epoch + 1, byte-identical to a run
+    /// that was never interrupted.
+    pub resume: Option<String>,
+    /// Simulate a crash: stop abruptly after this epoch's bookkeeping (no
+    /// terminal DRL flush, no flight-recording summary). The chaos harness
+    /// uses this to exercise kill-and-resume; `None` for real runs.
+    pub kill_at: Option<usize>,
+    /// Divergence watchdog: roll back to the last good checkpoint when the
+    /// global model goes non-finite or the round loss spikes beyond a
+    /// factor of its trailing window, excluding and quarantining the
+    /// implicated upload sources on retry.
+    pub watchdog: WatchdogConfig,
+}
+
+/// Configuration of the divergence watchdog (see `DESIGN.md` §11). The
+/// default is disabled and provably zero-cost: no snapshots are taken, no
+/// upload is screened, and the run stays byte-identical to the seed.
+#[derive(Clone, Copy, Debug)]
+pub struct WatchdogConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Declare divergence when the round's mean training loss exceeds
+    /// `spike_factor` times the mean over the trailing window.
+    pub spike_factor: f64,
+    /// Trailing-window length (completed rounds) for the loss baseline.
+    pub window: usize,
+    /// Retry budget: after this many rollbacks the watchdog gives up and
+    /// lets the run continue (never an infinite replay loop).
+    pub max_rollbacks: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self { enabled: false, spike_factor: 4.0, window: 5, max_rollbacks: 3 }
+    }
 }
 
 impl RunConfig {
@@ -128,6 +179,11 @@ impl RunConfig {
             stale: StalenessPolicy::standard(),
             seed: 7,
             diag: DiagConfig::default(),
+            checkpoint_every: None,
+            checkpoint_dir: None,
+            resume: None,
+            kill_at: None,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -374,7 +430,165 @@ impl Experiment {
         // FedAvg keeps each replica pinned to its host's shard; migration
         // is what drives this EMD down.
         let mut train_mix: Vec<Vec<f64>> = dists.clone();
+
+        // --- Crash-safety machinery (DESIGN.md §11) -----------------------
+        // All of it is provably zero-cost when disabled: capturing a
+        // snapshot consumes no randomness and never touches the clock, the
+        // exclusion mask starts all-false, and NaN-source tracking only
+        // runs under the watchdog.
+        let watchdog_on = cfg.watchdog.enabled;
+        let mut excluded = vec![false; k];
+        // Which clients transmitted a non-finite payload since the last
+        // good snapshot — the sources a rollback implicates.
+        let mut nan_sources = vec![false; k];
+        let mut recovery = RecoveryStats::default();
+        let mut last_good: Option<(usize, Vec<u8>)> = None;
+        let mut killed = false;
+        let stamp = RunStamp {
+            scheme: cfg.scheme.name(),
+            seed: cfg.seed,
+            epochs: cfg.epochs as u64,
+            clients: k as u64,
+            num_params: num_params as u64,
+            codec: cfg.codec.name(),
+            transport: cfg.transport.name().into(),
+            agg_interval: cfg.agg_interval as u64,
+        };
+        // Restores every piece of run state from a decoded snapshot. A
+        // macro (not a closure) because it re-binds two dozen locals the
+        // surrounding code keeps borrowing.
+        macro_rules! restore_state {
+            ($state:expr) => {{
+                let state: RunState = $state;
+                assert_eq!(state.clients.len(), clients.len(), "checkpoint client count");
+                for (c, cs) in clients.iter_mut().zip(state.clients) {
+                    c.import_state(cs);
+                }
+                global = state.global;
+                rng = StdRng::from_state(state.rng);
+                meter.import_state(state.meter);
+                clock = PhasedClock { clock: SimClock::at(state.clock_now), phase: state.phase };
+                fault_stats = state.fault_stats;
+                flaky = state.flaky;
+                taccum.import_state(state.taccum);
+                late_buf = state
+                    .late_buf
+                    .into_iter()
+                    .map(|l| LateUpload { client: l.client, params: l.params, seq: l.seq })
+                    .collect();
+                agg_seq = state.agg_seq;
+                assert_eq!(
+                    quarantine.is_some(),
+                    state.quarantine.is_some(),
+                    "attack configuration mismatch between checkpoint and run"
+                );
+                if let (Some(q), Some(qs)) = (quarantine.as_mut(), state.quarantine) {
+                    q.import_state(qs);
+                }
+                robust_total = state.robust_total;
+                mix = state.mix;
+                train_mix = state.train_mix;
+                compressor.import_state(state.compressor);
+                assert_eq!(
+                    agent_ctx.is_some(),
+                    state.agent.is_some(),
+                    "scheme mismatch between checkpoint and run"
+                );
+                if let (Some(ctx), Some(snap)) = (agent_ctx.as_mut(), state.agent) {
+                    ctx.agent.import_state(snap.agent);
+                    ctx.pending = snap.pending;
+                }
+                records = state.records;
+                link_migrations = state.link_migrations;
+                migrations_local = state.migrations_local;
+                migrations_global = state.migrations_global;
+                prev_loss = state.prev_loss;
+                last_epoch_usage = state.last_epoch_usage;
+                last_step_reward = state.last_step_reward;
+                excluded = state.excluded;
+                recovery = state.recovery;
+            }};
+        }
+        // Captures the complete run state after epoch `$epoch` completed.
+        macro_rules! capture_state {
+            ($epoch:expr) => {
+                RunState {
+                    epoch: $epoch,
+                    global: global.clone(),
+                    clients: clients.iter_mut().map(|c| c.export_state()).collect(),
+                    rng: rng.state(),
+                    meter: meter.export_state(),
+                    clock_now: clock.now(),
+                    phase: clock.phase(),
+                    fault_stats,
+                    flaky: flaky.clone(),
+                    taccum: taccum.export_state(),
+                    late_buf: late_buf
+                        .iter()
+                        .map(|l| LateUploadState {
+                            client: l.client,
+                            params: l.params.clone(),
+                            seq: l.seq,
+                        })
+                        .collect(),
+                    agg_seq,
+                    quarantine: quarantine.as_ref().map(|q| q.export_state()),
+                    robust_total,
+                    mix: mix.clone(),
+                    train_mix: train_mix.clone(),
+                    compressor: compressor.export_state(),
+                    agent: agent_ctx.as_mut().map(|ctx| AgentSnapshot {
+                        agent: ctx.agent.export_state(),
+                        pending: ctx.pending.clone(),
+                    }),
+                    records: records.clone(),
+                    link_migrations: link_migrations.clone(),
+                    migrations_local,
+                    migrations_global,
+                    prev_loss,
+                    last_epoch_usage,
+                    last_step_reward,
+                    excluded: excluded.clone(),
+                    recovery,
+                }
+            };
+        }
+        let mut start_epoch = 1usize;
+        if let Some(path) = cfg.resume.as_deref() {
+            let bytes = std::fs::read(path)
+                .unwrap_or_else(|e| panic!("cannot read checkpoint {path}: {e}"));
+            let state = RunState::from_bytes(&bytes, &stamp)
+                .unwrap_or_else(|e| panic!("cannot resume from {path}: {e}"));
+            let ck_epoch = state.epoch;
+            restore_state!(state);
+            recovery.checkpoints_loaded += 1;
+            last_good = Some((ck_epoch, bytes));
+            start_epoch = ck_epoch + 1;
+            fedmigr_telemetry::info!(
+                "core::runner",
+                "resumed from {path}: epoch {ck_epoch} restored, continuing at {start_epoch}"
+            );
+        } else if watchdog_on {
+            // The watchdog always has somewhere to roll back to: a pristine
+            // epoch-0 snapshot covers divergence in the very first round.
+            last_good = Some((0, capture_state!(0).to_bytes(&stamp)));
+        }
+
         let mut flight = match cfg.diag.flight_out.as_deref() {
+            Some(path) if start_epoch > 1 => {
+                // Resuming: keep the recording's header and the rounds the
+                // checkpoint covers, byte for byte, and append from there.
+                match FlightRecorder::resume(path, start_epoch - 1) {
+                    Ok(rec) => Some(rec),
+                    Err(e) => {
+                        fedmigr_telemetry::error!(
+                            "core::diag",
+                            "cannot resume flight recording {path}: {e}; recording disabled"
+                        );
+                        None
+                    }
+                }
+            }
             Some(path) => match FlightRecorder::create(path) {
                 Ok(mut rec) => {
                     let header = FlightHeader {
@@ -408,86 +622,97 @@ impl Experiment {
             None => None,
         };
 
-        for epoch in 1..=cfg.epochs {
-            let _round = fedmigr_telemetry::global().span_labeled(
-                "core::runner",
-                "round",
-                vec![
-                    ("epoch".to_string(), epoch.to_string()),
-                    ("scheme".to_string(), cfg.scheme.name()),
-                ],
-            );
-            let traffic_before = meter.traffic().total();
-            let compute_before = meter.compute_cost();
-            let mut robust_epoch = RobustStats::default();
-            // Diagnostics accumulators: the round's migration edge list and
-            // executed source map (identity on non-migration rounds).
-            let mut round_edges: Vec<MigrationEdge> = Vec::new();
-            let mut round_src_of: Vec<usize> = (0..k).collect();
+        let mut epoch = start_epoch;
+        'run: while epoch <= cfg.epochs {
+            // The labeled block is the round body; the shared epilogue
+            // below it (snapshot capture, kill switch, epoch increment)
+            // runs on every path that completes the round.
+            'round: {
+                let _round = fedmigr_telemetry::global().span_labeled(
+                    "core::runner",
+                    "round",
+                    vec![
+                        ("epoch".to_string(), epoch.to_string()),
+                        ("scheme".to_string(), cfg.scheme.name()),
+                    ],
+                );
+                let traffic_before = meter.traffic().total();
+                let compute_before = meter.compute_cost();
+                let mut robust_epoch = RobustStats::default();
+                // Diagnostics accumulators: the round's migration edge list and
+                // executed source map (identity on non-migration rounds).
+                let mut round_edges: Vec<MigrationEdge> = Vec::new();
+                let mut round_src_of: Vec<usize> = (0..k).collect();
 
-            // Sample the participating clients for this epoch (α K of K),
-            // then intersect with the fault schedule: crashed clients
-            // neither train nor communicate until they rejoin.
-            let mut active: Vec<bool> = if cfg.participation >= 1.0 {
-                vec![true; k]
-            } else {
-                let n_active = ((cfg.participation * k as f64).ceil() as usize).clamp(1, k);
-                let mut order: Vec<usize> = (0..k).collect();
-                order.shuffle(&mut rng);
-                let mut mask = vec![false; k];
-                for &i in order.iter().take(n_active) {
-                    mask[i] = true;
+                // Sample the participating clients for this epoch (α K of K),
+                // then intersect with the fault schedule: crashed clients
+                // neither train nor communicate until they rejoin.
+                let mut active: Vec<bool> = if cfg.participation >= 1.0 {
+                    vec![true; k]
+                } else {
+                    let n_active = ((cfg.participation * k as f64).ceil() as usize).clamp(1, k);
+                    let mut order: Vec<usize> = (0..k).collect();
+                    order.shuffle(&mut rng);
+                    let mut mask = vec![false; k];
+                    for &i in order.iter().take(n_active) {
+                        mask[i] = true;
+                    }
+                    mask
+                };
+                let alive: Vec<bool> = (0..k).map(|i| fault.is_alive(i, epoch)).collect();
+                for (a, &up) in active.iter_mut().zip(&alive) {
+                    *a = *a && up;
                 }
-                mask
-            };
-            let alive: Vec<bool> = (0..k).map(|i| fault.is_alive(i, epoch)).collect();
-            for (a, &up) in active.iter_mut().zip(&alive) {
-                *a = *a && up;
-            }
-            let dropped = alive.iter().filter(|&&up| !up).count();
-            fault_stats.client_drops += dropped;
-            for (f, &up) in flaky.iter_mut().zip(&alive) {
-                *f = 0.9 * *f + if up { 0.0 } else { 0.1 };
-            }
-            if active.iter().all(|&a| !a) {
-                // The entire population is down (or sampled out): the round
-                // is a no-op, but the run survives it.
-                records.push(EpochRecord {
-                    epoch,
-                    train_loss: prev_loss.unwrap_or(0.0),
-                    test_accuracy: None,
-                    traffic: meter.traffic(),
-                    sim_time: clock.now(),
-                    dropped_clients: dropped,
-                    stale_clients: 0,
-                    rejected_migrations: 0,
-                    bytes_saved: (meter.traffic().total() / model_bytes) * saved_per_transfer,
-                    phase: clock.phase(),
-                    retransmits: taccum.retransmits(),
-                    late_uploads: taccum.late_uploads(),
-                });
-                continue;
-            }
+                // Clients the watchdog implicated in a divergence sit rounds
+                // out. All-false in normal runs: a no-op, bit for bit.
+                for (a, &ex) in active.iter_mut().zip(&excluded) {
+                    *a = *a && !ex;
+                }
+                let dropped = alive.iter().filter(|&&up| !up).count();
+                fault_stats.client_drops += dropped;
+                for (f, &up) in flaky.iter_mut().zip(&alive) {
+                    *f = 0.9 * *f + if up { 0.0 } else { 0.1 };
+                }
+                if active.iter().all(|&a| !a) {
+                    // The entire population is down (or sampled out): the round
+                    // is a no-op, but the run survives it.
+                    records.push(EpochRecord {
+                        epoch,
+                        train_loss: prev_loss.unwrap_or(0.0),
+                        test_accuracy: None,
+                        traffic: meter.traffic(),
+                        sim_time: clock.now(),
+                        dropped_clients: dropped,
+                        stale_clients: 0,
+                        rejected_migrations: 0,
+                        bytes_saved: (meter.traffic().total() / model_bytes) * saved_per_transfer,
+                        phase: clock.phase(),
+                        retransmits: taccum.retransmits(),
+                        late_uploads: taccum.late_uploads(),
+                    });
+                    break 'round;
+                }
 
-            // (1) Local updating (Eq. 6), clients in parallel.
-            let train_span = span!("core::runner", "local_train");
-            let prox = match cfg.scheme {
-                Scheme::FedProx { mu } => Some((global.clone(), mu)),
-                _ => None,
-            };
-            let losses = train_all(&mut clients, cfg, prox.as_ref(), &active);
-            robust_epoch.nan_batches +=
-                clients.iter_mut().map(|c| c.take_non_finite_batches()).sum::<u64>();
-            for (i, (m, q)) in mix.iter_mut().zip(&dists).enumerate() {
-                if !active[i] {
-                    continue;
+                // (1) Local updating (Eq. 6), clients in parallel.
+                let train_span = span!("core::runner", "local_train");
+                let prox = match cfg.scheme {
+                    Scheme::FedProx { mu } => Some((global.clone(), mu)),
+                    _ => None,
+                };
+                let (losses, panicked) =
+                    train_all(&mut clients, cfg, prox.as_ref(), &active, &fault, epoch);
+                for (i, &p) in panicked.iter().enumerate() {
+                    if p {
+                        // A panicking client is a crashed client for this
+                        // round: no loss, no upload, no mix update. The run
+                        // survives it.
+                        active[i] = false;
+                        fault_stats.client_panics += 1;
+                    }
                 }
-                for (mi, qi) in m.iter_mut().zip(q) {
-                    *mi = (1.0 - MIX_ALPHA) * *mi + MIX_ALPHA * qi;
-                }
-            }
-            if diag_on {
-                for (i, (m, q)) in train_mix.iter_mut().zip(&dists).enumerate() {
+                robust_epoch.nan_batches +=
+                    clients.iter_mut().map(|c| c.take_non_finite_batches()).sum::<u64>();
+                for (i, (m, q)) in mix.iter_mut().zip(&dists).enumerate() {
                     if !active[i] {
                         continue;
                     }
@@ -495,280 +720,455 @@ impl Experiment {
                         *mi = (1.0 - MIX_ALPHA) * *mi + MIX_ALPHA * qi;
                     }
                 }
-            }
-            let dmat = distance_matrix(&mix);
-            let mut times = Vec::with_capacity(k);
-            let mut per_client_time = vec![0.0f64; k];
-            for (i, c) in clients.iter().enumerate() {
-                if !active[i] {
-                    continue;
-                }
-                let samples = effective_samples(c.num_samples(), cfg);
-                meter.record_compute(self.compute.epoch_cost(i, samples));
-                let t = self.compute.epoch_time_slowed(i, samples, fault.slowdown(i, epoch));
-                per_client_time[i] = t;
-                times.push(t);
-            }
-            // Straggler deadline: the server waits at most a configured
-            // multiple of the *median* round time; later arrivals trained
-            // (and burned compute) but miss this round's communication.
-            let mut arrived = active.clone();
-            let mut stale = 0usize;
-            let round_time = times.iter().fold(0.0f64, |a, &b| a.max(b));
-            match fault.deadline(median(&times)) {
-                Some(deadline) => {
-                    for i in 0..k {
-                        if active[i] && per_client_time[i] > deadline {
-                            arrived[i] = false;
-                            stale += 1;
+                if diag_on {
+                    for (i, (m, q)) in train_mix.iter_mut().zip(&dists).enumerate() {
+                        if !active[i] {
+                            continue;
+                        }
+                        for (mi, qi) in m.iter_mut().zip(q) {
+                            *mi = (1.0 - MIX_ALPHA) * *mi + MIX_ALPHA * qi;
                         }
                     }
-                    clock.advance(VPhase::Train, round_time.min(deadline));
                 }
-                None => clock.advance(VPhase::Train, round_time),
-            }
-            let active_n: f32 = clients
-                .iter()
-                .enumerate()
-                .filter(|&(i, _)| active[i])
-                .map(|(_, c)| c.num_samples() as f32)
-                .sum();
-            let mean_loss = clients
-                .iter()
-                .zip(&losses)
-                .filter_map(|(c, l)| l.map(|l| l * (c.num_samples() as f32 / active_n)))
-                .sum::<f32>();
-            let _ = total_n;
-            drop(train_span);
-
-            // (2) Build decision states and settle last epoch's transitions.
-            let decision_span = span!("core::runner", "decision");
-            let suspicion: Vec<f64> = match &quarantine {
-                Some(q) => q.suspicion().to_vec(),
-                None => vec![0.0; k],
-            };
-            let states: Option<Vec<Vec<f32>>> = agent_ctx.as_ref().map(|_| {
-                (0..k)
-                    .map(|i| {
-                        featurizer.build_with_health(
-                            epoch as f64 / cfg.epochs as f64,
-                            mean_loss as f64,
-                            prev_loss
-                                .map(|p| ((mean_loss - p) / p.max(1e-6)) as f64)
-                                .unwrap_or(0.0),
-                            meter.bandwidth_remaining_frac(),
-                            meter.compute_remaining_frac(),
-                            &dmat[i],
-                            &alive,
-                            &suspicion,
-                        )
-                    })
-                    .collect()
-            });
-            if let (Some(ctx), Some(states)) = (agent_ctx.as_mut(), states.as_ref()) {
-                let (cu, bu) = if ctx.resource_reward { last_epoch_usage } else { (0.0, 0.0) };
-                let reward = step_reward(
-                    &ctx.reward,
-                    prev_loss.map(|p| (mean_loss - p) as f64).unwrap_or(0.0),
-                    prev_loss.unwrap_or(mean_loss) as f64,
-                    cu,
-                    bu,
-                );
-                last_step_reward = reward;
-                for (state, action, client) in ctx.pending.drain(..) {
-                    ctx.agent.observe(Transition {
-                        state,
-                        action,
-                        reward: reward as f32,
-                        next_state: states[client].clone(),
-                        done: false,
-                    });
+                let dmat = distance_matrix(&mix);
+                let mut times = Vec::with_capacity(k);
+                let mut per_client_time = vec![0.0f64; k];
+                for (i, c) in clients.iter().enumerate() {
+                    if !active[i] {
+                        continue;
+                    }
+                    let samples = effective_samples(c.num_samples(), cfg);
+                    meter.record_compute(self.compute.epoch_cost(i, samples));
+                    let t = self.compute.epoch_time_slowed(i, samples, fault.slowdown(i, epoch));
+                    per_client_time[i] = t;
+                    times.push(t);
                 }
-            }
+                // Straggler deadline: the server waits at most a configured
+                // multiple of the *median* round time; later arrivals trained
+                // (and burned compute) but miss this round's communication.
+                let mut arrived = active.clone();
+                let mut stale = 0usize;
+                let round_time = times.iter().fold(0.0f64, |a, &b| a.max(b));
+                match fault.deadline(median(&times)) {
+                    Some(deadline) => {
+                        for i in 0..k {
+                            if active[i] && per_client_time[i] > deadline {
+                                arrived[i] = false;
+                                stale += 1;
+                            }
+                        }
+                        clock.advance(VPhase::Train, round_time.min(deadline));
+                    }
+                    None => clock.advance(VPhase::Train, round_time),
+                }
+                let active_n: f32 = clients
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| active[i])
+                    .map(|(_, c)| c.num_samples() as f32)
+                    .sum();
+                let mean_loss = clients
+                    .iter()
+                    .zip(&losses)
+                    .filter_map(|(c, l)| l.map(|l| l * (c.num_samples() as f32 / active_n)))
+                    .sum::<f32>();
+                let _ = total_n;
+                drop(train_span);
 
-            drop(decision_span);
+                // (2) Build decision states and settle last epoch's transitions.
+                let decision_span = span!("core::runner", "decision");
+                let suspicion: Vec<f64> = match &quarantine {
+                    Some(q) => q.suspicion().to_vec(),
+                    None => vec![0.0; k],
+                };
+                let states: Option<Vec<Vec<f32>>> = agent_ctx.as_ref().map(|_| {
+                    (0..k)
+                        .map(|i| {
+                            featurizer.build_with_health(
+                                epoch as f64 / cfg.epochs as f64,
+                                mean_loss as f64,
+                                prev_loss
+                                    .map(|p| ((mean_loss - p) / p.max(1e-6)) as f64)
+                                    .unwrap_or(0.0),
+                                meter.bandwidth_remaining_frac(),
+                                meter.compute_remaining_frac(),
+                                &dmat[i],
+                                &alive,
+                                &suspicion,
+                            )
+                        })
+                        .collect()
+                });
+                if let (Some(ctx), Some(states)) = (agent_ctx.as_mut(), states.as_ref()) {
+                    let (cu, bu) = if ctx.resource_reward { last_epoch_usage } else { (0.0, 0.0) };
+                    let reward = step_reward(
+                        &ctx.reward,
+                        prev_loss.map(|p| (mean_loss - p) as f64).unwrap_or(0.0),
+                        prev_loss.unwrap_or(mean_loss) as f64,
+                        cu,
+                        bu,
+                    );
+                    last_step_reward = reward;
+                    for (state, action, client) in ctx.pending.drain(..) {
+                        ctx.agent.observe(Transition {
+                            state,
+                            action,
+                            reward: reward as f32,
+                            next_state: states[client].clone(),
+                            done: false,
+                        });
+                    }
+                }
 
-            // (3) Communication: aggregation, server-side swap, or C2C
-            //     migration, depending on the scheme and epoch.
-            let comm_span = span!("core::runner", "communicate");
-            let is_agg = match cfg.scheme {
-                Scheme::FedAvg | Scheme::FedProx { .. } => true,
-                Scheme::FedAsync { .. } => false,
-                _ => epoch % cfg.agg_interval == 0,
-            };
-            if let Scheme::FedAsync { beta } = cfg.scheme {
-                // One participating client uploads; the server mixes its
-                // model into the global model and sends the result back.
-                let candidates: Vec<usize> = (0..k).filter(|&i| arrived[i]).collect();
-                let uploader = candidates.first().map(|_| candidates[epoch % candidates.len()]);
-                let synced = match uploader {
-                    Some(u) => {
-                        let mut only = vec![false; k];
-                        only[u] = true;
-                        let reach = c2s_reachable(
-                            &fault,
-                            &only,
-                            epoch,
-                            model_bytes,
-                            &mut clock,
-                            &mut fault_stats,
-                        );
-                        match (flow_cfg, reach[u]) {
-                            (Some(fc), true) => {
-                                // A lone flow can still strike out on a
-                                // flapped or collapsed access link; it can
-                                // never be late (the deadline is a multiple
-                                // of its own finish time).
-                                let up = self.flow_upload_phase(
+                drop(decision_span);
+
+                // (3) Communication: aggregation, server-side swap, or C2C
+                //     migration, depending on the scheme and epoch.
+                let comm_span = span!("core::runner", "communicate");
+                let is_agg = match cfg.scheme {
+                    Scheme::FedAvg | Scheme::FedProx { .. } => true,
+                    Scheme::FedAsync { .. } => false,
+                    _ => epoch.is_multiple_of(cfg.agg_interval),
+                };
+                if let Scheme::FedAsync { beta } = cfg.scheme {
+                    // One participating client uploads; the server mixes its
+                    // model into the global model and sends the result back.
+                    let candidates: Vec<usize> = (0..k).filter(|&i| arrived[i]).collect();
+                    let uploader = candidates.first().map(|_| candidates[epoch % candidates.len()]);
+                    let synced = match uploader {
+                        Some(u) => {
+                            let mut only = vec![false; k];
+                            only[u] = true;
+                            let reach = c2s_reachable(
+                                &fault,
+                                &only,
+                                epoch,
+                                model_bytes,
+                                &mut clock,
+                                &mut fault_stats,
+                            );
+                            match (flow_cfg, reach[u]) {
+                                (Some(fc), true) => {
+                                    // A lone flow can still strike out on a
+                                    // flapped or collapsed access link; it can
+                                    // never be late (the deadline is a multiple
+                                    // of its own finish time).
+                                    let up = self.flow_upload_phase(
+                                        fc,
+                                        &fault,
+                                        epoch,
+                                        &reach,
+                                        model_bytes,
+                                        &mut meter,
+                                        &mut clock,
+                                        &mut taccum,
+                                        &mut fault_stats,
+                                    );
+                                    up.on_time[u]
+                                }
+                                (_, reached) => reached,
+                            }
+                        }
+                        None => false,
+                    };
+                    if let (Some(uploader), true) = (uploader, synced) {
+                        if flow_cfg.is_none() {
+                            meter.record_c2s(2 * model_bytes);
+                            clock.advance(
+                                VPhase::C2s,
+                                2.0 * transfer_time_with_latency(
+                                    model_bytes,
+                                    self.topology.c2s_bandwidth(epoch),
+                                    self.topology.c2s_latency(),
+                                ),
+                            );
+                        }
+                        let mut upload = clients[uploader].params();
+                        if let Some(dp) = &cfg.dp {
+                            dp.apply(&mut upload, &mut rng);
+                        }
+                        attack.corrupt_upload(uploader, epoch, &mut upload);
+                        if watchdog_on && !fedmigr_tensor::all_finite(&upload) {
+                            nan_sources[uploader] = true;
+                        }
+                        // The server sees what the wire carried: codec distortion
+                        // (and preserved NaN corruption) lands on the decoded
+                        // payload, with the uploader's error-feedback residual
+                        // applied on egress.
+                        let upload = compressor.transmit(uploader, &upload);
+                        // FedAsync has no multi-upload round to robustify, but
+                        // a non-finite upload is still screened out whenever a
+                        // robust aggregator is configured.
+                        let usable = cfg.aggregator == Aggregator::FedAvg
+                            || fedmigr_tensor::all_finite(&upload);
+                        if !usable {
+                            robust_epoch.nan_uploads += 1;
+                            robust_epoch.trimmed_clients += 1;
+                        }
+                        if usable {
+                            for (g, u) in global.iter_mut().zip(&upload) {
+                                *g = (1.0 - beta) * *g + beta * u;
+                            }
+                        }
+                        let down = compressor.transmit_down(uploader, &global);
+                        let delivered = match flow_cfg {
+                            Some(fc) => {
+                                let mut rx = vec![false; k];
+                                rx[uploader] = true;
+                                self.flow_download_phase(
                                     fc,
                                     &fault,
                                     epoch,
-                                    &reach,
+                                    &rx,
                                     model_bytes,
                                     &mut meter,
                                     &mut clock,
                                     &mut taccum,
-                                    &mut fault_stats,
-                                );
-                                up.on_time[u]
+                                )[uploader]
                             }
-                            (_, reached) => reached,
+                            None => true,
+                        };
+                        if delivered {
+                            clients[uploader].set_params(&down, false);
+                            mix[uploader].clone_from(&population);
                         }
+                    } else if uploader.is_some() {
+                        // The uploader never reached the server this epoch.
+                        stale += 1;
                     }
-                    None => false,
-                };
-                if let (Some(uploader), true) = (uploader, synced) {
-                    if flow_cfg.is_none() {
-                        meter.record_c2s(2 * model_bytes);
+                } else if cfg.scheme.uploads_every_epoch() {
+                    // Participating models go to the server (uploads +
+                    // downloads) — those that can reach it; WAN outages retry
+                    // with backoff and drop out of the round if they never get
+                    // through.
+                    let synced = c2s_reachable(
+                        &fault,
+                        &arrived,
+                        epoch,
+                        model_bytes,
+                        &mut clock,
+                        &mut fault_stats,
+                    );
+                    stale += arrived.iter().zip(&synced).filter(|&(&a, &s)| a && !s).count();
+                    let n_synced = synced.iter().filter(|&&s| s).count() as u64;
+                    // Which uploads made the round, and at what cost, depends
+                    // on the transport: lockstep prices every synced transfer
+                    // serially at nominal bandwidth; the flow transport races
+                    // concurrent uploads against a per-round deadline.
+                    let mut on_time = synced.clone();
+                    let mut late = vec![false; k];
+                    if let Some(fc) = flow_cfg {
+                        let up = self.flow_upload_phase(
+                            fc,
+                            &fault,
+                            epoch,
+                            &synced,
+                            model_bytes,
+                            &mut meter,
+                            &mut clock,
+                            &mut taccum,
+                            &mut fault_stats,
+                        );
+                        stale += up.failed;
+                        on_time = up.on_time;
+                        late = up.late;
+                    } else {
+                        meter.record_c2s(2 * n_synced * model_bytes);
                         clock.advance(
                             VPhase::C2s,
-                            2.0 * transfer_time_with_latency(
-                                model_bytes,
-                                self.topology.c2s_bandwidth(epoch),
-                                self.topology.c2s_latency(),
-                            ),
+                            2.0 * n_synced as f64
+                                * transfer_time_with_latency(
+                                    model_bytes,
+                                    self.topology.c2s_bandwidth(epoch),
+                                    self.topology.c2s_latency(),
+                                ),
                         );
                     }
-                    let mut upload = clients[uploader].params();
-                    if let Some(dp) = &cfg.dp {
-                        dp.apply(&mut upload, &mut rng);
-                    }
-                    attack.corrupt_upload(uploader, epoch, &mut upload);
-                    // The server sees what the wire carried: codec distortion
-                    // (and preserved NaN corruption) lands on the decoded
-                    // payload, with the uploader's error-feedback residual
-                    // applied on egress.
-                    let upload = compressor.transmit(uploader, &upload);
-                    // FedAsync has no multi-upload round to robustify, but
-                    // a non-finite upload is still screened out whenever a
-                    // robust aggregator is configured.
-                    let usable =
-                        cfg.aggregator == Aggregator::FedAvg || fedmigr_tensor::all_finite(&upload);
-                    if !usable {
-                        robust_epoch.nan_uploads += 1;
-                        robust_epoch.trimmed_clients += 1;
-                    }
-                    if usable {
-                        for (g, u) in global.iter_mut().zip(&upload) {
-                            *g = (1.0 - beta) * *g + beta * u;
+                    let mut uploads = collect_params(&mut clients, cfg, &attack, epoch, &mut rng);
+                    if watchdog_on {
+                        for (n, up) in nan_sources.iter_mut().zip(&uploads) {
+                            *n |= !fedmigr_tensor::all_finite(up);
                         }
                     }
-                    let down = compressor.transmit_down(uploader, &global);
-                    let delivered = match flow_cfg {
-                        Some(fc) => {
-                            let mut rx = vec![false; k];
-                            rx[uploader] = true;
+                    // Only the clients whose bytes actually crossed the wire see
+                    // the codec (error-feedback on client egress). A late upload
+                    // bound for a future aggregation was genuinely transmitted.
+                    for (i, up) in uploads.iter_mut().enumerate() {
+                        if on_time[i] || (late[i] && is_agg) {
+                            *up = compressor.transmit(i, up);
+                        }
+                    }
+                    for i in (0..k).filter(|&i| late[i] && is_agg) {
+                        late_buf.push(LateUpload {
+                            client: i,
+                            params: uploads[i].clone(),
+                            seq: agg_seq,
+                        });
+                    }
+                    if is_agg {
+                        if let Some(fc) = flow_cfg {
+                            // Degraded aggregation: fold what arrived on time
+                            // plus discounted stale uploads from earlier rounds.
+                            // A round with zero on-time uploads can still make
+                            // progress from the stale buffer alone.
+                            let n_eff = on_time.iter().filter(|&&s| s).count();
+                            if n_eff > 0 || !late_buf.is_empty() {
+                                let _agg = span!("core::runner", "aggregate");
+                                if let Some(g) = aggregate_with_late(
+                                    &clients,
+                                    &uploads,
+                                    &on_time,
+                                    &cfg.aggregator,
+                                    &global,
+                                    &mut robust_epoch,
+                                    &mut late_buf,
+                                    agg_seq,
+                                    &cfg.stale,
+                                    &mut taccum,
+                                ) {
+                                    global = g;
+                                    agg_seq += 1;
+                                    let delivered = self.flow_download_phase(
+                                        fc,
+                                        &fault,
+                                        epoch,
+                                        &on_time,
+                                        model_bytes,
+                                        &mut meter,
+                                        &mut clock,
+                                        &mut taccum,
+                                    );
+                                    if delivered.iter().any(|&d| d) {
+                                        let down = compressor.broadcast(&global);
+                                        for (i, c) in clients.iter_mut().enumerate() {
+                                            if delivered[i] {
+                                                c.set_params(&down, false);
+                                                mix[i].clone_from(&population);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        } else if n_synced > 0 {
+                            let _agg = span!("core::runner", "aggregate");
+                            global = aggregate_active(
+                                &clients,
+                                &uploads,
+                                &synced,
+                                &cfg.aggregator,
+                                &global,
+                                &mut robust_epoch,
+                            );
+                            // One aggregated payload fans out to every synced
+                            // client: a single server-side encode.
+                            let down = compressor.broadcast(&global);
+                            for (i, c) in clients.iter_mut().enumerate() {
+                                if synced[i] {
+                                    c.set_params(&down, false);
+                                    mix[i].clone_from(&population);
+                                }
+                            }
+                        }
+                    } else {
+                        // FedSwap: the server swaps models "between any two of
+                        // all clients" — a few random disjoint pairs per round,
+                        // so mixing is slower than a full migration permutation.
+                        // Unsynced clients never uploaded: the plan leaves them
+                        // fixed and they re-install their local copy wire-free,
+                        // while each synced client's (possibly swapped) model
+                        // comes back down through the codec as a distinct
+                        // server-egress payload. Under the flow transport a
+                        // late upload simply sits the swap out.
+                        let plan = swap_pairs_plan(&on_time, k.div_ceil(4), &mut rng);
+                        uploads = plan.apply(&uploads);
+                        mix = plan.apply(&mix);
+                        if diag_on {
+                            train_mix = plan.apply(&train_mix);
+                        }
+                        if let Some(fc) = flow_cfg {
+                            // Price the return leg at flow cost (contention,
+                            // retransmits). Delivery itself stays unconditional
+                            // for this baseline: partial swap delivery is not
+                            // modelled.
                             self.flow_download_phase(
                                 fc,
                                 &fault,
                                 epoch,
-                                &rx,
+                                &on_time,
                                 model_bytes,
                                 &mut meter,
                                 &mut clock,
                                 &mut taccum,
-                            )[uploader]
+                            );
                         }
-                        None => true,
-                    };
-                    if delivered {
-                        clients[uploader].set_params(&down, false);
-                        mix[uploader].clone_from(&population);
+                        for (i, c) in clients.iter_mut().enumerate() {
+                            let p = if on_time[i] {
+                                compressor.transmit_down(i, &uploads[i])
+                            } else {
+                                uploads[i].clone()
+                            };
+                            c.set_params(&p, plan.dest(i) != i);
+                        }
                     }
-                } else if uploader.is_some() {
-                    // The uploader never reached the server this epoch.
-                    stale += 1;
-                }
-            } else if cfg.scheme.uploads_every_epoch() {
-                // Participating models go to the server (uploads +
-                // downloads) — those that can reach it; WAN outages retry
-                // with backoff and drop out of the round if they never get
-                // through.
-                let synced = c2s_reachable(
-                    &fault,
-                    &arrived,
-                    epoch,
-                    model_bytes,
-                    &mut clock,
-                    &mut fault_stats,
-                );
-                stale += arrived.iter().zip(&synced).filter(|&(&a, &s)| a && !s).count();
-                let n_synced = synced.iter().filter(|&&s| s).count() as u64;
-                // Which uploads made the round, and at what cost, depends
-                // on the transport: lockstep prices every synced transfer
-                // serially at nominal bandwidth; the flow transport races
-                // concurrent uploads against a per-round deadline.
-                let mut on_time = synced.clone();
-                let mut late = vec![false; k];
-                if let Some(fc) = flow_cfg {
-                    let up = self.flow_upload_phase(
-                        fc,
+                } else if is_agg {
+                    let synced = c2s_reachable(
                         &fault,
+                        &arrived,
                         epoch,
-                        &synced,
                         model_bytes,
-                        &mut meter,
                         &mut clock,
-                        &mut taccum,
                         &mut fault_stats,
                     );
-                    stale += up.failed;
-                    on_time = up.on_time;
-                    late = up.late;
-                } else {
-                    meter.record_c2s(2 * n_synced * model_bytes);
-                    clock.advance(
-                        VPhase::C2s,
-                        2.0 * n_synced as f64
-                            * transfer_time_with_latency(
-                                model_bytes,
-                                self.topology.c2s_bandwidth(epoch),
-                                self.topology.c2s_latency(),
-                            ),
-                    );
-                }
-                let mut uploads = collect_params(&mut clients, cfg, &attack, epoch, &mut rng);
-                // Only the clients whose bytes actually crossed the wire see
-                // the codec (error-feedback on client egress). A late upload
-                // bound for a future aggregation was genuinely transmitted.
-                for (i, up) in uploads.iter_mut().enumerate() {
-                    if on_time[i] || (late[i] && is_agg) {
-                        *up = compressor.transmit(i, up);
-                    }
-                }
-                for i in (0..k).filter(|&i| late[i] && is_agg) {
-                    late_buf.push(LateUpload {
-                        client: i,
-                        params: uploads[i].clone(),
-                        seq: agg_seq,
-                    });
-                }
-                if is_agg {
+                    stale += arrived.iter().zip(&synced).filter(|&(&a, &s)| a && !s).count();
+                    let n_synced = synced.iter().filter(|&&s| s).count() as u64;
+                    let mut on_time = synced.clone();
+                    let mut late = vec![false; k];
                     if let Some(fc) = flow_cfg {
-                        // Degraded aggregation: fold what arrived on time
-                        // plus discounted stale uploads from earlier rounds.
-                        // A round with zero on-time uploads can still make
-                        // progress from the stale buffer alone.
+                        let up = self.flow_upload_phase(
+                            fc,
+                            &fault,
+                            epoch,
+                            &synced,
+                            model_bytes,
+                            &mut meter,
+                            &mut clock,
+                            &mut taccum,
+                            &mut fault_stats,
+                        );
+                        stale += up.failed;
+                        on_time = up.on_time;
+                        late = up.late;
+                    } else {
+                        meter.record_c2s(2 * n_synced * model_bytes);
+                        clock.advance(
+                            VPhase::C2s,
+                            2.0 * n_synced as f64
+                                * transfer_time_with_latency(
+                                    model_bytes,
+                                    self.topology.c2s_bandwidth(epoch),
+                                    self.topology.c2s_latency(),
+                                ),
+                        );
+                    }
+                    let mut uploads = collect_params(&mut clients, cfg, &attack, epoch, &mut rng);
+                    if watchdog_on {
+                        for (n, up) in nan_sources.iter_mut().zip(&uploads) {
+                            *n |= !fedmigr_tensor::all_finite(up);
+                        }
+                    }
+                    for (i, up) in uploads.iter_mut().enumerate() {
+                        if on_time[i] || late[i] {
+                            *up = compressor.transmit(i, up);
+                        }
+                    }
+                    for i in (0..k).filter(|&i| late[i]) {
+                        late_buf.push(LateUpload {
+                            client: i,
+                            params: uploads[i].clone(),
+                            seq: agg_seq,
+                        });
+                    }
+                    if let Some(fc) = flow_cfg {
                         let n_eff = on_time.iter().filter(|&&s| s).count();
                         if n_eff > 0 || !late_buf.is_empty() {
                             let _agg = span!("core::runner", "aggregate");
@@ -817,8 +1217,6 @@ impl Experiment {
                             &global,
                             &mut robust_epoch,
                         );
-                        // One aggregated payload fans out to every synced
-                        // client: a single server-side encode.
                         let down = compressor.broadcast(&global);
                         for (i, c) in clients.iter_mut().enumerate() {
                             if synced[i] {
@@ -828,246 +1226,118 @@ impl Experiment {
                         }
                     }
                 } else {
-                    // FedSwap: the server swaps models "between any two of
-                    // all clients" — a few random disjoint pairs per round,
-                    // so mixing is slower than a full migration permutation.
-                    // Unsynced clients never uploaded: the plan leaves them
-                    // fixed and they re-install their local copy wire-free,
-                    // while each synced client's (possibly swapped) model
-                    // comes back down through the codec as a distinct
-                    // server-egress payload. Under the flow transport a
-                    // late upload simply sits the swap out.
-                    let plan = swap_pairs_plan(&on_time, k.div_ceil(4), &mut rng);
-                    uploads = plan.apply(&uploads);
-                    mix = plan.apply(&mix);
-                    if diag_on {
-                        train_mix = plan.apply(&train_mix);
+                    // C2C migration epoch. Every planner is masked to the
+                    // clients that are live *and* made this round's deadline,
+                    // so plans never target a dead destination.
+                    let plan_span = span!("core::runner", "migration_plan");
+                    let plan = match (&cfg.scheme, states.as_ref()) {
+                        (Scheme::RandMigr, _) | (Scheme::Fixed(MigrationStrategy::Random), _) => {
+                            MigrationPlan::random_subset(k, &arrived, &mut rng)
+                        }
+                        (Scheme::Fixed(MigrationStrategy::WithinLan), _) => {
+                            MigrationPlan::within_lan_masked(&self.topology, &arrived, &mut rng)
+                        }
+                        (Scheme::Fixed(MigrationStrategy::CrossLan), _) => {
+                            MigrationPlan::cross_lan_masked(&self.topology, &arrived, &mut rng)
+                        }
+                        (Scheme::FedMigr(_), Some(states)) => {
+                            let ctx = agent_ctx.as_mut().expect("FedMigr context");
+                            let rho = if epoch <= ctx.warmup_epochs { 1.0 } else { ctx.rho };
+                            ctx.agent.set_rho(rho);
+                            let (oracle, objective) = self.solve_oracle(
+                                &dmat,
+                                model_bytes,
+                                epoch,
+                                ctx.lambda,
+                                &flaky,
+                                ctx.liveness_penalty,
+                                &suspicion,
+                                ctx.suspicion_penalty,
+                            );
+                            let desired: Vec<usize> = (0..k)
+                                .map(|i| ctx.agent.select_action(&states[i], Some(&oracle[i])))
+                                .collect();
+                            // Blend the relaxed-FLMM objective with the agent's
+                            // per-client desires, then recover a permutation by
+                            // globally greedy matching over the active clients.
+                            let mut scores = objective;
+                            for (i, &j) in desired.iter().enumerate() {
+                                scores[i][j] += 0.25;
+                            }
+                            let plan = MigrationPlan::greedy_assignment_masked(&scores, &arrived);
+                            for (i, state) in states.iter().enumerate() {
+                                if epoch <= ctx.warmup_epochs {
+                                    // Pre-training: clone the oracle-driven
+                                    // behaviour into the actor.
+                                    ctx.agent.imitate(state, plan.dest(i));
+                                }
+                                ctx.pending.push((state.clone(), plan.dest(i), i));
+                            }
+                            plan
+                        }
+                        _ => unreachable!("scheme/state combination"),
+                    };
+                    drop(plan_span);
+                    let transfer_span = span!("core::runner", "migration_transfer");
+                    let params = collect_params(&mut clients, cfg, &attack, epoch, &mut rng);
+                    if watchdog_on {
+                        for (n, p) in nan_sources.iter_mut().zip(&params) {
+                            *n |= !fedmigr_tensor::all_finite(p);
+                        }
                     }
-                    if let Some(fc) = flow_cfg {
-                        // Price the return leg at flow cost (contention,
-                        // retransmits). Delivery itself stays unconditional
-                        // for this baseline: partial swap delivery is not
-                        // modelled.
-                        self.flow_download_phase(
-                            fc,
+                    // `src_of[j]` is the client whose model client `j` hosts
+                    // after this round. A failed delivery leaves `j` on its own
+                    // retained copy instead of breaking the permutation.
+                    // `delivered_payload[j]` is what the wire actually handed
+                    // `j` — the decoded (possibly lossy) model.
+                    let mut src_of: Vec<usize> = (0..k).collect();
+                    let mut delivered_payload: Vec<Option<Vec<f32>>> = vec![None; k];
+                    let mut move_times = Vec::new();
+                    // Under the flow transport the whole migration wave runs as
+                    // one simulation: moves contend for their pair links and the
+                    // inter-LAN backbone, and a flow that strikes out falls back
+                    // onto the retry/relay/C2S-bounce chain below.
+                    let wave = flow_cfg.map(|fc| {
+                        let mv: Vec<(usize, usize)> = plan.moves().collect();
+                        let sim = simulate_migrations(
+                            &self.topology,
                             &fault,
                             epoch,
-                            &on_time,
+                            fc,
+                            &mv,
                             model_bytes,
-                            &mut meter,
-                            &mut clock,
-                            &mut taccum,
                         );
-                    }
-                    for (i, c) in clients.iter_mut().enumerate() {
-                        let p = if on_time[i] {
-                            compressor.transmit_down(i, &uploads[i])
-                        } else {
-                            uploads[i].clone()
-                        };
-                        c.set_params(&p, plan.dest(i) != i);
-                    }
-                }
-            } else if is_agg {
-                let synced = c2s_reachable(
-                    &fault,
-                    &arrived,
-                    epoch,
-                    model_bytes,
-                    &mut clock,
-                    &mut fault_stats,
-                );
-                stale += arrived.iter().zip(&synced).filter(|&(&a, &s)| a && !s).count();
-                let n_synced = synced.iter().filter(|&&s| s).count() as u64;
-                let mut on_time = synced.clone();
-                let mut late = vec![false; k];
-                if let Some(fc) = flow_cfg {
-                    let up = self.flow_upload_phase(
-                        fc,
-                        &fault,
-                        epoch,
-                        &synced,
-                        model_bytes,
-                        &mut meter,
-                        &mut clock,
-                        &mut taccum,
-                        &mut fault_stats,
-                    );
-                    stale += up.failed;
-                    on_time = up.on_time;
-                    late = up.late;
-                } else {
-                    meter.record_c2s(2 * n_synced * model_bytes);
-                    clock.advance(
-                        VPhase::C2s,
-                        2.0 * n_synced as f64
-                            * transfer_time_with_latency(
-                                model_bytes,
-                                self.topology.c2s_bandwidth(epoch),
-                                self.topology.c2s_latency(),
-                            ),
-                    );
-                }
-                let mut uploads = collect_params(&mut clients, cfg, &attack, epoch, &mut rng);
-                for (i, up) in uploads.iter_mut().enumerate() {
-                    if on_time[i] || late[i] {
-                        *up = compressor.transmit(i, up);
-                    }
-                }
-                for i in (0..k).filter(|&i| late[i]) {
-                    late_buf.push(LateUpload {
-                        client: i,
-                        params: uploads[i].clone(),
-                        seq: agg_seq,
+                        taccum.absorb(&sim);
+                        meter.record_transfer_seconds(sim.makespan);
+                        sim
                     });
-                }
-                if let Some(fc) = flow_cfg {
-                    let n_eff = on_time.iter().filter(|&&s| s).count();
-                    if n_eff > 0 || !late_buf.is_empty() {
-                        let _agg = span!("core::runner", "aggregate");
-                        if let Some(g) = aggregate_with_late(
-                            &clients,
-                            &uploads,
-                            &on_time,
-                            &cfg.aggregator,
-                            &global,
-                            &mut robust_epoch,
-                            &mut late_buf,
-                            agg_seq,
-                            &cfg.stale,
-                            &mut taccum,
-                        ) {
-                            global = g;
-                            agg_seq += 1;
-                            let delivered = self.flow_download_phase(
-                                fc,
-                                &fault,
-                                epoch,
-                                &on_time,
-                                model_bytes,
-                                &mut meter,
-                                &mut clock,
-                                &mut taccum,
-                            );
-                            if delivered.iter().any(|&d| d) {
-                                let down = compressor.broadcast(&global);
-                                for (i, c) in clients.iter_mut().enumerate() {
-                                    if delivered[i] {
-                                        c.set_params(&down, false);
-                                        mix[i].clone_from(&population);
-                                    }
-                                }
+                    for (m, (i, j)) in plan.moves().enumerate() {
+                        let (outcome, time) = match wave.as_ref().map(|w| &w.outcomes[m]) {
+                            Some(o) if o.completed => {
+                                meter.record_c2c(model_bytes, self.topology.same_lan(i, j));
+                                meter.record_overhead(o.retransmit_bytes);
+                                observe_link_time("direct", o.finish);
+                                (EdgeOutcome::Direct, o.finish)
                             }
-                        }
-                    }
-                } else if n_synced > 0 {
-                    let _agg = span!("core::runner", "aggregate");
-                    global = aggregate_active(
-                        &clients,
-                        &uploads,
-                        &synced,
-                        &cfg.aggregator,
-                        &global,
-                        &mut robust_epoch,
-                    );
-                    let down = compressor.broadcast(&global);
-                    for (i, c) in clients.iter_mut().enumerate() {
-                        if synced[i] {
-                            c.set_params(&down, false);
-                            mix[i].clone_from(&population);
-                        }
-                    }
-                }
-            } else {
-                // C2C migration epoch. Every planner is masked to the
-                // clients that are live *and* made this round's deadline,
-                // so plans never target a dead destination.
-                let plan_span = span!("core::runner", "migration_plan");
-                let plan = match (&cfg.scheme, states.as_ref()) {
-                    (Scheme::RandMigr, _) | (Scheme::Fixed(MigrationStrategy::Random), _) => {
-                        MigrationPlan::random_subset(k, &arrived, &mut rng)
-                    }
-                    (Scheme::Fixed(MigrationStrategy::WithinLan), _) => {
-                        MigrationPlan::within_lan_masked(&self.topology, &arrived, &mut rng)
-                    }
-                    (Scheme::Fixed(MigrationStrategy::CrossLan), _) => {
-                        MigrationPlan::cross_lan_masked(&self.topology, &arrived, &mut rng)
-                    }
-                    (Scheme::FedMigr(_), Some(states)) => {
-                        let ctx = agent_ctx.as_mut().expect("FedMigr context");
-                        let rho = if epoch <= ctx.warmup_epochs { 1.0 } else { ctx.rho };
-                        ctx.agent.set_rho(rho);
-                        let (oracle, objective) = self.solve_oracle(
-                            &dmat,
-                            model_bytes,
-                            epoch,
-                            ctx.lambda,
-                            &flaky,
-                            ctx.liveness_penalty,
-                            &suspicion,
-                            ctx.suspicion_penalty,
-                        );
-                        let desired: Vec<usize> = (0..k)
-                            .map(|i| ctx.agent.select_action(&states[i], Some(&oracle[i])))
-                            .collect();
-                        // Blend the relaxed-FLMM objective with the agent's
-                        // per-client desires, then recover a permutation by
-                        // globally greedy matching over the active clients.
-                        let mut scores = objective;
-                        for (i, &j) in desired.iter().enumerate() {
-                            scores[i][j] += 0.25;
-                        }
-                        let plan = MigrationPlan::greedy_assignment_masked(&scores, &arrived);
-                        for (i, state) in states.iter().enumerate() {
-                            if epoch <= ctx.warmup_epochs {
-                                // Pre-training: clone the oracle-driven
-                                // behaviour into the actor.
-                                ctx.agent.imitate(state, plan.dest(i));
+                            Some(o) => {
+                                // The flow burned its wire bytes and struck out;
+                                // resolve through the fallback chain with the
+                                // elapsed flow time charged on top.
+                                meter.record_overhead(o.wire_bytes);
+                                fault_stats.wasted_bytes += model_bytes;
+                                let (out, t) = self.deliver_fallback(
+                                    &fault,
+                                    &alive,
+                                    i,
+                                    j,
+                                    epoch,
+                                    model_bytes,
+                                    &mut meter,
+                                    &mut fault_stats,
+                                );
+                                (out, o.finish + t)
                             }
-                            ctx.pending.push((state.clone(), plan.dest(i), i));
-                        }
-                        plan
-                    }
-                    _ => unreachable!("scheme/state combination"),
-                };
-                drop(plan_span);
-                let transfer_span = span!("core::runner", "migration_transfer");
-                let params = collect_params(&mut clients, cfg, &attack, epoch, &mut rng);
-                // `src_of[j]` is the client whose model client `j` hosts
-                // after this round. A failed delivery leaves `j` on its own
-                // retained copy instead of breaking the permutation.
-                // `delivered_payload[j]` is what the wire actually handed
-                // `j` — the decoded (possibly lossy) model.
-                let mut src_of: Vec<usize> = (0..k).collect();
-                let mut delivered_payload: Vec<Option<Vec<f32>>> = vec![None; k];
-                let mut move_times = Vec::new();
-                // Under the flow transport the whole migration wave runs as
-                // one simulation: moves contend for their pair links and the
-                // inter-LAN backbone, and a flow that strikes out falls back
-                // onto the retry/relay/C2S-bounce chain below.
-                let wave = flow_cfg.map(|fc| {
-                    let mv: Vec<(usize, usize)> = plan.moves().collect();
-                    let sim =
-                        simulate_migrations(&self.topology, &fault, epoch, fc, &mv, model_bytes);
-                    taccum.absorb(&sim);
-                    meter.record_transfer_seconds(sim.makespan);
-                    sim
-                });
-                for (m, (i, j)) in plan.moves().enumerate() {
-                    let (outcome, time) = match wave.as_ref().map(|w| &w.outcomes[m]) {
-                        Some(o) if o.completed => {
-                            meter.record_c2c(model_bytes, self.topology.same_lan(i, j));
-                            meter.record_overhead(o.retransmit_bytes);
-                            observe_link_time("direct", o.finish);
-                            (EdgeOutcome::Direct, o.finish)
-                        }
-                        Some(o) => {
-                            // The flow burned its wire bytes and struck out;
-                            // resolve through the fallback chain with the
-                            // elapsed flow time charged on top.
-                            meter.record_overhead(o.wire_bytes);
-                            fault_stats.wasted_bytes += model_bytes;
-                            let (out, t) = self.deliver_fallback(
+                            None => self.deliver(
                                 &fault,
                                 &alive,
                                 i,
@@ -1076,266 +1346,378 @@ impl Experiment {
                                 model_bytes,
                                 &mut meter,
                                 &mut fault_stats,
-                            );
-                            (out, o.finish + t)
-                        }
-                        None => self.deliver(
-                            &fault,
-                            &alive,
-                            i,
-                            j,
-                            epoch,
-                            model_bytes,
-                            &mut meter,
-                            &mut fault_stats,
-                        ),
-                    };
-                    move_times.push(time);
-                    round_edges.push(MigrationEdge {
-                        src: i,
-                        dst: j,
-                        bytes: model_bytes,
-                        time_s: time,
-                        outcome,
-                    });
-                    if outcome.delivered() {
-                        // Encode only transfers that completed: a cancelled
-                        // migration must not consume the sender's
-                        // error-feedback residual. The receiver screens the
-                        // *decoded* payload before adoption. A rejected
-                        // model was still transmitted (the bytes are
-                        // burned) but `j` keeps its own copy and the
-                        // source's suspicion rises.
-                        let payload = compressor.transmit(i, &params[i]);
-                        if let Some(q) = quarantine.as_mut() {
-                            let _screen = span!("core::runner", "quarantine_screen");
-                            if !q.screen(i, &payload, &params[j]) {
-                                robust_epoch.rejected_migrations += 1;
-                                continue;
+                            ),
+                        };
+                        move_times.push(time);
+                        round_edges.push(MigrationEdge {
+                            src: i,
+                            dst: j,
+                            bytes: model_bytes,
+                            time_s: time,
+                            outcome,
+                        });
+                        if outcome.delivered() {
+                            // Encode only transfers that completed: a cancelled
+                            // migration must not consume the sender's
+                            // error-feedback residual. The receiver screens the
+                            // *decoded* payload before adoption. A rejected
+                            // model was still transmitted (the bytes are
+                            // burned) but `j` keeps its own copy and the
+                            // source's suspicion rises.
+                            let payload = compressor.transmit(i, &params[i]);
+                            if let Some(q) = quarantine.as_mut() {
+                                let _screen = span!("core::runner", "quarantine_screen");
+                                if !q.screen(i, &payload, &params[j]) {
+                                    robust_epoch.rejected_migrations += 1;
+                                    continue;
+                                }
+                            }
+                            src_of[j] = i;
+                            delivered_payload[j] = Some(payload);
+                            link_migrations[i * k + j] += 1;
+                            if self.topology.same_lan(i, j) {
+                                migrations_local += 1;
+                            } else {
+                                migrations_global += 1;
                             }
                         }
-                        src_of[j] = i;
-                        delivered_payload[j] = Some(payload);
-                        link_migrations[i * k + j] += 1;
-                        if self.topology.same_lan(i, j) {
-                            migrations_local += 1;
-                        } else {
-                            migrations_global += 1;
-                        }
                     }
-                }
-                if diag_on {
-                    // Attribute virtual-dataset EMD deltas to individual
-                    // migrations: slot `j` is about to adopt slot
-                    // `src_of[j]`'s mixture.
-                    for (j, &s) in src_of.iter().enumerate() {
-                        if s == j {
-                            continue;
-                        }
-                        let before = normalized_emd(&mix[j], &population);
-                        let after = normalized_emd(&mix[s], &population);
-                        fedmigr_telemetry::debug!(
+                    if diag_on {
+                        // Attribute virtual-dataset EMD deltas to individual
+                        // migrations: slot `j` is about to adopt slot
+                        // `src_of[j]`'s mixture.
+                        for (j, &s) in src_of.iter().enumerate() {
+                            if s == j {
+                                continue;
+                            }
+                            let before = normalized_emd(&mix[j], &population);
+                            let after = normalized_emd(&mix[s], &population);
+                            fedmigr_telemetry::debug!(
                             "core::diag",
                             "migration {s}->{j}: virtual-dataset EMD {before:.4} -> {after:.4} ({:+.4})",
                             after - before
                         );
-                    }
-                }
-                clock.advance_parallel(VPhase::Migration, move_times);
-                mix = src_of.iter().map(|&s| mix[s].clone()).collect();
-                if diag_on {
-                    train_mix = src_of.iter().map(|&s| train_mix[s].clone()).collect();
-                }
-                round_src_of.clone_from(&src_of);
-                for (j, c) in clients.iter_mut().enumerate() {
-                    match delivered_payload[j].take() {
-                        Some(p) => {
-                            let migrated = p != params[j];
-                            c.set_params(&p, migrated);
                         }
-                        // No accepted migration: re-install the retained
-                        // local copy (the pre-codec behaviour, wire-free).
-                        None => c.set_params(&params[j], false),
                     }
-                }
-                drop(transfer_span);
-            }
-            drop(comm_span);
-
-            // (4) Evaluation of the (shadow-)aggregated global model.
-            let eval_span = span!("core::runner", "evaluate");
-            let eval_due = epoch % cfg.eval_interval == 0 || epoch == cfg.epochs;
-            let accuracy = if eval_due {
-                let shadow = if cfg.scheme.is_async() {
-                    // FedAsync's global model lives on the server.
-                    global.clone()
-                } else {
-                    // What clients would *transmit* if the server aggregated
-                    // now — Byzantine clients corrupt these shadow uploads
-                    // exactly like real ones, and the codec previews its
-                    // distortion (without touching residuals, counters or
-                    // stats: these transfers are hypothetical), so the
-                    // measured accuracy reflects both the aggregation
-                    // rule's defense and the wire's lossiness.
-                    let uploads: Vec<Vec<f32>> = clients
-                        .iter_mut()
-                        .enumerate()
-                        .map(|(i, c)| {
-                            let mut p = c.params();
-                            attack.corrupt_upload(i, epoch, &mut p);
-                            compressor.preview(i, &p)
-                        })
-                        .collect();
-                    aggregate_active(
-                        &clients,
-                        &uploads,
-                        &vec![true; k],
-                        &cfg.aggregator,
-                        &global,
-                        &mut robust_epoch,
-                    )
-                };
-                Some(self.evaluate(&mut template, &shadow))
-            } else {
-                None
-            };
-            drop(eval_span);
-
-            // (5) Agent learning.
-            if let Some(ctx) = agent_ctx.as_mut() {
-                let _learn = span!("core::runner", "agent_update");
-                for _ in 0..ctx.updates_per_epoch {
-                    ctx.agent.update();
-                }
-            }
-
-            // (6) Bookkeeping and stopping conditions.
-            let book_span = span!("core::runner", "bookkeeping");
-            let epoch_bw = (meter.traffic().total() - traffic_before) as f64;
-            let epoch_compute = meter.compute_cost() - compute_before;
-            last_epoch_usage = (
-                if cfg.budget.compute.is_finite() {
-                    epoch_compute / cfg.budget.compute
-                } else {
-                    0.0
-                },
-                if cfg.budget.bandwidth.is_finite() {
-                    epoch_bw / cfg.budget.bandwidth
-                } else {
-                    0.0
-                },
-            );
-            fault_stats.stale_client_epochs += stale;
-            if let Some(q) = quarantine.as_mut() {
-                q.end_epoch();
-            }
-            records.push(EpochRecord {
-                epoch,
-                train_loss: mean_loss,
-                test_accuracy: accuracy,
-                traffic: meter.traffic(),
-                sim_time: clock.now(),
-                dropped_clients: dropped,
-                stale_clients: stale,
-                rejected_migrations: robust_epoch.rejected_migrations,
-                // Every meter charge is a whole number of model transfers,
-                // so the cumulative wire-level saving is exact.
-                bytes_saved: (meter.traffic().total() / model_bytes) * saved_per_transfer,
-                phase: clock.phase(),
-                retransmits: taccum.retransmits(),
-                late_uploads: taccum.late_uploads(),
-            });
-            robust_total.absorb(&robust_epoch);
-            prev_loss = Some(mean_loss);
-
-            if diag_on {
-                let _diag = span!("core::runner", "diagnostics");
-                let emd = EmdSnapshot::measure(&mix, &population);
-                let train_emd = EmdSnapshot::measure(&train_mix, &population);
-                // Read parameters directly: `collect_params` applies DP
-                // noise and consumes the shared RNG stream, which would
-                // break the diagnostics-off/on byte-identity contract.
-                let params_now: Vec<Vec<f32>> = clients.iter_mut().map(|c| c.params()).collect();
-                let weights: Vec<f64> = clients.iter().map(|c| c.num_samples() as f64).collect();
-                let drift = DriftSnapshot::measure(&params_now, &global, &weights);
-                let drl = match (agent_ctx.as_mut(), states.as_ref()) {
-                    (Some(ctx), Some(states)) => {
-                        // Forward-only policy probes: RNG-free by design.
-                        let probs: Vec<Vec<f32>> =
-                            states.iter().map(|s| ctx.agent.action_probs(s)).collect();
-                        Some(DrlSnapshot::collect(
-                            &probs,
-                            ctx.agent.last_update_stats(),
-                            ctx.agent.replay_health(),
-                        ))
+                    clock.advance_parallel(VPhase::Migration, move_times);
+                    mix = src_of.iter().map(|&s| mix[s].clone()).collect();
+                    if diag_on {
+                        train_mix = src_of.iter().map(|&s| train_mix[s].clone()).collect();
                     }
-                    _ => None,
-                };
-                let graph = GraphSnapshot::measure(&round_edges, &round_src_of);
-                let reg = fedmigr_telemetry::global().registry();
-                reg.gauge("fedmigr_diag_emd_mean", &[]).set(emd.mean);
-                reg.gauge("fedmigr_diag_emd_max", &[]).set(emd.max);
-                reg.gauge("fedmigr_diag_train_emd_mean", &[]).set(train_emd.mean);
-                reg.gauge("fedmigr_diag_train_emd_max", &[]).set(train_emd.max);
-                reg.gauge("fedmigr_diag_drift_mean_dist", &[]).set(drift.mean_dist);
-                reg.gauge("fedmigr_diag_drift_mean_cosine", &[]).set(drift.mean_cosine);
-                reg.gauge("fedmigr_diag_drift_mean_divergence", &[]).set(drift.mean_divergence);
-                if let Some(d) = &drl {
-                    reg.gauge("fedmigr_diag_policy_entropy", &[]).set(d.mean_entropy);
-                    reg.gauge("fedmigr_diag_policy_saturation", &[]).set(d.mean_saturation);
-                    reg.gauge("fedmigr_diag_critic_mean_q", &[]).set(d.mean_q);
-                    reg.gauge("fedmigr_diag_td_error_mean_abs", &[]).set(d.mean_abs_td);
+                    round_src_of.clone_from(&src_of);
+                    for (j, c) in clients.iter_mut().enumerate() {
+                        match delivered_payload[j].take() {
+                            Some(p) => {
+                                let migrated = p != params[j];
+                                c.set_params(&p, migrated);
+                            }
+                            // No accepted migration: re-install the retained
+                            // local copy (the pre-codec behaviour, wire-free).
+                            None => c.set_params(&params[j], false),
+                        }
+                    }
+                    drop(transfer_span);
                 }
-                let mut flight_failed = false;
-                if let Some(rec) = flight.as_mut() {
-                    let traffic = meter.traffic();
-                    let phase = clock.phase();
-                    let row = RoundRecord {
-                        epoch,
-                        train_loss: mean_loss as f64,
-                        test_accuracy: accuracy,
-                        sim_time: clock.now(),
-                        c2s_bytes: traffic.c2s,
-                        c2c_local_bytes: traffic.c2c_local,
-                        c2c_global_bytes: traffic.c2c_global,
-                        phase_train_s: phase.train_s,
-                        phase_c2s_s: phase.c2s_s,
-                        phase_migration_s: phase.migration_s,
-                        phase_backoff_s: phase.backoff_s,
-                        emd,
-                        train_emd,
-                        drift: Some(drift),
-                        drl,
-                        graph,
-                        migrations: std::mem::take(&mut round_edges),
+                drop(comm_span);
+
+                // (4) Evaluation of the (shadow-)aggregated global model.
+                let eval_span = span!("core::runner", "evaluate");
+                let eval_due = epoch.is_multiple_of(cfg.eval_interval) || epoch == cfg.epochs;
+                let accuracy = if eval_due {
+                    let shadow = if cfg.scheme.is_async() {
+                        // FedAsync's global model lives on the server.
+                        global.clone()
+                    } else {
+                        // What clients would *transmit* if the server aggregated
+                        // now — Byzantine clients corrupt these shadow uploads
+                        // exactly like real ones, and the codec previews its
+                        // distortion (without touching residuals, counters or
+                        // stats: these transfers are hypothetical), so the
+                        // measured accuracy reflects both the aggregation
+                        // rule's defense and the wire's lossiness.
+                        let uploads: Vec<Vec<f32>> = clients
+                            .iter_mut()
+                            .enumerate()
+                            .map(|(i, c)| {
+                                let mut p = c.params();
+                                attack.corrupt_upload(i, epoch, &mut p);
+                                compressor.preview(i, &p)
+                            })
+                            .collect();
+                        // Hypothetical full participation — except sources the
+                        // watchdog has permanently excluded, which are out of
+                        // the run for good and must not poison the measurement.
+                        let include: Vec<bool> = excluded.iter().map(|&e| !e).collect();
+                        aggregate_active(
+                            &clients,
+                            &uploads,
+                            &include,
+                            &cfg.aggregator,
+                            &global,
+                            &mut robust_epoch,
+                        )
                     };
-                    if let Err(e) = rec.round(&row) {
-                        fedmigr_telemetry::error!(
-                            "core::diag",
-                            "flight round write failed: {e}; recording stopped"
-                        );
-                        flight_failed = true;
+                    Some(self.evaluate(&mut template, &shadow))
+                } else {
+                    None
+                };
+                drop(eval_span);
+
+                // (5) Agent learning.
+                if let Some(ctx) = agent_ctx.as_mut() {
+                    let _learn = span!("core::runner", "agent_update");
+                    for _ in 0..ctx.updates_per_epoch {
+                        ctx.agent.update();
                     }
                 }
-                if flight_failed {
-                    flight = None;
+
+                // (6) Bookkeeping and stopping conditions.
+                let book_span = span!("core::runner", "bookkeeping");
+                let epoch_bw = (meter.traffic().total() - traffic_before) as f64;
+                let epoch_compute = meter.compute_cost() - compute_before;
+                last_epoch_usage = (
+                    if cfg.budget.compute.is_finite() {
+                        epoch_compute / cfg.budget.compute
+                    } else {
+                        0.0
+                    },
+                    if cfg.budget.bandwidth.is_finite() {
+                        epoch_bw / cfg.budget.bandwidth
+                    } else {
+                        0.0
+                    },
+                );
+                fault_stats.stale_client_epochs += stale;
+                if let Some(q) = quarantine.as_mut() {
+                    q.end_epoch();
                 }
-            }
-            drop(book_span);
-            if let (Some(target), Some(acc)) = (cfg.target_accuracy, accuracy) {
-                if acc >= target {
-                    target_reached = true;
-                    break;
+                // Divergence watchdog: a non-finite global model or loss, or a
+                // loss spike beyond `spike_factor` times the trailing-window
+                // baseline, rolls the run back to the last good checkpoint and
+                // retries with the implicated sources excluded and quarantined.
+                if watchdog_on {
+                    let window = cfg.watchdog.window.max(1);
+                    let recent: Vec<f32> = records
+                        .iter()
+                        .rev()
+                        .take(window)
+                        .map(|r| r.train_loss)
+                        .filter(|l| l.is_finite())
+                        .collect();
+                    let baseline = (!recent.is_empty())
+                        .then(|| recent.iter().sum::<f32>() / recent.len() as f32);
+                    let spiked = matches!(baseline, Some(b) if b > 0.0
+                    && (mean_loss as f64) > cfg.watchdog.spike_factor * b as f64);
+                    let diverged =
+                        !mean_loss.is_finite() || spiked || !fedmigr_tensor::all_finite(&global);
+                    if diverged {
+                        match last_good.take() {
+                            Some((ck_epoch, bytes))
+                                if recovery.rollbacks < cfg.watchdog.max_rollbacks =>
+                            {
+                                let implicated: Vec<usize> =
+                                    (0..k).filter(|&i| nan_sources[i]).collect();
+                                fedmigr_telemetry::error!(
+                                    "core::runner",
+                                    "watchdog: divergence at epoch {epoch} (loss {mean_loss}, \
+                                 global finite: {}); rolling back to epoch {ck_epoch}, \
+                                 implicated sources {implicated:?}",
+                                    fedmigr_tensor::all_finite(&global)
+                                );
+                                let mut state = RunState::from_bytes(&bytes, &stamp)
+                                    .expect("in-memory checkpoint decodes");
+                                // Recovery accounting and exclusions survive
+                                // the rollback; everything else rewinds.
+                                state.recovery = recovery;
+                                state.excluded = excluded.clone();
+                                restore_state!(state);
+                                for &i in &implicated {
+                                    excluded[i] = true;
+                                    if let Some(q) = quarantine.as_mut() {
+                                        q.escalate(i);
+                                    }
+                                }
+                                recovery.rollbacks += 1;
+                                recovery.checkpoints_loaded += 1;
+                                recovery.rounds_replayed += epoch - ck_epoch;
+                                nan_sources.iter_mut().for_each(|n| *n = false);
+                                // Replayed rounds rewrite history: truncate the
+                                // flight recording back to the checkpoint.
+                                if flight.is_some() {
+                                    if let Some(path) = cfg.diag.flight_out.as_deref() {
+                                        drop(flight.take()); // flush + close first
+                                        flight = FlightRecorder::resume(path, ck_epoch).ok();
+                                    }
+                                }
+                                last_good = Some((ck_epoch, bytes));
+                                epoch = ck_epoch + 1;
+                                continue 'run;
+                            }
+                            other => {
+                                last_good = other;
+                                fedmigr_telemetry::error!(
+                                    "core::runner",
+                                    "watchdog: divergence at epoch {epoch} but no rollback \
+                                 available (budget {}/{} used); continuing",
+                                    recovery.rollbacks,
+                                    cfg.watchdog.max_rollbacks
+                                );
+                            }
+                        }
+                    }
                 }
+                records.push(EpochRecord {
+                    epoch,
+                    train_loss: mean_loss,
+                    test_accuracy: accuracy,
+                    traffic: meter.traffic(),
+                    sim_time: clock.now(),
+                    dropped_clients: dropped,
+                    stale_clients: stale,
+                    rejected_migrations: robust_epoch.rejected_migrations,
+                    // Every meter charge is a whole number of model transfers,
+                    // so the cumulative wire-level saving is exact.
+                    bytes_saved: (meter.traffic().total() / model_bytes) * saved_per_transfer,
+                    phase: clock.phase(),
+                    retransmits: taccum.retransmits(),
+                    late_uploads: taccum.late_uploads(),
+                });
+                robust_total.absorb(&robust_epoch);
+                prev_loss = Some(mean_loss);
+
+                if diag_on {
+                    let _diag = span!("core::runner", "diagnostics");
+                    let emd = EmdSnapshot::measure(&mix, &population);
+                    let train_emd = EmdSnapshot::measure(&train_mix, &population);
+                    // Read parameters directly: `collect_params` applies DP
+                    // noise and consumes the shared RNG stream, which would
+                    // break the diagnostics-off/on byte-identity contract.
+                    let params_now: Vec<Vec<f32>> =
+                        clients.iter_mut().map(|c| c.params()).collect();
+                    let weights: Vec<f64> =
+                        clients.iter().map(|c| c.num_samples() as f64).collect();
+                    let drift = DriftSnapshot::measure(&params_now, &global, &weights);
+                    let drl = match (agent_ctx.as_mut(), states.as_ref()) {
+                        (Some(ctx), Some(states)) => {
+                            // Forward-only policy probes: RNG-free by design.
+                            let probs: Vec<Vec<f32>> =
+                                states.iter().map(|s| ctx.agent.action_probs(s)).collect();
+                            Some(DrlSnapshot::collect(
+                                &probs,
+                                ctx.agent.last_update_stats(),
+                                ctx.agent.replay_health(),
+                            ))
+                        }
+                        _ => None,
+                    };
+                    let graph = GraphSnapshot::measure(&round_edges, &round_src_of);
+                    let reg = fedmigr_telemetry::global().registry();
+                    reg.gauge("fedmigr_diag_emd_mean", &[]).set(emd.mean);
+                    reg.gauge("fedmigr_diag_emd_max", &[]).set(emd.max);
+                    reg.gauge("fedmigr_diag_train_emd_mean", &[]).set(train_emd.mean);
+                    reg.gauge("fedmigr_diag_train_emd_max", &[]).set(train_emd.max);
+                    reg.gauge("fedmigr_diag_drift_mean_dist", &[]).set(drift.mean_dist);
+                    reg.gauge("fedmigr_diag_drift_mean_cosine", &[]).set(drift.mean_cosine);
+                    reg.gauge("fedmigr_diag_drift_mean_divergence", &[]).set(drift.mean_divergence);
+                    if let Some(d) = &drl {
+                        reg.gauge("fedmigr_diag_policy_entropy", &[]).set(d.mean_entropy);
+                        reg.gauge("fedmigr_diag_policy_saturation", &[]).set(d.mean_saturation);
+                        reg.gauge("fedmigr_diag_critic_mean_q", &[]).set(d.mean_q);
+                        reg.gauge("fedmigr_diag_td_error_mean_abs", &[]).set(d.mean_abs_td);
+                    }
+                    let mut flight_failed = false;
+                    if let Some(rec) = flight.as_mut() {
+                        let traffic = meter.traffic();
+                        let phase = clock.phase();
+                        let row = RoundRecord {
+                            epoch,
+                            train_loss: mean_loss as f64,
+                            test_accuracy: accuracy,
+                            sim_time: clock.now(),
+                            c2s_bytes: traffic.c2s,
+                            c2c_local_bytes: traffic.c2c_local,
+                            c2c_global_bytes: traffic.c2c_global,
+                            phase_train_s: phase.train_s,
+                            phase_c2s_s: phase.c2s_s,
+                            phase_migration_s: phase.migration_s,
+                            phase_backoff_s: phase.backoff_s,
+                            emd,
+                            train_emd,
+                            drift: Some(drift),
+                            drl,
+                            graph,
+                            migrations: std::mem::take(&mut round_edges),
+                        };
+                        if let Err(e) = rec.round(&row) {
+                            fedmigr_telemetry::error!(
+                                "core::diag",
+                                "flight round write failed: {e}; recording stopped"
+                            );
+                            flight_failed = true;
+                        }
+                    }
+                    if flight_failed {
+                        flight = None;
+                    }
+                }
+                drop(book_span);
+                if let (Some(target), Some(acc)) = (cfg.target_accuracy, accuracy) {
+                    if acc >= target {
+                        target_reached = true;
+                        break 'run;
+                    }
+                }
+                if meter.exhausted() {
+                    budget_exhausted = true;
+                    break 'run;
+                }
+            } // end of 'round
+
+            // --- Round epilogue: snapshot cadence and the kill switch ----
+            let snap_every = cfg.checkpoint_every.unwrap_or(1);
+            if (cfg.checkpoint_every.is_some() || watchdog_on) && epoch.is_multiple_of(snap_every) {
+                let bytes = capture_state!(epoch).to_bytes(&stamp);
+                recovery.checkpoints_written += 1;
+                recovery.checkpoint_bytes += bytes.len() as u64;
+                if let Some(dir) = cfg.checkpoint_dir.as_deref() {
+                    let dir = std::path::Path::new(dir);
+                    // Atomic writes (temp + rename): a crash mid-write
+                    // never leaves a torn checkpoint where a good one
+                    // stood.
+                    let write = |path: &std::path::Path| -> std::io::Result<()> {
+                        let tmp = path.with_extension("tmp");
+                        std::fs::write(&tmp, &bytes)?;
+                        std::fs::rename(&tmp, path)
+                    };
+                    let persist = std::fs::create_dir_all(dir)
+                        .and_then(|()| write(&dir.join(format!("ckpt_round_{epoch}.fmrs"))))
+                        .and_then(|()| write(&dir.join("latest.fmrs")));
+                    if let Err(e) = persist {
+                        fedmigr_telemetry::error!(
+                            "core::runner",
+                            "checkpoint write failed at epoch {epoch} in {}: {e}",
+                            dir.display()
+                        );
+                    }
+                }
+                last_good = Some((epoch, bytes));
+                nan_sources.iter_mut().for_each(|n| *n = false);
             }
-            if meter.exhausted() {
-                budget_exhausted = true;
+            if cfg.kill_at == Some(epoch) {
+                killed = true;
+                warn!(
+                    "core::runner",
+                    "kill switch: aborting after epoch {epoch} (simulated crash)"
+                );
                 break;
             }
+            epoch += 1;
         }
 
-        // Terminal transition flush (Eq. 18).
-        if let Some(ctx) = agent_ctx.as_mut() {
+        // Terminal transition flush (Eq. 18). A killed run crashed: no
+        // terminal credit, no flight summary — exactly the state a real
+        // crash would leave behind for `--resume` to pick up.
+        if let Some(ctx) = agent_ctx.as_mut().filter(|_| !killed) {
             let terminal = terminal_reward(&ctx.reward, last_step_reward, !budget_exhausted);
             for (state, action, client) in ctx.pending.drain(..) {
                 let next = state.clone();
@@ -1350,7 +1732,7 @@ impl Experiment {
             }
         }
 
-        if let Some(rec) = flight.as_mut() {
+        if let Some(rec) = flight.as_mut().filter(|_| !killed) {
             let summary = FlightSummary {
                 epochs_run: records.len(),
                 final_accuracy: records.iter().rev().find_map(|r| r.test_accuracy).unwrap_or(0.0),
@@ -1371,6 +1753,17 @@ impl Experiment {
             &phase_wall_baseline,
             records.last().map(|r| r.phase).unwrap_or_default(),
         );
+        if recovery.any() {
+            let reg = fedmigr_telemetry::global().registry();
+            reg.gauge("fedmigr_recovery_checkpoints_written", &[])
+                .set(recovery.checkpoints_written as f64);
+            reg.gauge("fedmigr_recovery_checkpoint_bytes", &[])
+                .set(recovery.checkpoint_bytes as f64);
+            reg.gauge("fedmigr_recovery_checkpoints_loaded", &[])
+                .set(recovery.checkpoints_loaded as f64);
+            reg.gauge("fedmigr_recovery_rollbacks", &[]).set(recovery.rollbacks as f64);
+            reg.gauge("fedmigr_recovery_rounds_replayed", &[]).set(recovery.rounds_replayed as f64);
+        }
 
         RunMetrics {
             scheme: cfg.scheme.name(),
@@ -1386,6 +1779,7 @@ impl Experiment {
             compression: compressor.stats(),
             transport: cfg.transport.name().into(),
             transport_stats: taccum.finish(),
+            recovery,
         }
     }
 
@@ -1897,27 +2291,57 @@ fn effective_samples(n: usize, cfg: &RunConfig) -> usize {
 }
 
 /// Trains the participating clients for one local epoch, in parallel.
-/// Returns `None` for clients that sat the epoch out.
+/// Returns the per-client losses (`None` for clients that sat the epoch
+/// out) plus a mask of clients whose training thread *panicked*. A panic —
+/// whether injected by [`FaultConfig::panics`] or a genuine bug in one
+/// client's training path — is contained at the join: the client is
+/// treated as crashed for the round and the run survives.
 fn train_all(
     clients: &mut [FlClient],
     cfg: &RunConfig,
     prox: Option<&(Vec<f32>, f32)>,
     active: &[bool],
-) -> Vec<Option<f32>> {
+    fault: &FaultModel,
+    epoch: usize,
+) -> (Vec<Option<f32>>, Vec<bool>) {
+    let k = clients.len();
     std::thread::scope(|s| {
         let handles: Vec<_> = clients
             .iter_mut()
             .zip(active)
-            .map(|(c, &is_active)| {
+            .enumerate()
+            .map(|(i, (c, &is_active))| {
                 let prox_ref = prox.map(|(g, mu)| (g.as_slice(), *mu));
                 is_active.then(|| {
                     s.spawn(move || {
+                        if fault.client_panics(i, epoch) {
+                            panic!("injected client panic (client {i}, epoch {epoch})");
+                        }
                         c.train_epoch(cfg.batch_size, cfg.max_batches_per_epoch, prox_ref)
                     })
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.map(|h| h.join().expect("client thread panicked"))).collect()
+        let mut losses = Vec::with_capacity(k);
+        let mut panicked = vec![false; k];
+        for (i, h) in handles.into_iter().enumerate() {
+            match h {
+                None => losses.push(None),
+                Some(h) => match h.join() {
+                    Ok(loss) => losses.push(Some(loss)),
+                    Err(_) => {
+                        fedmigr_telemetry::error!(
+                            "core::runner",
+                            "client {i} training thread panicked at epoch {epoch}; \
+                             treating the client as crashed for this round"
+                        );
+                        panicked[i] = true;
+                        losses.push(None);
+                    }
+                },
+            }
+        }
+        (losses, panicked)
     })
 }
 

@@ -178,6 +178,7 @@ mod tests {
             compression: CompressionStats::default(),
             transport: "lockstep".into(),
             transport_stats: TransportStats::default(),
+            recovery: crate::metrics::RecoveryStats::default(),
         }
     }
 

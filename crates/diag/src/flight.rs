@@ -138,6 +138,46 @@ impl FlightRecorder {
         FlightRecorder { out: BufWriter::new(w) }
     }
 
+    /// Reopens an interrupted recording for appending, truncated back to
+    /// `keep_epoch`: the header, any tolerances line and every round line
+    /// with `epoch <= keep_epoch` survive **byte for byte** (reserializing
+    /// could perturb float formatting and break resume byte-identity);
+    /// rounds past the checkpoint, any summary, and a torn final line left
+    /// by a crash are dropped.
+    pub fn resume(path: &str, keep_epoch: usize) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let mut kept = String::with_capacity(text.len());
+        for line in text.lines() {
+            let t = line.trim();
+            if t.is_empty() {
+                continue;
+            }
+            let keep = match JsonValue::parse(t) {
+                // A line the crash tore mid-write.
+                Err(_) => false,
+                Ok(v) => {
+                    let obj = v.as_object();
+                    let kind = obj.and_then(|o| o.get("kind")).and_then(JsonValue::as_str);
+                    match kind {
+                        Some("header") | Some("tolerances") => true,
+                        Some("round") => obj
+                            .and_then(|o| o.get("epoch"))
+                            .and_then(JsonValue::as_f64)
+                            .is_some_and(|e| e as usize <= keep_epoch),
+                        _ => false,
+                    }
+                }
+            };
+            if keep {
+                kept.push_str(line);
+                kept.push('\n');
+            }
+        }
+        std::fs::write(path, &kept)?;
+        let file = std::fs::OpenOptions::new().append(true).open(path)?;
+        Ok(Self::to_writer(Box::new(file)))
+    }
+
     /// Writes the header line. Call exactly once, first.
     pub fn header(&mut self, h: &FlightHeader) -> std::io::Result<()> {
         writeln!(
@@ -327,18 +367,35 @@ impl FlightRecording {
     }
 
     /// Parses a recording from JSONL text.
+    ///
+    /// A recording whose process died mid-write may end in a torn final
+    /// line; that line (and only that line — corruption anywhere earlier
+    /// is still a hard error) is skipped with a WARN instead of failing
+    /// the whole parse.
     pub fn parse(text: &str) -> Result<Self, String> {
         let mut header = None;
         let mut rounds = Vec::new();
         let mut summary = None;
         let mut tolerances = None;
-        for (idx, line) in text.lines().enumerate() {
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            let n = idx + 1;
-            let v = JsonValue::parse(line).map_err(|e| format!("line {n}: {e}"))?;
+        let lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .map(|(idx, line)| (idx + 1, line.trim()))
+            .filter(|(_, line)| !line.is_empty())
+            .collect();
+        let last = lines.len().saturating_sub(1);
+        for (pos, &(n, line)) in lines.iter().enumerate() {
+            let v = match JsonValue::parse(line) {
+                Ok(v) => v,
+                Err(e) if pos == last => {
+                    fedmigr_telemetry::warn!(
+                        "diag::flight",
+                        "line {n}: skipping truncated final line ({e})"
+                    );
+                    break;
+                }
+                Err(e) => return Err(format!("line {n}: {e}")),
+            };
             let obj = v.as_object().ok_or(format!("line {n}: not an object"))?;
             match obj.get("kind").and_then(JsonValue::as_str) {
                 Some("header") => {
@@ -728,6 +785,73 @@ mod tests {
         assert_eq!(rec.total_bytes(), 2000 + 500 + 250);
         assert_eq!(rec.sim_time(), 20.0);
         assert_eq!(rec.mean_emd_over_run(), 0.25);
+    }
+
+    #[test]
+    fn parser_skips_truncated_final_line_only() {
+        let (header, rounds, _) = sample_recording();
+        let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        struct Proxy(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+        impl Write for Proxy {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut rec = FlightRecorder::to_writer(Box::new(Proxy(buf.clone())));
+        rec.header(&header).unwrap();
+        for r in &rounds {
+            rec.round(r).unwrap();
+        }
+        drop(rec);
+        let clean = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        // A crash mid-write leaves a torn final line: skipped with a WARN.
+        let torn = format!("{clean}{{\"kind\":\"rou");
+        let parsed = FlightRecording::parse(&torn).unwrap();
+        assert_eq!(parsed.rounds, rounds);
+        assert_eq!(parsed.summary, None);
+        // The same garbage anywhere *earlier* is still a hard error.
+        let mid = format!("{{\"kind\":\"rou\n{clean}");
+        assert!(FlightRecording::parse(&mid).is_err());
+    }
+
+    #[test]
+    fn resume_truncates_to_checkpoint_and_appends() {
+        let (header, rounds, summary) = sample_recording();
+        let dir = std::env::temp_dir().join("fedmigr_flight_resume_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flight.jsonl");
+        let path_s = path.to_str().unwrap();
+        let mut rec = FlightRecorder::create(path_s).unwrap();
+        rec.header(&header).unwrap();
+        for r in &rounds {
+            rec.round(r).unwrap();
+        }
+        rec.finish(&summary).unwrap();
+        drop(rec);
+        // Simulate a crash artifact on top: a torn trailing fragment.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"kind\":\"round\",\"epo").unwrap();
+        }
+        let before = std::fs::read_to_string(&path).unwrap();
+        // Resume keeping epoch 1: round 2, the summary and the torn
+        // fragment all drop; the surviving prefix is byte-identical.
+        let mut rec = FlightRecorder::resume(path_s, 1).unwrap();
+        rec.round(&sample_round(2)).unwrap();
+        rec.finish(&summary).unwrap();
+        drop(rec);
+        let after = std::fs::read_to_string(&path).unwrap();
+        let kept: Vec<&str> = before.lines().take(2).collect();
+        assert!(after.starts_with(&format!("{}\n", kept.join("\n"))), "prefix preserved verbatim");
+        let parsed = FlightRecording::parse(&after).unwrap();
+        assert_eq!(parsed.rounds, rounds, "round 2 re-recorded after resume");
+        assert_eq!(parsed.summary, Some(summary));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

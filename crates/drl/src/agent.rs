@@ -8,8 +8,8 @@ use fedmigr_tensor::{argmax_slice, softmax_rows, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::noise::OuNoise;
-use crate::replay::{PrioritizedReplay, Transition};
+use crate::noise::{OuNoise, OuState};
+use crate::replay::{PrioritizedReplay, ReplayState, Transition};
 
 /// Hyper-parameters of the EMPG agent (Alg. 1).
 #[derive(Clone, Debug)]
@@ -110,6 +110,36 @@ pub fn policy_entropy_saturation(probs: &[f32]) -> (f64, f64) {
         saturation = saturation.max(p);
     }
     (entropy, saturation)
+}
+
+/// Complete checkpoint capture of a [`DdpgAgent`]: all four networks, the
+/// replay buffer, the exact RNG stream position, exploration-noise state,
+/// the annealed ρ, and learning bookkeeping. Unlike [`DdpgAgent::save`]
+/// (the deployment story: policy weights only), importing this resumes
+/// training bit-for-bit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AgentState {
+    /// Actor network parameters.
+    pub actor: Vec<f32>,
+    /// Critic network parameters.
+    pub critic: Vec<f32>,
+    /// Actor target-network parameters.
+    pub actor_target: Vec<f32>,
+    /// Critic target-network parameters.
+    pub critic_target: Vec<f32>,
+    /// Replay-buffer contents and priorities.
+    pub replay: ReplayState,
+    /// Raw RNG state (exploration + replay sampling stream).
+    pub rng: [u64; 4],
+    /// Ornstein–Uhlenbeck noise state, if configured.
+    pub ou: Option<OuState>,
+    /// ρ-greedy exploration probability at capture time (annealed at
+    /// runtime via [`DdpgAgent::set_rho`]).
+    pub rho: f64,
+    /// Learning updates performed so far.
+    pub updates: u64,
+    /// Stats of the most recent update, if any.
+    pub last_stats: Option<UpdateStats>,
 }
 
 /// DDPG agent for migration-policy generation.
@@ -272,6 +302,42 @@ impl DdpgAgent {
         self.actor_target = self.actor.clone();
         self.critic_target = self.critic.clone();
         Ok(())
+    }
+
+    /// Captures the complete agent state for a run checkpoint.
+    pub fn export_state(&mut self) -> AgentState {
+        AgentState {
+            actor: self.actor.params(),
+            critic: self.critic.params(),
+            actor_target: self.actor_target.params(),
+            critic_target: self.critic_target.params(),
+            replay: self.replay.export_state(),
+            rng: self.rng.state(),
+            ou: self.ou.as_ref().map(OuNoise::export_state),
+            rho: self.config.rho,
+            updates: self.updates,
+            last_stats: self.last_stats,
+        }
+    }
+
+    /// Restores state captured by [`DdpgAgent::export_state`] into an agent
+    /// built from the same [`AgentConfig`]; training resumes bit-for-bit.
+    pub fn import_state(&mut self, state: AgentState) {
+        assert_eq!(state.actor.len(), self.actor.num_params(), "actor size mismatch");
+        assert_eq!(state.critic.len(), self.critic.num_params(), "critic size mismatch");
+        assert_eq!(state.ou.is_some(), self.ou.is_some(), "OU-noise configuration mismatch");
+        self.actor.set_params(&state.actor);
+        self.critic.set_params(&state.critic);
+        self.actor_target.set_params(&state.actor_target);
+        self.critic_target.set_params(&state.critic_target);
+        self.replay.import_state(state.replay);
+        self.rng = StdRng::from_state(state.rng);
+        if let (Some(ou), Some(snap)) = (self.ou.as_mut(), state.ou) {
+            ou.import_state(snap);
+        }
+        self.config.rho = state.rho;
+        self.updates = state.updates;
+        self.last_stats = state.last_stats;
     }
 
     /// Supervised (behavior-cloning) update of the actor towards choosing
@@ -551,6 +617,40 @@ mod tests {
         b.load(&dir).unwrap();
         assert_eq!(a.action_probs(&[0.0; 4]), b.action_probs(&[0.0; 4]));
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn full_state_round_trip_resumes_training_bit_for_bit() {
+        let mut cfg = bandit_config(4);
+        cfg.ou_noise = true;
+        let mut live = DdpgAgent::new(cfg.clone());
+        let state = vec![1.0f32, 0.0, 0.0];
+        let step = |agent: &mut DdpgAgent| {
+            let a = agent.select_action(&state, None);
+            agent.observe(Transition {
+                state: state.clone(),
+                action: a,
+                reward: if a == 0 { 1.0 } else { 0.0 },
+                next_state: state.clone(),
+                done: true,
+            });
+            (a, agent.update())
+        };
+        for _ in 0..80 {
+            step(&mut live);
+        }
+        live.set_rho(0.11);
+        let snap = live.export_state();
+        // A fresh agent from a different seed, then restored.
+        let mut resumed = DdpgAgent::new(AgentConfig { seed: 777, ..cfg });
+        resumed.import_state(snap);
+        assert_eq!(resumed.updates(), live.updates());
+        assert_eq!(resumed.config().rho, 0.11);
+        for _ in 0..40 {
+            assert_eq!(step(&mut live), step(&mut resumed));
+        }
+        assert_eq!(live.action_probs(&state), resumed.action_probs(&state));
+        assert_eq!(live.last_update_stats(), resumed.last_update_stats());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 use rand::Rng;
 
 /// One experience tuple `z = (s_t, a_t, r_t, s_{t+1})`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Transition {
     /// State features at decision time.
     pub state: Vec<f32>,
@@ -36,6 +36,26 @@ pub struct PrioritizedReplay {
     /// Push counter value at which each occupied slot was last written —
     /// the basis of the age distribution in [`ReplayHealth`].
     inserted_at: Vec<u64>,
+}
+
+/// Checkpoint capture of a [`PrioritizedReplay`]: the stored transitions
+/// plus exactly the bookkeeping needed to resume sampling bit-for-bit.
+/// Only the leaf weights are captured — the sum-tree's internal nodes are
+/// recomputed on import.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplayState {
+    /// Stored transitions in slot order.
+    pub items: Vec<Transition>,
+    /// Stored sampling weights (`p^ξ`), one per item.
+    pub weights: Vec<f64>,
+    /// Ring-buffer write cursor.
+    pub next_slot: usize,
+    /// Running maximum priority assigned to new pushes.
+    pub max_priority: f64,
+    /// Lifetime push count.
+    pub pushes: u64,
+    /// Push counter at which each slot was last written.
+    pub inserted_at: Vec<u64>,
 }
 
 /// Point-in-time health summary of a [`PrioritizedReplay`] buffer: how
@@ -103,6 +123,36 @@ impl PrioritizedReplay {
         self.pushes += 1;
         self.set_weight(slot, self.max_priority.powf(self.xi));
         self.next_slot = (slot + 1) % self.capacity;
+    }
+
+    /// Captures the buffer for a run checkpoint.
+    pub fn export_state(&self) -> ReplayState {
+        ReplayState {
+            items: self.items.clone(),
+            weights: self.tree[self.capacity..self.capacity + self.items.len()].to_vec(),
+            next_slot: self.next_slot,
+            max_priority: self.max_priority,
+            pushes: self.pushes,
+            inserted_at: self.inserted_at.clone(),
+        }
+    }
+
+    /// Restores state captured by [`PrioritizedReplay::export_state`] into
+    /// a buffer of the same capacity; the sum-tree's internal nodes are
+    /// rebuilt from the captured leaf weights.
+    pub fn import_state(&mut self, state: ReplayState) {
+        assert!(state.items.len() <= self.capacity, "snapshot larger than capacity");
+        assert_eq!(state.items.len(), state.weights.len(), "weights/items mismatch");
+        assert_eq!(state.items.len(), state.inserted_at.len(), "ages/items mismatch");
+        self.items = state.items;
+        self.inserted_at = state.inserted_at;
+        self.next_slot = state.next_slot;
+        self.max_priority = state.max_priority;
+        self.pushes = state.pushes;
+        self.tree.fill(0.0);
+        for (i, w) in state.weights.into_iter().enumerate() {
+            self.set_weight(i, w);
+        }
     }
 
     /// Current buffer health: occupancy, sampling skew, and the age
@@ -337,6 +387,40 @@ mod tests {
             }
         }
         assert!(w_hot < w_cold, "frequent item should carry smaller IS weight");
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_exact_stream() {
+        let mut live = PrioritizedReplay::new(4, 0.8, 0.5);
+        for i in 0..6 {
+            live.push(t(i as f32));
+        }
+        live.update_priority(1, 9.0);
+        let snap = live.export_state();
+        let mut resumed = PrioritizedReplay::new(4, 0.8, 0.5);
+        resumed.import_state(snap);
+        assert_eq!(resumed.health(), live.health());
+        let mut ra = StdRng::seed_from_u64(5);
+        let mut rb = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let a: Vec<(usize, f64)> =
+                live.sample(3, &mut ra).into_iter().map(|(i, _, w)| (i, w)).collect();
+            let b: Vec<(usize, f64)> =
+                resumed.sample(3, &mut rb).into_iter().map(|(i, _, w)| (i, w)).collect();
+            assert_eq!(a, b);
+            live.push(t(9.0));
+            resumed.push(t(9.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than capacity")]
+    fn import_rejects_oversized_snapshot() {
+        let mut big = PrioritizedReplay::new(8, 0.6, 0.4);
+        for i in 0..6 {
+            big.push(t(i as f32));
+        }
+        PrioritizedReplay::new(4, 0.6, 0.4).import_state(big.export_state());
     }
 
     #[test]

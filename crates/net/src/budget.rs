@@ -166,6 +166,40 @@ impl ResourceMeter {
     pub fn budget(&self) -> ResourceBudget {
         self.budget
     }
+
+    /// Captures the meter's accumulated consumption for a run checkpoint
+    /// (the budget itself is rebuilt from config).
+    pub fn export_state(&self) -> MeterState {
+        MeterState {
+            traffic: self.traffic,
+            overhead: self.overhead,
+            transfer_seconds: self.transfer_seconds,
+            compute_cost: self.compute_cost,
+        }
+    }
+
+    /// Restores consumption captured by [`ResourceMeter::export_state`].
+    /// Sets fields directly — deliberately bypassing the `record_*` paths so
+    /// restore does not double-count into telemetry byte counters.
+    pub fn import_state(&mut self, state: MeterState) {
+        self.traffic = state.traffic;
+        self.overhead = state.overhead;
+        self.transfer_seconds = state.transfer_seconds;
+        self.compute_cost = state.compute_cost;
+    }
+}
+
+/// Checkpoint capture of a [`ResourceMeter`]'s accumulated consumption.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeterState {
+    /// Payload traffic accumulated so far.
+    pub traffic: TrafficBreakdown,
+    /// Retransmission overhead bytes.
+    pub overhead: u64,
+    /// Simulated transfer seconds (flow transport).
+    pub transfer_seconds: f64,
+    /// Computation cost in sample-passes.
+    pub compute_cost: f64,
 }
 
 /// Mirrors every meter charge into the `fedmigr_net_bytes_total{path}`

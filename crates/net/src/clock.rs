@@ -15,6 +15,12 @@ impl SimClock {
         Self::default()
     }
 
+    /// A clock restored to `now` seconds (run-checkpoint resume).
+    pub fn at(now: f64) -> Self {
+        assert!(now >= 0.0 && now.is_finite(), "invalid clock time {now}");
+        Self { now }
+    }
+
     /// Current virtual time in seconds.
     pub fn now(&self) -> f64 {
         self.now

@@ -91,6 +91,12 @@ pub struct FaultConfig {
     pub bw_collapse_factor: f64,
     /// Retry/backoff policy for failed transfers.
     pub retry: RetryPolicy,
+    /// Explicit `(client, epoch)` pairs at which the client's training
+    /// thread panics mid-round — a deterministic stand-in for software
+    /// crashes (poisoned inputs, OOM aborts) as opposed to the
+    /// availability outages of `crash_prob`. The runner catches the panic
+    /// and treats the client as crashed for that round.
+    pub panics: Vec<(usize, usize)>,
     /// Seed of the fault schedule (independent of the run seed).
     pub seed: u64,
 }
@@ -115,6 +121,7 @@ impl FaultConfig {
             bw_collapse_prob: 0.0,
             bw_collapse_factor: 1.0,
             retry: RetryPolicy::standard(),
+            panics: Vec::new(),
             seed: 0,
         }
     }
@@ -141,6 +148,7 @@ impl FaultConfig {
             bw_collapse_prob: 0.0,
             bw_collapse_factor: 1.0,
             retry: RetryPolicy::standard(),
+            panics: Vec::new(),
             seed,
         }
     }
@@ -171,6 +179,7 @@ impl FaultConfig {
             && self.burst_loss_prob == 0.0
             && self.bw_collapse_prob == 0.0
             && self.straggler_deadline.is_infinite()
+            && self.panics.is_empty()
     }
 }
 
@@ -418,6 +427,12 @@ impl FaultModel {
         }
     }
 
+    /// Whether `client`'s training thread is scheduled to panic at `epoch`
+    /// (the explicit `panics` injection list).
+    pub fn client_panics(&self, client: usize, epoch: usize) -> bool {
+        self.enabled && self.config.panics.contains(&(client, epoch))
+    }
+
     /// The retry policy in force.
     pub fn retry(&self) -> RetryPolicy {
         self.config.retry
@@ -607,6 +622,26 @@ mod tests {
         assert!(!stressed.config().is_none());
         let hits = (0..100).filter(|&e| stressed.link_burst_loss(1, usize::MAX, e) > 0.0).count();
         assert!(hits > 20, "c2s burst loss never fired: {hits}");
+    }
+
+    #[test]
+    fn panic_injection_is_exact_and_enables_the_layer() {
+        let mut cfg = FaultConfig::none();
+        assert!(cfg.is_none());
+        cfg.panics = vec![(2, 5), (0, 1)];
+        assert!(!cfg.is_none(), "panic specs must enable the fault layer");
+        let f = FaultModel::new(cfg, 4);
+        assert!(f.client_panics(2, 5));
+        assert!(f.client_panics(0, 1));
+        assert!(!f.client_panics(2, 6));
+        assert!(!f.client_panics(1, 5));
+        // The rest of the schedule stays transparent.
+        for e in 0..20 {
+            for i in 0..4 {
+                assert!(f.is_alive(i, e));
+                assert_eq!(f.slowdown(i, e), 1.0);
+            }
+        }
     }
 
     #[test]

@@ -33,15 +33,15 @@ mod topology;
 pub mod transport;
 
 pub use attack::{AttackConfig, AttackKind, AttackModel};
-pub use budget::{ResourceBudget, ResourceMeter, TrafficBreakdown};
+pub use budget::{MeterState, ResourceBudget, ResourceMeter, TrafficBreakdown};
 pub use clock::SimClock;
 pub use compute::{ClientCompute, DeviceTier};
 pub use fault::{FaultConfig, FaultModel, RetryPolicy};
 pub use flow::{FlowConfig, FlowOutcome, FlowSim, QueueDiscipline};
 pub use topology::{LinkClass, Topology, TopologyConfig};
 pub use transport::{
-    simulate_c2s, simulate_migrations, upload_deadline, PhaseSim, TransportAccum, TransportConfig,
-    TransportStats,
+    simulate_c2s, simulate_migrations, upload_deadline, PhaseSim, TransportAccum,
+    TransportAccumState, TransportConfig, TransportStats,
 };
 
 /// Seconds to move `bytes` over a link of `bandwidth` bytes/second, or

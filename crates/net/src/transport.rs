@@ -210,6 +210,19 @@ impl TransportStats {
     }
 }
 
+/// Checkpoint capture of a [`TransportAccum`]: the running stats plus the
+/// raw per-flow queue-delay and per-phase utilization samples the final
+/// percentiles are computed from.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TransportAccumState {
+    /// Running counter totals.
+    pub stats: TransportStats,
+    /// Per-flow queueing delays seen so far.
+    pub queue_delays: Vec<f64>,
+    /// Per-phase mean link utilizations seen so far.
+    pub utils: Vec<f64>,
+}
+
 /// Accumulates per-phase [`PhaseSim`] results into [`TransportStats`] over
 /// a run, mirroring counters and gauges to telemetry as it goes.
 #[derive(Clone, Debug, Default)]
@@ -274,6 +287,24 @@ impl TransportAccum {
     /// Cumulative late uploads so far (for per-epoch bookkeeping).
     pub fn late_uploads(&self) -> u64 {
         self.stats.late_uploads
+    }
+
+    /// Captures the accumulator for a run checkpoint.
+    pub fn export_state(&self) -> TransportAccumState {
+        TransportAccumState {
+            stats: self.stats,
+            queue_delays: self.queue_delays.clone(),
+            utils: self.utils.clone(),
+        }
+    }
+
+    /// Restores state captured by [`TransportAccum::export_state`]. Sets
+    /// fields directly, bypassing `absorb` so restore does not re-emit
+    /// telemetry for already-counted phases.
+    pub fn import_state(&mut self, state: TransportAccumState) {
+        self.stats = state.stats;
+        self.queue_delays = state.queue_delays;
+        self.utils = state.utils;
     }
 
     /// Finalizes the run-level stats (computes the queue-delay percentiles

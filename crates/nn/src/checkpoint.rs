@@ -1,9 +1,10 @@
 //! Model checkpointing: save/load parameter snapshots to disk.
 //!
 //! The format is deliberately simple and stable: a magic tag, a
-//! length-prefixed UTF-8 model name, and the little-endian parameter
-//! payload of [`crate::params::encode_params`]. Loading verifies both the
-//! name and the parameter count, so a checkpoint cannot be silently loaded
+//! length-prefixed UTF-8 model name, the little-endian parameter payload of
+//! [`crate::params::encode_params`], and a trailing CRC-32 over everything
+//! before it. Loading verifies the checksum, the name and the parameter
+//! count, so a corrupt or mismatched checkpoint cannot be silently loaded
 //! into the wrong architecture.
 
 use std::fs;
@@ -17,17 +18,49 @@ use crate::Model;
 
 const MAGIC: &[u8; 8] = b"FEDMIGR1";
 
+const fn make_crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = make_crc32_table();
+
+/// CRC-32 (IEEE 802.3, polynomial `0xEDB88320`) of `bytes`. Shared by every
+/// checkpoint format in the workspace so corruption detection is uniform.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
 /// Serializes a model snapshot to bytes.
 pub fn to_bytes(model: &mut Model) -> Bytes {
     let params = model.params();
     let name = model.name().as_bytes();
     let payload = encode_params(&params);
-    let mut buf = BytesMut::with_capacity(8 + 4 + name.len() + payload.len());
+    let mut buf = BytesMut::with_capacity(8 + 4 + name.len() + payload.len() + 4);
     buf.put_slice(MAGIC);
     buf.put_u32_le(name.len() as u32);
     buf.put_slice(name);
     buf.put_slice(&payload);
-    buf.freeze()
+    let body = buf.freeze();
+    let mut out = BytesMut::with_capacity(body.len() + 4);
+    out.put_slice(&body);
+    out.put_u32_le(crc32(&body));
+    out.freeze()
 }
 
 /// Restores a snapshot produced by [`to_bytes`] into `model`.
@@ -36,10 +69,17 @@ pub fn to_bytes(model: &mut Model) -> Bytes {
 /// the parameter count does not match the target architecture.
 pub fn from_bytes(model: &mut Model, mut bytes: Bytes) -> io::Result<()> {
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-    if bytes.len() < 12 || &bytes[..8] != MAGIC {
+    if bytes.len() < 16 || &bytes[..8] != MAGIC {
         return Err(bad("not a FedMigr checkpoint"));
     }
-    bytes.advance(8);
+    let body_len = bytes.len() - 4;
+    let mut body = bytes.split_to(body_len);
+    let stored = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+    if crc32(&body) != stored {
+        return Err(bad("checkpoint checksum mismatch"));
+    }
+    body.advance(8);
+    let mut bytes = body;
     let name_len = bytes.get_u32_le() as usize;
     if bytes.len() < name_len {
         return Err(bad("truncated checkpoint name"));
@@ -116,5 +156,24 @@ mod tests {
         let mut m = zoo::mlp(2, &[], 2, 0);
         assert!(from_bytes(&mut m, Bytes::from_static(b"nonsense")).is_err());
         assert!(from_bytes(&mut m, Bytes::from_static(b"FEDMIGR1\xff\xff\xff\xff")).is_err());
+    }
+
+    #[test]
+    fn rejects_single_bit_flips() {
+        let mut a = zoo::mlp(3, &[4], 2, 1);
+        let snapshot = to_bytes(&mut a).to_vec();
+        for byte in [0, 9, 14, snapshot.len() / 2, snapshot.len() - 1] {
+            let mut corrupt = snapshot.clone();
+            corrupt[byte] ^= 0x10;
+            let err = from_bytes(&mut a, Bytes::from(corrupt)).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "flip at byte {byte}");
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 }

@@ -14,7 +14,9 @@ use fedmigr::data::{
     partition_dirichlet, partition_dominant, partition_iid, partition_missing_classes,
     partition_shards, SyntheticConfig, SyntheticDataset,
 };
-use fedmigr::net::{ClientCompute, FaultConfig, Topology, TopologyConfig, TransportConfig};
+use fedmigr::net::{
+    AttackConfig, ClientCompute, FaultConfig, Topology, TopologyConfig, TransportConfig,
+};
 use fedmigr::nn::zoo::{self, NetScale};
 use fedmigr_telemetry::{error, info, Filter};
 
@@ -54,6 +56,26 @@ OPTIONS:
                          control, timeout/retransmission state machines,
                          per-round upload deadlines and staleness-tolerant
                          degraded aggregation
+    --attack <spec>      Byzantine adversary: signflip:<frac> | gauss:<frac>:<std> |
+                         scaled:<frac>:<mult> | nan:<frac> | labelflip:<frac>
+                         (schedule seeded by --fault-seed; default off)
+    --checkpoint-every <n>  snapshot the complete run state every n rounds
+    --checkpoint-dir <d> write snapshots to <d> as ckpt_round_<r>.fmrs plus a
+                         rolling latest.fmrs (atomic rename; implies
+                         --checkpoint-every 1 unless set)
+    --resume <path>      restore a snapshot and continue the run from the
+                         round after it; the completed run is byte-identical
+                         to one that was never interrupted
+    --kill-at <n>        simulate a crash right after round n completes
+                         (chaos testing; pair with --resume to recover)
+    --watchdog           enable the divergence watchdog: when the global
+                         model goes non-finite or the loss spikes beyond
+                         --spike-factor times the trailing mean, roll back to
+                         the last good snapshot and quarantine the implicated
+                         sources
+    --spike-factor <f>   watchdog loss-spike threshold as a multiple of the
+                         trailing-window mean loss (default 4.0)
+    --max-rollbacks <n>  watchdog rollback budget per run (default 3)
     --fault-seed <n>     seed of the fault schedule (default 13)
     --seed <n>           master seed (default 7)
     --csv <path>         write the per-epoch curve as CSV
@@ -155,6 +177,21 @@ fn main() {
         "flow" => TransportConfig::flow(args.seed),
         other => die(&format!("unknown transport {other:?} (try --help)")),
     };
+    if let Some(spec) = &args.attack {
+        cfg.attack = parse_attack(spec, args.fault_seed);
+    }
+    // A checkpoint directory without an explicit cadence snapshots every round.
+    cfg.checkpoint_every = args.checkpoint_every.or(args.checkpoint_dir.as_ref().map(|_| 1));
+    cfg.checkpoint_dir = args.checkpoint_dir.clone();
+    cfg.resume = args.resume.clone();
+    cfg.kill_at = args.kill_at;
+    cfg.watchdog.enabled = args.watchdog;
+    if let Some(f) = args.spike_factor {
+        cfg.watchdog.spike_factor = f;
+    }
+    if let Some(n) = args.max_rollbacks {
+        cfg.watchdog.max_rollbacks = n;
+    }
     cfg.seed = args.seed;
     cfg.diag = DiagConfig { enabled: args.diag, flight_out: args.flight_out.clone() };
 
@@ -190,6 +227,9 @@ fn main() {
     );
     if let Some(faults) = metrics.fault_summary() {
         println!("{faults}");
+    }
+    if let Some(recovery) = metrics.recovery_summary() {
+        println!("{recovery}");
     }
     if let Some(compression) = metrics.compression_summary() {
         println!("{compression}");
@@ -244,6 +284,14 @@ struct Args {
     dropout: Option<f64>,
     net_stress: Option<f64>,
     transport: String,
+    attack: Option<String>,
+    checkpoint_every: Option<usize>,
+    checkpoint_dir: Option<String>,
+    resume: Option<String>,
+    kill_at: Option<usize>,
+    watchdog: bool,
+    spike_factor: Option<f64>,
+    max_rollbacks: Option<usize>,
     fault_seed: u64,
     seed: u64,
     csv: Option<String>,
@@ -274,6 +322,14 @@ impl Args {
             dropout: None,
             net_stress: None,
             transport: "lockstep".into(),
+            attack: None,
+            checkpoint_every: None,
+            checkpoint_dir: None,
+            resume: None,
+            kill_at: None,
+            watchdog: false,
+            spike_factor: None,
+            max_rollbacks: None,
             fault_seed: 13,
             seed: 7,
             csv: None,
@@ -293,6 +349,11 @@ impl Args {
             }
             if flag == "--diag" {
                 out.diag = true;
+                i += 1;
+                continue;
+            }
+            if flag == "--watchdog" {
+                out.watchdog = true;
                 i += 1;
                 continue;
             }
@@ -318,6 +379,13 @@ impl Args {
                 "--dropout" => out.dropout = Some(parse(value, flag)),
                 "--net-stress" => out.net_stress = Some(parse(value, flag)),
                 "--transport" => out.transport = value.clone(),
+                "--attack" => out.attack = Some(value.clone()),
+                "--checkpoint-every" => out.checkpoint_every = Some(parse(value, flag)),
+                "--checkpoint-dir" => out.checkpoint_dir = Some(value.clone()),
+                "--resume" => out.resume = Some(value.clone()),
+                "--kill-at" => out.kill_at = Some(parse(value, flag)),
+                "--spike-factor" => out.spike_factor = Some(parse(value, flag)),
+                "--max-rollbacks" => out.max_rollbacks = Some(parse(value, flag)),
                 "--fault-seed" => out.fault_seed = parse(value, flag),
                 "--seed" => out.seed = parse(value, flag),
                 "--csv" => out.csv = Some(value.clone()),
@@ -335,6 +403,36 @@ impl Args {
 
 fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {
     value.parse().unwrap_or_else(|_| die(&format!("bad value {value:?} for {flag}")))
+}
+
+fn parse_attack(spec: &str, seed: u64) -> AttackConfig {
+    let bad = || -> ! { die(&format!("bad attack spec {spec:?} (try --help)")) };
+    let mut parts = spec.split(':');
+    let kind = parts.next().unwrap_or_else(|| bad());
+    let mut num = |what: &str| -> f64 {
+        parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| die(&format!("attack spec {spec:?}: bad or missing {what}")))
+    };
+    let cfg = match kind {
+        "signflip" => AttackConfig::sign_flip(num("fraction"), seed),
+        "gauss" => {
+            let frac = num("fraction");
+            AttackConfig::gaussian(frac, num("std"), seed)
+        }
+        "scaled" => {
+            let frac = num("fraction");
+            AttackConfig::scaled(frac, num("multiplier"), seed)
+        }
+        "nan" => AttackConfig::nan_inject(num("fraction"), seed),
+        "labelflip" => AttackConfig::label_flip(num("fraction"), seed),
+        _ => bad(),
+    };
+    if parts.next().is_some() {
+        bad();
+    }
+    cfg
 }
 
 fn parse_suffix(spec: &str) -> f64 {
