@@ -6,14 +6,27 @@
 //!
 //! Expected shape: DRL inference time grows far more slowly than S-COP.
 //!
+//! The fleet appendix extends the chart past the paper's axis: a dense
+//! per-pair planner is quadratic in the participant count and falls over by
+//! a few thousand clients, while the factored planner (LAN profiles +
+//! hash-sampled top-M shortlists) stays near-linear to 50k+. A final
+//! end-to-end section runs the lazy sharded fleet runner at growing `K`
+//! and reports rounds/sec and peak RSS next to a dense 1000-client
+//! baseline — the memory contract is that fleet peak RSS tracks the cohort,
+//! not `K`.
+//!
 //! Usage: `fig6_scalability [--reps 20]`
 
 use std::time::Instant;
 
 use fedmigr_bench::{print_header, print_row};
-use fedmigr_core::MigrationPlan;
+use fedmigr_core::{Experiment, FleetExperiment, FleetOptions, MigrationPlan, RunConfig, Scheme};
+use fedmigr_data::{partition_shards, SyntheticConfig, SyntheticDataset};
 use fedmigr_drl::qp::FlmmRelaxation;
 use fedmigr_drl::{AgentConfig, DdpgAgent, MigrationState};
+use fedmigr_fleet::{plan_migrations, FleetPlannerConfig, LanProfile};
+use fedmigr_net::{ClientCompute, Topology, TopologyConfig};
+use fedmigr_nn::zoo::{self, NetScale};
 
 fn main() {
     let _obs = fedmigr_bench::init_observability("fig6_scalability");
@@ -24,6 +37,12 @@ fn main() {
         .map(|w| w[1].parse().expect("bad reps"))
         .unwrap_or(20);
 
+    scop_vs_drl(reps);
+    planner_scaling();
+    fleet_end_to_end();
+}
+
+fn scop_vs_drl(reps: usize) {
     println!("# Fig. 6: decision-making time vs number of clients\n");
     print_header(&["clients", "S-COP (ms)", "DRL inference (ms)", "speedup"]);
     for k in [10usize, 20, 40, 60, 80, 100] {
@@ -68,4 +87,151 @@ fn main() {
             format!("{:.1}x", scop_ms / drl_ms),
         ]);
     }
+}
+
+/// Deterministic per-client label marginal over `classes` classes.
+fn synth_marginal(i: usize, classes: usize) -> Vec<f32> {
+    let mut m = vec![0.05f32; classes];
+    m[i % classes] += 0.6;
+    m[(i / classes) % classes] += 0.3;
+    let sum: f32 = m.iter().sum();
+    m.iter().map(|v| v / sum).collect()
+}
+
+/// Dense vs factored planner decision time over a growing participant set.
+///
+/// Dense materialises the full `n × n` score matrix (as the dense runner's
+/// per-pair policy does) and runs the greedy assignment; factored builds
+/// LAN profiles and plans over hash-sampled top-M shortlists. Dense is
+/// capped at 2000 participants — past that the quadratic cost is the point.
+fn planner_scaling() {
+    const CLASSES: usize = 10;
+    const LANS: usize = 10;
+    println!("\n# Fig. 6 appendix: migration-planner decision time vs participants\n");
+    print_header(&["participants", "dense O(n^2) (ms)", "factored top-M (ms)", "speedup"]);
+    for k in [100usize, 500, 1000, 2000, 5000, 10_000, 50_000] {
+        let marginals: Vec<Vec<f32>> = (0..k).map(|i| synth_marginal(i, CLASSES)).collect();
+        let marg_refs: Vec<&[f32]> = marginals.iter().map(|m| m.as_slice()).collect();
+        let lans: Vec<u32> = (0..k).map(|i| (i % LANS) as u32).collect();
+        let desired: Vec<u32> = (0..k).map(|i| ((i * 7 + 3) % LANS) as u32).collect();
+        let cost = |i: usize, j: usize| ((i * 31 + j * 17) % 10) as f64 / 10.0;
+
+        let dense_ms = if k <= 2000 {
+            let reps = (4_000_000 / (k * k)).clamp(1, 20);
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                let scores: Vec<Vec<f64>> = (0..k)
+                    .map(|i| {
+                        (0..k)
+                            .map(|j| {
+                                let d: f32 = marginals[i]
+                                    .iter()
+                                    .zip(&marginals[j])
+                                    .map(|(a, b)| (a - b).abs())
+                                    .sum();
+                                0.5 * d as f64 - 0.1 * cost(i, j)
+                            })
+                            .collect()
+                    })
+                    .collect();
+                std::hint::black_box(MigrationPlan::greedy_assignment(&scores));
+            }
+            Some(t0.elapsed().as_secs_f64() * 1000.0 / reps as f64)
+        } else {
+            None
+        };
+
+        let reps = (500_000 / k).clamp(3, 50);
+        let cfg = FleetPlannerConfig { top_m: 8, lambda: 0.1, seed: 7 };
+        let t0 = Instant::now();
+        for e in 0..reps {
+            std::hint::black_box(LanProfile::build(&lans, &marg_refs, LANS, CLASSES));
+            std::hint::black_box(plan_migrations(
+                &cfg, e as u64, &lans, &marg_refs, &desired, cost,
+            ));
+        }
+        let factored_ms = t0.elapsed().as_secs_f64() * 1000.0 / reps as f64;
+
+        print_row(&[
+            k.to_string(),
+            dense_ms.map_or("-".into(), |ms| format!("{ms:.2}")),
+            format!("{factored_ms:.2}"),
+            dense_ms.map_or("-".into(), |ms| format!("{:.1}x", ms / factored_ms)),
+        ]);
+    }
+}
+
+/// Shared run shape for the end-to-end rows: 4 rounds of FedMigr with
+/// 2-epoch aggregation blocks and truncated local training.
+fn e2e_cfg(epochs: usize) -> RunConfig {
+    let mut cfg = RunConfig::new(Scheme::fedmigr(7), epochs);
+    cfg.agg_interval = 2;
+    cfg.eval_interval = epochs;
+    cfg.batch_size = 8;
+    cfg.max_batches_per_epoch = Some(2);
+    cfg.lr = 0.05;
+    cfg.seed = 7;
+    cfg
+}
+
+/// End-to-end fleet throughput and memory vs `K`, with a dense baseline.
+///
+/// Rows run coldest-first (fleet ascending, dense last) so each
+/// configuration's `VmHWM` reset captures its own allocations rather than
+/// a predecessor's freed-but-resident heap.
+fn fleet_end_to_end() {
+    const EPOCHS: usize = 4;
+    println!("\n# Fig. 6 appendix: end-to-end fleet rounds/sec and peak RSS vs K\n");
+    if !fedmigr_telemetry::rss::reset_peak_rss() {
+        println!("(peak-RSS reset unavailable on this platform; RSS is a process-wide high-water mark)\n");
+    }
+    print_header(&["mode", "K", "cohort", "rounds/sec", "peak RSS (MB)"]);
+
+    for k in [1000usize, 5000, 10_000] {
+        fedmigr_telemetry::rss::reset_peak_rss();
+        let mut cfg = e2e_cfg(EPOCHS);
+        cfg.fleet = Some(FleetOptions { sample_frac: 0.05, top_m: 8 });
+        let t0 = Instant::now();
+        let mut exp =
+            FleetExperiment::synthetic(k, 10, 24, 8, 7, zoo::c10_cnn(3, 8, NetScale::Small, 7));
+        let metrics = exp.run(&cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        drop(exp);
+        let rss = fedmigr_telemetry::rss::peak_rss_bytes();
+        print_row(&[
+            "fleet".into(),
+            k.to_string(),
+            format!("{}", (k as f64 * 0.05) as usize),
+            format!("{:.2}", metrics.epochs() as f64 / secs),
+            rss.map_or("-".into(), |b| format!("{:.1}", b as f64 / 1e6)),
+        ]);
+    }
+
+    // Dense baseline: every client materialised, full K x K topology.
+    let k = 1000;
+    fedmigr_telemetry::rss::reset_peak_rss();
+    let cfg = e2e_cfg(EPOCHS);
+    let t0 = Instant::now();
+    let data = SyntheticDataset::generate(&SyntheticConfig::c10_like(24 * k / 10, 7));
+    let parts = partition_shards(&data.train, k, 1, 7);
+    let topo = Topology::new(&TopologyConfig::default_edge(vec![k / 10; 10], 7));
+    let exp = Experiment::new(
+        data.train,
+        data.test,
+        parts,
+        topo,
+        ClientCompute::testbed_mix(k),
+        zoo::c10_cnn(3, 8, NetScale::Small, 7),
+    );
+    let metrics = exp.run(&cfg);
+    let secs = t0.elapsed().as_secs_f64();
+    drop(exp);
+    let rss = fedmigr_telemetry::rss::peak_rss_bytes();
+    print_row(&[
+        "dense".into(),
+        k.to_string(),
+        k.to_string(),
+        format!("{:.2}", metrics.epochs() as f64 / secs),
+        rss.map_or("-".into(), |b| format!("{:.1}", b as f64 / 1e6)),
+    ]);
 }

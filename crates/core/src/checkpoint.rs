@@ -27,6 +27,7 @@ use std::io;
 
 use fedmigr_compress::{CompressionStats, CompressorState};
 use fedmigr_drl::{AgentState, OuState, ReplayState, Transition, UpdateStats};
+use fedmigr_fleet::DormantState;
 use fedmigr_net::{MeterState, TrafficBreakdown, TransportAccumState, TransportStats};
 use fedmigr_nn::checkpoint::crc32;
 
@@ -38,8 +39,9 @@ use crate::migration::QuarantineState;
 /// checkpoint's `FEDMIGR1`).
 pub const RUN_STATE_MAGIC: &[u8; 8] = b"FEDMIGRR";
 
-/// Current run-checkpoint format version.
-pub const RUN_STATE_VERSION: u32 = 1;
+/// Current run-checkpoint format version. Version 2 added the stamp's
+/// `mode` field (dense vs fleet) and the fleet payload layout.
+pub const RUN_STATE_VERSION: u32 = 2;
 
 /// Identifying configuration a checkpoint is only valid for. Stamped into
 /// every checkpoint and validated field by field on load: resuming a run
@@ -63,6 +65,12 @@ pub struct RunStamp {
     pub transport: String,
     /// Aggregation interval.
     pub agg_interval: u64,
+    /// Runner mode: `"dense"` (every client materialized, [`RunState`]
+    /// payload) or `"fleet"` (stub pool, [`FleetRunState`] payload). Checked
+    /// *before* the payload is decoded, so loading a fleet snapshot into a
+    /// dense run (or vice versa) fails with a clear mismatch error instead
+    /// of a garbled-state panic later.
+    pub mode: String,
 }
 
 /// A late upload buffered across a checkpoint (the flow transport's
@@ -163,24 +171,7 @@ impl RunState {
     /// stamp field against `expect` before touching the payload. Any
     /// corruption or mismatch yields [`io::ErrorKind::InvalidData`].
     pub fn from_bytes(bytes: &[u8], expect: &RunStamp) -> io::Result<RunState> {
-        if bytes.len() < RUN_STATE_MAGIC.len() + 8 {
-            return Err(bad("run checkpoint too short"));
-        }
-        if &bytes[..8] != RUN_STATE_MAGIC {
-            return Err(bad("not a fedmigr run checkpoint (bad magic)"));
-        }
-        let body_len = bytes.len() - 4;
-        let stored = u32::from_le_bytes(bytes[body_len..].try_into().unwrap());
-        if crc32(&bytes[..body_len]) != stored {
-            return Err(bad("run checkpoint checksum mismatch"));
-        }
-        let mut d = Dec { b: &bytes[8..body_len], pos: 0 };
-        let version = d.u32()?;
-        if version != RUN_STATE_VERSION {
-            return Err(bad(&format!(
-                "unsupported run checkpoint version {version} (expected {RUN_STATE_VERSION})"
-            )));
-        }
+        let mut d = open_container(bytes)?;
         let stamp = take_stamp(&mut d)?;
         check_stamp(&stamp, expect)?;
         let state = take_state(&mut d)?;
@@ -206,6 +197,111 @@ impl RunState {
         let bytes = std::fs::read(path)?;
         Self::from_bytes(&bytes, expect)
     }
+}
+
+/// Everything a *fleet* round depends on, captured after a completed round.
+/// Deliberately small: the fleet's per-client state lives in the dormant
+/// stubs (one [`DormantState`] each — RNG stream, migration counter,
+/// participation count), so a K = 100,000 checkpoint is a few megabytes,
+/// not a dense `K × num_params` dump. Shares the dense checkpoint's
+/// magic/version/stamp/CRC container under `mode = "fleet"`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetRunState {
+    /// Last completed round; resume continues at `epoch + 1`.
+    pub epoch: usize,
+    /// Server-held global model parameters.
+    pub global: Vec<f32>,
+    /// The shared sampling RNG's raw stream position.
+    pub rng: [u64; 4],
+    /// Per-client dormant state, in id order (length `K`).
+    pub dormant: Vec<DormantState>,
+    /// Pooled DDPG agent state (`None` for non-DRL fleet schemes).
+    pub agent: Option<AgentSnapshot>,
+    /// Resource-meter consumption.
+    pub meter: MeterState,
+    /// Virtual clock time in seconds.
+    pub clock_now: f64,
+    /// Per-phase attribution of the virtual clock.
+    pub phase: PhaseBreakdown,
+    /// Per-round records produced so far.
+    pub records: Vec<EpochRecord>,
+    /// Intra-LAN migrations executed.
+    pub migrations_local: usize,
+    /// Cross-LAN migrations executed.
+    pub migrations_global: usize,
+    /// Previous round's mean training loss.
+    pub prev_loss: Option<f32>,
+    /// Previous round's (compute, bandwidth) budget usage fractions.
+    pub last_epoch_usage: (f64, f64),
+    /// Most recent DRL step reward.
+    pub last_step_reward: f64,
+}
+
+impl FleetRunState {
+    /// Encodes the state under `stamp` (which must carry `mode = "fleet"`)
+    /// into the checkpoint wire format.
+    pub fn to_bytes(&self, stamp: &RunStamp) -> Vec<u8> {
+        let mut e = Enc { buf: Vec::with_capacity(4096) };
+        e.buf.extend_from_slice(RUN_STATE_MAGIC);
+        e.u32(RUN_STATE_VERSION);
+        put_stamp(&mut e, stamp);
+        put_fleet_state(&mut e, self);
+        let crc = crc32(&e.buf);
+        e.u32(crc);
+        e.buf
+    }
+
+    /// Decodes a fleet checkpoint, validating magic, version, CRC and the
+    /// stamp (mode first) against `expect` before touching the payload.
+    pub fn from_bytes(bytes: &[u8], expect: &RunStamp) -> io::Result<FleetRunState> {
+        let mut d = open_container(bytes)?;
+        let stamp = take_stamp(&mut d)?;
+        check_stamp(&stamp, expect)?;
+        let state = take_fleet_state(&mut d)?;
+        if d.pos != d.b.len() {
+            return Err(bad("trailing bytes after run checkpoint payload"));
+        }
+        Ok(state)
+    }
+
+    /// Writes the encoded checkpoint to `path` atomically.
+    pub fn save(&self, path: &std::path::Path, stamp: &RunStamp) -> io::Result<u64> {
+        let bytes = self.to_bytes(stamp);
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Reads and decodes a fleet checkpoint from `path`.
+    pub fn load(path: &std::path::Path, expect: &RunStamp) -> io::Result<FleetRunState> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes, expect)
+    }
+}
+
+/// Validates magic, version and CRC, returning a decoder positioned at the
+/// stamp. Shared by the dense and fleet payloads.
+fn open_container(bytes: &[u8]) -> io::Result<Dec<'_>> {
+    if bytes.len() < RUN_STATE_MAGIC.len() + 8 {
+        return Err(bad("run checkpoint too short"));
+    }
+    if &bytes[..8] != RUN_STATE_MAGIC {
+        return Err(bad("not a fedmigr run checkpoint (bad magic)"));
+    }
+    let body_len = bytes.len() - 4;
+    let stored = u32::from_le_bytes(bytes[body_len..].try_into().unwrap());
+    if crc32(&bytes[..body_len]) != stored {
+        return Err(bad("run checkpoint checksum mismatch"));
+    }
+    let mut d = Dec { b: &bytes[8..body_len], pos: 0 };
+    let version = d.u32()?;
+    if version != RUN_STATE_VERSION {
+        return Err(bad(&format!(
+            "unsupported run checkpoint version {version} (expected {RUN_STATE_VERSION})"
+        )));
+    }
+    Ok(d)
 }
 
 fn bad(msg: &str) -> io::Error {
@@ -352,6 +448,7 @@ fn put_stamp(e: &mut Enc, s: &RunStamp) {
     e.str(&s.codec);
     e.str(&s.transport);
     e.u64(s.agg_interval);
+    e.str(&s.mode);
 }
 
 fn take_stamp(d: &mut Dec) -> io::Result<RunStamp> {
@@ -364,6 +461,7 @@ fn take_stamp(d: &mut Dec) -> io::Result<RunStamp> {
         codec: d.str()?,
         transport: d.str()?,
         agg_interval: d.u64()?,
+        mode: d.str()?,
     })
 }
 
@@ -380,6 +478,9 @@ fn check_stamp(found: &RunStamp, expect: &RunStamp) -> io::Result<()> {
             }
         };
     }
+    // Mode first: a fleet snapshot offered to a dense run (or vice versa)
+    // should always fail with the mode message, whatever else differs.
+    field!(mode);
     field!(scheme);
     field!(seed);
     field!(epochs);
@@ -563,6 +664,103 @@ fn take_state(d: &mut Dec) -> io::Result<RunState> {
         last_step_reward,
         excluded,
         recovery,
+    })
+}
+
+fn put_fleet_state(e: &mut Enc, s: &FleetRunState) {
+    e.us(s.epoch);
+    e.f32s(&s.global);
+    e.rng(&s.rng);
+    e.us(s.dormant.len());
+    for d in &s.dormant {
+        match &d.rng {
+            None => e.bool(false),
+            Some(r) => {
+                e.bool(true);
+                e.rng(r);
+            }
+        }
+        e.u64(d.migrations_received);
+        e.u64(d.participations);
+    }
+    match &s.agent {
+        None => e.bool(false),
+        Some(a) => {
+            e.bool(true);
+            put_agent(e, &a.agent);
+            e.us(a.pending.len());
+            for (state, dest, client) in &a.pending {
+                e.f32s(state);
+                e.us(*dest);
+                e.us(*client);
+            }
+        }
+    }
+    put_meter(e, &s.meter);
+    e.f64(s.clock_now);
+    put_phase(e, &s.phase);
+    e.us(s.records.len());
+    for r in &s.records {
+        put_record(e, r);
+    }
+    e.us(s.migrations_local);
+    e.us(s.migrations_global);
+    match s.prev_loss {
+        None => e.bool(false),
+        Some(l) => {
+            e.bool(true);
+            e.f32(l);
+        }
+    }
+    e.f64(s.last_epoch_usage.0);
+    e.f64(s.last_epoch_usage.1);
+    e.f64(s.last_step_reward);
+}
+
+fn take_fleet_state(d: &mut Dec) -> io::Result<FleetRunState> {
+    let epoch = d.us()?;
+    let global = d.f32s()?;
+    let rng = d.rng()?;
+    let n_dormant = d.len(1)?;
+    let mut dormant = Vec::with_capacity(n_dormant);
+    for _ in 0..n_dormant {
+        let rng = if d.bool()? { Some(d.rng()?) } else { None };
+        dormant.push(DormantState { rng, migrations_received: d.u64()?, participations: d.u64()? });
+    }
+    let agent = if d.bool()? {
+        let agent = take_agent(d)?;
+        let n_pending = d.len(1)?;
+        let mut pending = Vec::with_capacity(n_pending);
+        for _ in 0..n_pending {
+            pending.push((d.f32s()?, d.us()?, d.us()?));
+        }
+        Some(AgentSnapshot { agent, pending })
+    } else {
+        None
+    };
+    let meter = take_meter(d)?;
+    let clock_now = d.f64()?;
+    let phase = take_phase(d)?;
+    let n_records = d.len(1)?;
+    let mut records = Vec::with_capacity(n_records);
+    for _ in 0..n_records {
+        records.push(take_record(d)?);
+    }
+    Ok(FleetRunState {
+        epoch,
+        global,
+        rng,
+        dormant,
+        agent,
+        meter,
+        clock_now,
+        phase,
+        records,
+        migrations_local: d.us()?,
+        migrations_global: d.us()?,
+        prev_loss: if d.bool()? { Some(d.f32()?) } else { None },
+        last_epoch_usage: (d.f64()?, d.f64()?),
+        last_step_reward: d.f64()?,
     })
 }
 
@@ -939,6 +1137,7 @@ mod tests {
             codec: "identity".into(),
             transport: "lockstep".into(),
             agg_interval: 10,
+            mode: "dense".into(),
         }
     }
 
@@ -1074,7 +1273,8 @@ mod tests {
     fn every_stamp_field_is_validated() {
         let s = sample_state();
         let bytes = s.to_bytes(&stamp());
-        let mutations: Vec<(&str, Box<dyn Fn(&mut RunStamp)>)> = vec![
+        type Mutation = Box<dyn Fn(&mut RunStamp)>;
+        let mutations: Vec<(&str, Mutation)> = vec![
             ("scheme", Box::new(|st| st.scheme = "FedAvg".into())),
             ("seed", Box::new(|st| st.seed = 8)),
             ("epochs", Box::new(|st| st.epochs = 41)),
@@ -1083,6 +1283,7 @@ mod tests {
             ("codec", Box::new(|st| st.codec = "int8+ef".into())),
             ("transport", Box::new(|st| st.transport = "flow".into())),
             ("agg_interval", Box::new(|st| st.agg_interval = 5)),
+            ("mode", Box::new(|st| st.mode = "fleet".into())),
         ];
         for (name, mutate) in mutations {
             let mut wrong = stamp();
@@ -1126,7 +1327,7 @@ mod tests {
             .to_string()
             .contains("magic"));
         // A future version must be rejected even with a valid CRC.
-        bytes[8] = 2;
+        bytes[8] = 3;
         let body_len = bytes.len() - 4;
         let crc = crc32(&bytes[..body_len]).to_le_bytes();
         bytes[body_len..].copy_from_slice(&crc);
@@ -1134,6 +1335,97 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("version"));
+    }
+
+    fn fleet_stamp() -> RunStamp {
+        RunStamp { mode: "fleet".into(), clients: 4, ..stamp() }
+    }
+
+    fn sample_fleet_state() -> FleetRunState {
+        FleetRunState {
+            epoch: 3,
+            global: vec![0.25, -0.5, 1.0],
+            rng: [21, 22, 23, 24],
+            dormant: vec![
+                DormantState { rng: Some([1, 2, 3, 4]), migrations_received: 2, participations: 3 },
+                DormantState::default(),
+                DormantState { rng: None, migrations_received: 0, participations: 1 },
+                DormantState { rng: Some([9, 8, 7, 6]), migrations_received: 1, participations: 1 },
+            ],
+            agent: None,
+            meter: MeterState {
+                traffic: TrafficBreakdown { c2s: 64, c2c_local: 32, c2c_global: 16 },
+                overhead: 4,
+                transfer_seconds: 0.5,
+                compute_cost: 100.0,
+            },
+            clock_now: 7.5,
+            phase: PhaseBreakdown { train_s: 4.0, c2s_s: 2.0, migration_s: 1.0, backoff_s: 0.5 },
+            records: vec![EpochRecord {
+                epoch: 3,
+                train_loss: 2.0,
+                test_accuracy: None,
+                traffic: TrafficBreakdown { c2s: 64, c2c_local: 32, c2c_global: 16 },
+                sim_time: 7.5,
+                dropped_clients: 0,
+                stale_clients: 0,
+                rejected_migrations: 0,
+                bytes_saved: 0,
+                phase: PhaseBreakdown {
+                    train_s: 4.0,
+                    c2s_s: 2.0,
+                    migration_s: 1.0,
+                    backoff_s: 0.5,
+                },
+                retransmits: 0,
+                late_uploads: 0,
+            }],
+            migrations_local: 1,
+            migrations_global: 2,
+            prev_loss: Some(2.0),
+            last_epoch_usage: (0.3, 0.4),
+            last_step_reward: 0.125,
+        }
+    }
+
+    #[test]
+    fn fleet_state_round_trips_bit_for_bit() {
+        let s = sample_fleet_state();
+        let bytes = s.to_bytes(&fleet_stamp());
+        let back = FleetRunState::from_bytes(&bytes, &fleet_stamp()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn fleet_snapshot_into_dense_run_fails_on_mode() {
+        // The cross-mode guard: a fleet checkpoint offered to a dense run
+        // (and vice versa) dies on the stamp's mode field with a clear
+        // InvalidData message, never a payload-decode panic — even when
+        // every other stamp field matches.
+        let fleet_bytes = sample_fleet_state().to_bytes(&fleet_stamp());
+        let dense_expect = RunStamp { mode: "dense".into(), ..fleet_stamp() };
+        let err = RunState::from_bytes(&fleet_bytes, &dense_expect).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("mode mismatch"), "{err}");
+
+        let dense_bytes = sample_state().to_bytes(&stamp());
+        let fleet_expect = RunStamp { mode: "fleet".into(), ..stamp() };
+        let err = FleetRunState::from_bytes(&dense_bytes, &fleet_expect).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("mode mismatch"), "{err}");
+    }
+
+    #[test]
+    fn fleet_save_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("fedmigr_fleet_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fleet_round_3.fmrs");
+        let s = sample_fleet_state();
+        let wrote = s.save(&path, &fleet_stamp()).unwrap();
+        assert_eq!(wrote, std::fs::metadata(&path).unwrap().len());
+        let back = FleetRunState::load(&path, &fleet_stamp()).unwrap();
+        assert_eq!(back, s);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -68,6 +68,7 @@
 mod aggregate;
 mod checkpoint;
 mod client;
+mod fleet;
 mod metrics;
 mod migration;
 mod privacy;
@@ -78,11 +79,13 @@ mod summary;
 
 pub use aggregate::{Aggregator, StalenessPolicy};
 pub use checkpoint::{
-    AgentSnapshot, LateUploadState, RunStamp, RunState, RUN_STATE_MAGIC, RUN_STATE_VERSION,
+    AgentSnapshot, FleetRunState, LateUploadState, RunStamp, RunState, RUN_STATE_MAGIC,
+    RUN_STATE_VERSION,
 };
 pub use client::{ClientState, FlClient};
 pub use fedmigr_compress::{CodecConfig, CompressionStats};
 pub use fedmigr_diag::DiagConfig;
+pub use fleet::{FleetExperiment, FleetOptions};
 pub use metrics::{
     EpochRecord, FaultStats, PhaseBreakdown, RecoveryStats, RobustStats, RunMetrics,
 };

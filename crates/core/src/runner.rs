@@ -131,6 +131,12 @@ pub struct RunConfig {
     /// factor of its trailing window, excluding and quarantining the
     /// implicated upload sources on retry.
     pub watchdog: WatchdogConfig,
+    /// Fleet mode: lazy sharded client state for populations far beyond
+    /// what the dense runner can hold ([`crate::FleetExperiment`]). `None`
+    /// (the default) keeps the dense path byte-identical to the seeded
+    /// baselines; `Some` is only meaningful to [`crate::FleetExperiment`] —
+    /// the dense [`Experiment::run`] rejects it.
+    pub fleet: Option<crate::fleet::FleetOptions>,
 }
 
 /// Configuration of the divergence watchdog (see `DESIGN.md` §11). The
@@ -184,6 +190,7 @@ impl RunConfig {
             resume: None,
             kill_at: None,
             watchdog: WatchdogConfig::default(),
+            fleet: None,
         }
     }
 }
@@ -239,6 +246,11 @@ impl Experiment {
     /// Executes `cfg` and returns the collected metrics.
     pub fn run(&self, cfg: &RunConfig) -> RunMetrics {
         assert!(cfg.epochs > 0 && cfg.agg_interval > 0 && cfg.eval_interval > 0);
+        assert!(
+            cfg.fleet.is_none(),
+            "fleet mode needs the sharded runner: build a FleetExperiment instead of a dense \
+             Experiment"
+        );
         assert!(
             cfg.participation > 0.0 && cfg.participation <= 1.0,
             "participation must be in (0, 1]"
@@ -453,6 +465,7 @@ impl Experiment {
             codec: cfg.codec.name(),
             transport: cfg.transport.name().into(),
             agg_interval: cfg.agg_interval as u64,
+            mode: "dense".into(),
         };
         // Restores every piece of run state from a decoded snapshot. A
         // macro (not a closure) because it re-binds two dozen locals the
@@ -993,10 +1006,15 @@ impl Experiment {
                     // Only the clients whose bytes actually crossed the wire see
                     // the codec (error-feedback on client egress). A late upload
                     // bound for a future aggregation was genuinely transmitted.
-                    for (i, up) in uploads.iter_mut().enumerate() {
-                        if on_time[i] || (late[i] && is_agg) {
-                            *up = compressor.transmit(i, up);
-                        }
+                    // Lanes are per-client and therefore distinct, so the batch
+                    // encode parallelizes while staying byte-identical to the
+                    // serial per-client loop.
+                    let sel: Vec<usize> =
+                        (0..k).filter(|&i| on_time[i] || (late[i] && is_agg)).collect();
+                    let items: Vec<(usize, Vec<f32>)> =
+                        sel.iter().map(|&i| (i, std::mem::take(&mut uploads[i]))).collect();
+                    for (&i, dec) in sel.iter().zip(compressor.transmit_batch(items)) {
+                        uploads[i] = dec;
                     }
                     for i in (0..k).filter(|&i| late[i] && is_agg) {
                         late_buf.push(LateUpload {
@@ -1156,10 +1174,11 @@ impl Experiment {
                             *n |= !fedmigr_tensor::all_finite(up);
                         }
                     }
-                    for (i, up) in uploads.iter_mut().enumerate() {
-                        if on_time[i] || late[i] {
-                            *up = compressor.transmit(i, up);
-                        }
+                    let sel: Vec<usize> = (0..k).filter(|&i| on_time[i] || late[i]).collect();
+                    let items: Vec<(usize, Vec<f32>)> =
+                        sel.iter().map(|&i| (i, std::mem::take(&mut uploads[i]))).collect();
+                    for (&i, dec) in sel.iter().zip(compressor.transmit_batch(items)) {
+                        uploads[i] = dec;
                     }
                     for i in (0..k).filter(|&i| late[i]) {
                         late_buf.push(LateUpload {
@@ -2075,7 +2094,7 @@ impl Experiment {
 
 /// Which runner phase a virtual-clock advance belongs to.
 #[derive(Clone, Copy, Debug)]
-enum VPhase {
+pub(crate) enum VPhase {
     /// Straggler-limited local training.
     Train,
     /// Client↔server transfers (distribution, uploads, downloads).
@@ -2090,21 +2109,26 @@ enum VPhase {
 /// advance. The attribution is part of the run result (`EpochRecord::phase`),
 /// so it must not depend on telemetry being enabled — it never is: this is
 /// plain arithmetic on the virtual clock.
-struct PhasedClock {
+pub(crate) struct PhasedClock {
     clock: SimClock,
     phase: PhaseBreakdown,
 }
 
 impl PhasedClock {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self { clock: SimClock::new(), phase: PhaseBreakdown::default() }
     }
 
-    fn now(&self) -> f64 {
+    /// A clock resumed from checkpointed time and phase attribution.
+    pub(crate) fn at(now: f64, phase: PhaseBreakdown) -> Self {
+        Self { clock: SimClock::at(now), phase }
+    }
+
+    pub(crate) fn now(&self) -> f64 {
         self.clock.now()
     }
 
-    fn phase(&self) -> PhaseBreakdown {
+    pub(crate) fn phase(&self) -> PhaseBreakdown {
         self.phase
     }
 
@@ -2117,14 +2141,14 @@ impl PhasedClock {
         }
     }
 
-    fn advance(&mut self, phase: VPhase, seconds: f64) {
+    pub(crate) fn advance(&mut self, phase: VPhase, seconds: f64) {
         self.clock.advance(seconds);
         *self.bucket(phase) += seconds;
     }
 
     /// Advances by the *maximum* of `times` (parallel transfers), charging
     /// the elapsed delta to `phase`.
-    fn advance_parallel(&mut self, phase: VPhase, times: Vec<f64>) {
+    pub(crate) fn advance_parallel(&mut self, phase: VPhase, times: Vec<f64>) {
         let before = self.clock.now();
         self.clock.advance_parallel(times);
         *self.bucket(phase) += self.clock.now() - before;

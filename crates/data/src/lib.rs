@@ -30,6 +30,7 @@ pub mod distribution;
 mod partition;
 pub mod poison;
 mod synthetic;
+mod world;
 
 pub use dataset::Dataset;
 pub use partition::{
@@ -38,3 +39,4 @@ pub use partition::{
 };
 pub use poison::{apply_label_map, flip_label, flip_label_map};
 pub use synthetic::{SyntheticConfig, SyntheticDataset};
+pub use world::SyntheticWorld;

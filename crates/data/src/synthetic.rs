@@ -126,7 +126,7 @@ impl SyntheticDataset {
 /// (`atom_bank == 0`) or normalized signed combinations of atoms drawn from
 /// a shared bank, so classes share low-level structure the way natural
 /// image classes share edges and textures.
-fn make_prototypes(config: &SyntheticConfig, rng: &mut StdRng) -> Vec<Tensor> {
+pub(crate) fn make_prototypes(config: &SyntheticConfig, rng: &mut StdRng) -> Vec<Tensor> {
     use rand::Rng;
     let target_norm = ((config.channels * config.hw * config.hw) as f32).sqrt() * config.class_sep;
     if config.atom_bank == 0 {

@@ -29,4 +29,4 @@ mod state;
 pub use agent::{policy_entropy_saturation, AgentConfig, AgentState, DdpgAgent, UpdateStats};
 pub use noise::{OuNoise, OuState};
 pub use replay::{PrioritizedReplay, ReplayHealth, ReplayState, Transition};
-pub use state::MigrationState;
+pub use state::{MigrationState, PooledMigrationState};

@@ -129,6 +129,82 @@ impl MigrationState {
     }
 }
 
+/// Fixed-dimension pooled featurizer for fleet-scale runs: per-peer
+/// features collapse to per-LAN aggregates, so the state dimension is
+/// `6 + 3·L` regardless of fleet size `K` and the decision cost of the
+/// DDPG forward pass stops scaling with `K²`. The action space likewise
+/// pools to *destination LAN* (one action per LAN).
+///
+/// Layout: `[t/T, loss, Δloss, bw_remaining, compute_remaining,
+/// alive_frac, lan_dist_{1..L}, lan_active_frac_{1..L}, lan_load_{1..L}]`
+/// — the first six scalars match [`MigrationState`], then the client's
+/// half-L1 distance to each LAN's mean active marginal, the fraction of
+/// this round's participants in each LAN, and each LAN's relative data
+/// load.
+#[derive(Clone, Debug)]
+pub struct PooledMigrationState {
+    num_lans: usize,
+}
+
+impl PooledMigrationState {
+    /// Creates a pooled featurizer over `num_lans` LANs.
+    pub fn new(num_lans: usize) -> Self {
+        assert!(num_lans > 0);
+        Self { num_lans }
+    }
+
+    /// Number of LANs (also the pooled action dimension).
+    pub fn num_lans(&self) -> usize {
+        self.num_lans
+    }
+
+    /// Dimensionality of produced state vectors.
+    pub fn dim(&self) -> usize {
+        6 + 3 * self.num_lans
+    }
+
+    /// Builds the pooled state for a migration decision about one active
+    /// participant.
+    ///
+    /// * `lan_distance` — half-L1 distance from the participant's label
+    ///   marginal to each LAN's mean active marginal (each in `[0, 1]`),
+    /// * `lan_active_frac` — fraction of this round's participants in each
+    ///   LAN (sums to 1),
+    /// * `lan_load` — each LAN's share of fleet data (sums to 1).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        &self,
+        epoch_frac: f64,
+        loss: f64,
+        dloss: f64,
+        bw_remaining: f64,
+        compute_remaining: f64,
+        alive_frac: f64,
+        lan_distance: &[f64],
+        lan_active_frac: &[f64],
+        lan_load: &[f64],
+    ) -> Vec<f32> {
+        assert_eq!(lan_distance.len(), self.num_lans, "distance must have one entry per LAN");
+        assert_eq!(
+            lan_active_frac.len(),
+            self.num_lans,
+            "active fractions must have one entry per LAN"
+        );
+        assert_eq!(lan_load.len(), self.num_lans, "loads must have one entry per LAN");
+        let mut s = Vec::with_capacity(self.dim());
+        s.push(epoch_frac.clamp(0.0, 1.0) as f32);
+        s.push(loss.clamp(0.0, 20.0) as f32 / 10.0);
+        s.push(dloss.clamp(-1.0, 1.0) as f32);
+        s.push(bw_remaining.clamp(0.0, 1.0) as f32);
+        s.push(compute_remaining.clamp(0.0, 1.0) as f32);
+        s.push(alive_frac.clamp(0.0, 1.0) as f32);
+        s.extend(lan_distance.iter().map(|&d| d.clamp(0.0, 1.0) as f32));
+        s.extend(lan_active_frac.iter().map(|&f| f.clamp(0.0, 1.0) as f32));
+        s.extend(lan_load.iter().map(|&f| f.clamp(0.0, 1.0) as f32));
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,5 +275,37 @@ mod tests {
     fn wrong_liveness_length_panics() {
         let f = MigrationState::new(2);
         let _ = f.build_with_liveness(0.0, 0.0, 0.0, 1.0, 1.0, &[0.0, 0.0], &[true]);
+    }
+
+    #[test]
+    fn pooled_layout_is_fixed_dim() {
+        let f = PooledMigrationState::new(4);
+        assert_eq!(f.dim(), 18);
+        assert_eq!(f.num_lans(), 4);
+        let s = f.build(
+            0.25,
+            3.0,
+            -0.2,
+            0.9,
+            0.7,
+            0.5,
+            &[0.0, 0.5, 1.0, 2.0],
+            &[0.25, 0.25, 0.5, 0.0],
+            &[0.1, 0.2, 0.3, 0.4],
+        );
+        assert_eq!(s.len(), 18);
+        assert_eq!(s[0], 0.25);
+        assert_eq!(s[1], 0.3);
+        assert_eq!(s[5], 0.5);
+        assert_eq!(&s[6..10], &[0.0, 0.5, 1.0, 1.0], "distances clamp to [0, 1]");
+        assert_eq!(&s[10..14], &[0.25, 0.25, 0.5, 0.0]);
+        assert_eq!(&s[14..], &[0.1, 0.2, 0.3, 0.4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per LAN")]
+    fn pooled_wrong_row_length_panics() {
+        let f = PooledMigrationState::new(2);
+        let _ = f.build(0.0, 0.0, 0.0, 1.0, 1.0, 1.0, &[0.0], &[0.5, 0.5], &[0.5, 0.5]);
     }
 }

@@ -33,6 +33,7 @@
 mod clock;
 mod level;
 pub mod metrics;
+pub mod rss;
 pub mod trace;
 
 use std::collections::BTreeMap;
@@ -43,6 +44,7 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock};
 pub use clock::{FakeClock, MonotonicClock, TelemetryClock};
 pub use level::{Filter, Level};
 pub use metrics::Registry;
+pub use rss::{peak_rss_bytes, record_peak_rss, reset_peak_rss};
 pub use trace::TraceEvent;
 
 /// Name of the span-duration histogram family.

@@ -9,7 +9,10 @@
 //! writes the per-epoch curve for external plotting. Run with `--help` for
 //! the full flag list.
 
-use fedmigr::core::{CodecConfig, DiagConfig, DpConfig, Experiment, RunConfig, Scheme};
+use fedmigr::core::{
+    CodecConfig, DiagConfig, DpConfig, Experiment, FleetExperiment, FleetOptions, RunConfig,
+    RunMetrics, Scheme,
+};
 use fedmigr::data::{
     partition_dirichlet, partition_dominant, partition_iid, partition_missing_classes,
     partition_shards, SyntheticConfig, SyntheticDataset,
@@ -77,6 +80,19 @@ OPTIONS:
                          trailing-window mean loss (default 4.0)
     --max-rollbacks <n>  watchdog rollback budget per run (default 3)
     --fault-seed <n>     seed of the fault schedule (default 13)
+    --fleet              fleet mode: lazy sharded client state for large
+                         populations — clients live as compact dormant stubs,
+                         each aggregation block activates only a sampled
+                         cohort, so peak memory scales with the cohort, not
+                         the fleet. Supports fedavg/fedmigr, identity codec,
+                         lockstep transport; --samples becomes the per-client
+                         holding (10-class synthetic world)
+    --fleet-clients <n>  fleet size K (default 10000; fleet mode only)
+    --fleet-lans <n>     number of LANs in the fleet (default 10)
+    --sample-frac <f>    fraction of the fleet sampled into each aggregation
+                         block's cohort (default 0.05; fleet mode only)
+    --top-m <n>          factored planner shortlist width: cross-LAN migration
+                         candidates per participant (default 8)
     --seed <n>           master seed (default 7)
     --csv <path>         write the per-epoch curve as CSV
     --diag               enable learning-dynamics diagnostics (EMD/drift/DRL
@@ -107,39 +123,6 @@ fn main() {
             die(&format!("--trace-out {path}: {e}"));
         }
     }
-    let data_cfg = SyntheticConfig {
-        num_classes: args.classes,
-        ..SyntheticConfig::c10_like(args.samples, args.seed)
-    };
-    let data = SyntheticDataset::generate(&data_cfg);
-    let k: usize = args.lans.iter().sum();
-    let parts = match args.partition.as_str() {
-        "iid" => partition_iid(&data.train, k, args.seed),
-        "shards" => {
-            let per = (data.train.num_classes() / k).max(1);
-            partition_shards(&data.train, k, per, args.seed)
-        }
-        p if p.starts_with("dominant:") => {
-            partition_dominant(&data.train, k, parse_suffix(p), args.seed)
-        }
-        p if p.starts_with("missing:") => {
-            partition_missing_classes(&data.train, k, parse_suffix(p), args.seed)
-        }
-        p if p.starts_with("dirichlet:") => {
-            partition_dirichlet(&data.train, k, parse_suffix(p), args.seed)
-        }
-        other => die(&format!("unknown partition {other:?}")),
-    };
-    let topo = Topology::new(&TopologyConfig::default_edge(args.lans.clone(), args.seed));
-    let exp = Experiment::new(
-        data.train,
-        data.test,
-        parts,
-        topo,
-        ClientCompute::testbed_mix(k),
-        zoo::c10_cnn(3, 8, NetScale::Small, args.seed),
-    );
-
     let scheme = match args.scheme.as_str() {
         "fedavg" => Scheme::FedAvg,
         "fedprox" => Scheme::fedprox(),
@@ -195,15 +178,7 @@ fn main() {
     cfg.seed = args.seed;
     cfg.diag = DiagConfig { enabled: args.diag, flight_out: args.flight_out.clone() };
 
-    info!(
-        "cli",
-        "running {} on {k} clients ({} classes, partition {}) for up to {} epochs...",
-        cfg.scheme.name(),
-        args.classes,
-        args.partition,
-        args.epochs
-    );
-    let metrics = exp.run(&cfg);
+    let metrics = if args.fleet { run_fleet(&args, cfg) } else { run_dense(&args, cfg) };
 
     println!("scheme:           {}", metrics.scheme);
     println!("epochs run:       {}", metrics.epochs());
@@ -225,6 +200,11 @@ fn main() {
         "migrations:       {} local, {} cross-LAN",
         metrics.migrations_local, metrics.migrations_global
     );
+    if args.fleet {
+        if let Some(rss) = fedmigr_telemetry::rss::peak_rss_bytes() {
+            println!("peak RSS:         {:.1} MB", rss as f64 / 1e6);
+        }
+    }
     if let Some(faults) = metrics.fault_summary() {
         println!("{faults}");
     }
@@ -266,6 +246,86 @@ fn main() {
     }
 }
 
+/// Builds the dense federation (dataset, partition, full topology) and runs
+/// the selected scheme over materialised clients.
+fn run_dense(args: &Args, cfg: RunConfig) -> RunMetrics {
+    let data_cfg = SyntheticConfig {
+        num_classes: args.classes,
+        ..SyntheticConfig::c10_like(args.samples, args.seed)
+    };
+    let data = SyntheticDataset::generate(&data_cfg);
+    let k: usize = args.lans.iter().sum();
+    let parts = match args.partition.as_str() {
+        "iid" => partition_iid(&data.train, k, args.seed),
+        "shards" => {
+            let per = (data.train.num_classes() / k).max(1);
+            partition_shards(&data.train, k, per, args.seed)
+        }
+        p if p.starts_with("dominant:") => {
+            partition_dominant(&data.train, k, parse_suffix(p), args.seed)
+        }
+        p if p.starts_with("missing:") => {
+            partition_missing_classes(&data.train, k, parse_suffix(p), args.seed)
+        }
+        p if p.starts_with("dirichlet:") => {
+            partition_dirichlet(&data.train, k, parse_suffix(p), args.seed)
+        }
+        other => die(&format!("unknown partition {other:?}")),
+    };
+    let topo = Topology::new(&TopologyConfig::default_edge(args.lans.clone(), args.seed));
+    let exp = Experiment::new(
+        data.train,
+        data.test,
+        parts,
+        topo,
+        ClientCompute::testbed_mix(k),
+        zoo::c10_cnn(3, 8, NetScale::Small, args.seed),
+    );
+    info!(
+        "cli",
+        "running {} on {k} clients ({} classes, partition {}) for up to {} epochs...",
+        cfg.scheme.name(),
+        args.classes,
+        args.partition,
+        args.epochs
+    );
+    exp.run(&cfg)
+}
+
+/// Builds the lazy sharded fleet (dormant stubs, O(LANs) topology) and runs
+/// the selected scheme with per-block cohort activation.
+fn run_fleet(args: &Args, mut cfg: RunConfig) -> RunMetrics {
+    if args.partition != "shards" {
+        die("--fleet draws per-client label marginals itself; --partition is not supported");
+    }
+    if args.classes != 10 {
+        die("--fleet runs the 10-class synthetic world; --classes is not supported");
+    }
+    if !(0.0..=1.0).contains(&args.sample_frac) || args.sample_frac <= 0.0 {
+        die(&format!("--sample-frac must be in (0, 1], got {}", args.sample_frac));
+    }
+    cfg.fleet = Some(FleetOptions { sample_frac: args.sample_frac, top_m: args.top_m });
+    info!(
+        "cli",
+        "running {} on a fleet of {} clients across {} LANs (cohort {:.1}%) for up to {} \
+         epochs...",
+        cfg.scheme.name(),
+        args.fleet_clients,
+        args.fleet_lans,
+        100.0 * args.sample_frac,
+        args.epochs
+    );
+    let mut exp = FleetExperiment::synthetic(
+        args.fleet_clients,
+        args.fleet_lans,
+        args.samples,
+        16,
+        args.seed,
+        zoo::c10_cnn(3, 8, NetScale::Small, args.seed),
+    );
+    exp.run(&cfg)
+}
+
 struct Args {
     scheme: String,
     partition: String,
@@ -293,6 +353,11 @@ struct Args {
     spike_factor: Option<f64>,
     max_rollbacks: Option<usize>,
     fault_seed: u64,
+    fleet: bool,
+    fleet_clients: usize,
+    fleet_lans: usize,
+    sample_frac: f64,
+    top_m: usize,
     seed: u64,
     csv: Option<String>,
     diag: bool,
@@ -331,6 +396,11 @@ impl Args {
             spike_factor: None,
             max_rollbacks: None,
             fault_seed: 13,
+            fleet: false,
+            fleet_clients: 10_000,
+            fleet_lans: 10,
+            sample_frac: 0.05,
+            top_m: 8,
             seed: 7,
             csv: None,
             diag: false,
@@ -354,6 +424,11 @@ impl Args {
             }
             if flag == "--watchdog" {
                 out.watchdog = true;
+                i += 1;
+                continue;
+            }
+            if flag == "--fleet" {
+                out.fleet = true;
                 i += 1;
                 continue;
             }
@@ -387,6 +462,10 @@ impl Args {
                 "--spike-factor" => out.spike_factor = Some(parse(value, flag)),
                 "--max-rollbacks" => out.max_rollbacks = Some(parse(value, flag)),
                 "--fault-seed" => out.fault_seed = parse(value, flag),
+                "--fleet-clients" => out.fleet_clients = parse(value, flag),
+                "--fleet-lans" => out.fleet_lans = parse(value, flag),
+                "--sample-frac" => out.sample_frac = parse(value, flag),
+                "--top-m" => out.top_m = parse(value, flag),
                 "--seed" => out.seed = parse(value, flag),
                 "--csv" => out.csv = Some(value.clone()),
                 "--flight-out" => out.flight_out = Some(value.clone()),

@@ -13,7 +13,10 @@
 
 use std::path::PathBuf;
 
-use fedmigr::core::{CodecConfig, DiagConfig, Experiment, RunConfig, Scheme, WatchdogConfig};
+use fedmigr::core::{
+    CodecConfig, DiagConfig, Experiment, FleetExperiment, FleetOptions, RunConfig, Scheme,
+    WatchdogConfig,
+};
 use fedmigr::data::{partition_shards, SyntheticConfig, SyntheticDataset};
 use fedmigr::net::{
     AttackConfig, ClientCompute, FaultConfig, Topology, TopologyConfig, TransportConfig,
@@ -147,6 +150,71 @@ fn killed_and_resumed_flow_run_is_byte_identical() {
     let mut x = 0xdead_beef_u64;
     let kill = 2 + (splitmix(&mut x) % (EPOCHS as u64 - 3)) as usize;
     assert_kill_resume_identity("flow", TransportConfig::flow(5), &[kill]);
+}
+
+/// Fleet-mode chaos: the lazy sharded runner checkpoints only at
+/// aggregation-block boundaries (where every client is dormant and the
+/// snapshot is just stubs + global model), so a kill at *any* round resumes
+/// from the last boundary, deterministically replays the partial block —
+/// cohort sampling, activation, training, migrations — and must still finish
+/// byte-identical to the run that was never interrupted.
+#[test]
+fn killed_and_resumed_fleet_run_is_byte_identical() {
+    const FLEET_EPOCHS: usize = 8;
+    let fleet =
+        || FleetExperiment::synthetic(48, 4, 24, 4, 11, zoo::c10_cnn(3, 8, NetScale::Small, 11));
+    let fleet_cfg = || {
+        let mut cfg = RunConfig::new(Scheme::fedmigr(11), FLEET_EPOCHS);
+        cfg.agg_interval = 2;
+        cfg.eval_interval = 2;
+        cfg.batch_size = 8;
+        cfg.max_batches_per_epoch = Some(2);
+        cfg.lr = 0.05;
+        cfg.seed = 11;
+        cfg.fleet = Some(FleetOptions { sample_frac: 0.25, top_m: 4 });
+        cfg
+    };
+
+    // Seeded chaos schedule: two kills, the second strictly after the first,
+    // exercising resume-then-die-again-then-resume across block boundaries.
+    let mut x = 0xf1ee_7001_u64;
+    let first = 2 + (splitmix(&mut x) % (FLEET_EPOCHS as u64 / 2)) as usize;
+    let second = first + 1 + (splitmix(&mut x) % (FLEET_EPOCHS - first - 1) as u64) as usize;
+
+    let baseline = fleet().run(&fleet_cfg());
+    assert_eq!(baseline.epochs(), FLEET_EPOCHS);
+    assert!(
+        baseline.migrations_local + baseline.migrations_global > 0,
+        "the chaos run must actually migrate models"
+    );
+
+    let ck_dir = tmp("fleet-ck");
+    std::fs::create_dir_all(&ck_dir).unwrap();
+    let mut cfg = fleet_cfg();
+    cfg.checkpoint_every = Some(2);
+    cfg.checkpoint_dir = Some(ck_dir.to_string_lossy().into_owned());
+    cfg.kill_at = Some(first);
+    let killed = fleet().run(&cfg);
+    assert!(killed.epochs() < FLEET_EPOCHS, "kill at {first} must truncate the run");
+
+    let latest = ck_dir.join("latest.fmrs");
+    for next_kill in [Some(second), None] {
+        assert!(latest.exists(), "killed fleet run must leave a checkpoint behind");
+        cfg.resume = Some(latest.to_string_lossy().into_owned());
+        cfg.kill_at = next_kill;
+        let resumed = fleet().run(&cfg);
+        assert!(resumed.recovery.checkpoints_loaded >= 1, "resume must load a checkpoint");
+        if next_kill.is_none() {
+            assert_eq!(resumed.epochs(), FLEET_EPOCHS, "resumed run must finish all rounds");
+            assert_eq!(
+                baseline.to_csv(),
+                resumed.to_csv(),
+                "[fleet] kill@{:?}: resumed CSV must be byte-identical",
+                [first, second]
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&ck_dir);
 }
 
 #[test]
