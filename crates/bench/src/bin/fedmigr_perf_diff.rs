@@ -1,0 +1,91 @@
+//! Compares a `fedmigr_perf` report against the checked-in baseline and
+//! gates CI on performance regressions.
+//!
+//! ```text
+//! fedmigr_perf_diff <baseline.json> <current.json> \
+//!     [--max-ratio X] [--noise-floor-ns N]
+//! ```
+//!
+//! Exit codes match `fedmigr_diff`: 0 clean, 1 when any benchmark's median
+//! slowed past `--max-ratio` (default 1.6×) or vanished, 2 on usage/parse
+//! errors. Medians below the noise floor on both sides are never flagged.
+
+use fedmigr_bench::perf::{diff_reports, PerfReport, PerfTolerances};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    const VALUE_FLAGS: [&str; 2] = ["--max-ratio", "--noise-floor-ns"];
+    let mut paths: Vec<&String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        if VALUE_FLAGS.contains(&args[i].as_str()) {
+            i += 2; // skip the flag's value so it is not mistaken for a path
+        } else {
+            paths.push(&args[i]);
+            i += 1;
+        }
+    }
+    let [baseline_path, current_path] = paths[..] else {
+        eprintln!(
+            "usage: fedmigr_perf_diff <baseline.json> <current.json> [--max-ratio X] \
+             [--noise-floor-ns N]"
+        );
+        std::process::exit(2);
+    };
+
+    let mut tol = PerfTolerances::default();
+    if let Some(w) = args.windows(2).find(|w| w[0] == "--max-ratio") {
+        match w[1].parse::<f64>() {
+            Ok(v) if v >= 1.0 => tol.max_ratio = v,
+            _ => {
+                eprintln!("error: --max-ratio wants a number >= 1.0, got {:?}", w[1]);
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(w) = args.windows(2).find(|w| w[0] == "--noise-floor-ns") {
+        match w[1].parse::<u64>() {
+            Ok(v) => tol.noise_floor_ns = v,
+            _ => {
+                eprintln!("error: --noise-floor-ns wants an integer, got {:?}", w[1]);
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+
+    match diff_reports(&baseline, &current, &tol) {
+        Ok(regs) if regs.is_empty() => {
+            println!(
+                "OK: {} benchmarks within {:.2}x of baseline ({} compared)",
+                current.benchmarks.len(),
+                tol.max_ratio,
+                baseline.benchmarks.len(),
+            );
+        }
+        Ok(regs) => {
+            eprintln!("FAIL: {} benchmark(s) regressed past {:.2}x:", regs.len(), tol.max_ratio);
+            for r in &regs {
+                eprintln!("  {}", r.describe());
+            }
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn load(path: &str) -> PerfReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    PerfReport::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(2);
+    })
+}

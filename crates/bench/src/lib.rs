@@ -6,6 +6,8 @@
 //! qualitative shape of each result; `paper` uses larger datasets, more
 //! epochs and the paper's aggregation interval of 50.
 
+pub mod perf;
+
 use fedmigr_core::{Experiment, RunConfig, Scheme};
 use fedmigr_data::{
     partition_dominant, partition_iid, partition_missing_classes, partition_shards,

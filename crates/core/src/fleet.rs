@@ -50,6 +50,7 @@ use crate::reward::{step_reward, terminal_reward, RewardConfig};
 use crate::runner::{PhasedClock, RunConfig, VPhase};
 use crate::scheme::Scheme;
 use fedmigr_compress::{CodecConfig, CompressionStats};
+use fedmigr_telemetry::span;
 
 /// Fleet-mode knobs, carried in [`RunConfig::fleet`].
 #[derive(Clone, Copy, Debug)]
@@ -302,8 +303,19 @@ impl FleetExperiment {
         // ever broadcast fleet-wide.
         let mut cohort: Vec<FlClient> = Vec::new();
         let mut killed = false;
+        // Attributes kernel FLOP/byte/time deltas to the phase that just
+        // closed; cheap no-op when accounting is off.
+        let mut kphases = crate::kernels::KernelPhases::new();
 
         'round: for epoch in start_epoch..=cfg.epochs {
+            let _round = fedmigr_telemetry::global().span_labeled(
+                "core::fleet",
+                "round",
+                vec![
+                    ("epoch".to_string(), epoch.to_string()),
+                    ("scheme".to_string(), cfg.scheme.name()),
+                ],
+            );
             // (0) Budget gate, matching the dense runner's round preamble.
             if meter.exhausted() {
                 budget_exhausted = true;
@@ -316,6 +328,7 @@ impl FleetExperiment {
             // (1) Cohort activation at each aggregation block's start:
             // sample, charge the participant-scoped downlink, materialize.
             if cohort.is_empty() {
+                let _activate = span!("core::fleet", "cohort_activate");
                 let ids = sample_cohort(&mut rng, k, cohort_n);
                 meter.record_c2s(ids.len() as u64 * model_bytes);
                 clock.advance(
@@ -324,9 +337,11 @@ impl FleetExperiment {
                 );
                 cohort = self.activate(&ids, &global, cfg.lr);
             }
+            kphases.credit("cohort_activate");
             let n = cohort.len();
 
             // (2) Local training, straggler-limited by device tier.
+            let train_span = span!("core::fleet", "local_train");
             let times: Vec<f64> = cohort
                 .iter()
                 .map(|c| {
@@ -347,9 +362,12 @@ impl FleetExperiment {
                     .sum::<f64>()
                     / w) as f32
             };
+            drop(train_span);
+            kphases.credit("local_train");
 
             // (3) Pooled DRL states for this round, and the reward for the
             // previous round's pending decisions (Eq. 17).
+            let decision_span = span!("core::fleet", "decision");
             let lans: Vec<u32> = cohort.iter().map(|c| self.pool.stub(c.id()).lan).collect();
             let marginals: Vec<&[f32]> =
                 cohort.iter().map(|c| self.pool.stub(c.id()).marginal.as_slice()).collect();
@@ -400,6 +418,8 @@ impl FleetExperiment {
                     });
                 }
             }
+            drop(decision_span);
+            kphases.credit("decision");
 
             // (4) Communication: C2C migration between aggregations
             // (FedMigr), or upload + aggregate + retire on block ends.
@@ -410,22 +430,31 @@ impl FleetExperiment {
             let is_eval = epoch.is_multiple_of(cfg.eval_interval) || epoch == cfg.epochs;
             let mut accuracy = None;
             if is_agg {
+                let agg_span = span!("core::fleet", "aggregate");
                 meter.record_c2s(n as u64 * model_bytes);
                 clock.advance(
                     VPhase::C2s,
                     n as f64 * transfer_time(model_bytes, self.topo.c2s_bandwidth(epoch)),
                 );
                 global = aggregate_cohort(&mut cohort, &global);
+                drop(agg_span);
+                kphases.credit("aggregate");
                 if is_eval {
+                    let _eval = span!("core::fleet", "evaluate");
                     accuracy = Some(self.evaluate(&mut scratch, &global));
+                    kphases.credit("evaluate");
                 }
+                let retire_span = span!("core::fleet", "retire");
                 for c in cohort.iter_mut() {
                     let st = c.export_state();
                     self.pool.retire(c.id(), st.rng, st.migrations_received as u64);
                 }
                 cohort.clear();
                 fedmigr_telemetry::rss::record_peak_rss();
+                drop(retire_span);
+                kphases.credit("retire");
             } else {
+                let migrate_span = span!("core::fleet", "migrate");
                 if let (Some(ctx), Some(states)) = (agent_ctx.as_mut(), states.as_ref()) {
                     let rho = if epoch <= ctx.warmup_epochs { 1.0 } else { ctx.rho };
                     ctx.agent.set_rho(rho);
@@ -504,15 +533,20 @@ impl FleetExperiment {
                         }
                     }
                 }
+                drop(migrate_span);
+                kphases.credit("migrate");
                 if is_eval {
                     // Shadow aggregation — observation only, the cohort's
                     // models are untouched.
+                    let _eval = span!("core::fleet", "evaluate");
                     let shadow = aggregate_cohort(&mut cohort, &global);
                     accuracy = Some(self.evaluate(&mut scratch, &shadow));
+                    kphases.credit("evaluate");
                 }
             }
 
             // (5) Bookkeeping, cadenced checkpoints, stop conditions.
+            let book_span = span!("core::fleet", "bookkeeping");
             records.push(EpochRecord {
                 epoch,
                 train_loss: mean_loss,
@@ -614,6 +648,8 @@ impl FleetExperiment {
                 );
                 break 'round;
             }
+            drop(book_span);
+            kphases.credit("bookkeeping");
         }
 
         // Terminal transition flush (Eq. 18); a killed run crashed and gets

@@ -69,6 +69,7 @@ mod aggregate;
 mod checkpoint;
 mod client;
 mod fleet;
+pub mod kernels;
 mod metrics;
 mod migration;
 mod privacy;

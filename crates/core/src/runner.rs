@@ -636,6 +636,9 @@ impl Experiment {
         };
 
         let mut epoch = start_epoch;
+        // Attributes kernel FLOP/byte/time deltas to the phase that just
+        // closed; cheap no-op when accounting is off.
+        let mut kphases = crate::kernels::KernelPhases::new();
         'run: while epoch <= cfg.epochs {
             // The labeled block is the round body; the shared epilogue
             // below it (snapshot capture, kill switch, epoch increment)
@@ -787,6 +790,7 @@ impl Experiment {
                     .sum::<f32>();
                 let _ = total_n;
                 drop(train_span);
+                kphases.credit("local_train");
 
                 // (2) Build decision states and settle last epoch's transitions.
                 let decision_span = span!("core::runner", "decision");
@@ -834,6 +838,7 @@ impl Experiment {
                 }
 
                 drop(decision_span);
+                kphases.credit("decision");
 
                 // (3) Communication: aggregation, server-side swap, or C2C
                 //     migration, depending on the scheme and epoch.
@@ -1438,6 +1443,7 @@ impl Experiment {
                     drop(transfer_span);
                 }
                 drop(comm_span);
+                kphases.credit("communicate");
 
                 // (4) Evaluation of the (shadow-)aggregated global model.
                 let eval_span = span!("core::runner", "evaluate");
@@ -1481,6 +1487,7 @@ impl Experiment {
                     None
                 };
                 drop(eval_span);
+                kphases.credit("evaluate");
 
                 // (5) Agent learning.
                 if let Some(ctx) = agent_ctx.as_mut() {
@@ -1491,6 +1498,7 @@ impl Experiment {
                 }
 
                 // (6) Bookkeeping and stopping conditions.
+                kphases.credit("agent_update");
                 let book_span = span!("core::runner", "bookkeeping");
                 let epoch_bw = (meter.traffic().total() - traffic_before) as f64;
                 let epoch_compute = meter.compute_cost() - compute_before;
@@ -1680,6 +1688,7 @@ impl Experiment {
                     }
                 }
                 drop(book_span);
+                kphases.credit("bookkeeping");
                 if let (Some(target), Some(acc)) = (cfg.target_accuracy, accuracy) {
                     if acc >= target {
                         target_reached = true;

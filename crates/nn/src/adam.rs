@@ -1,3 +1,4 @@
+use fedmigr_tensor::kcount::{self, Kernel};
 use fedmigr_tensor::Tensor;
 
 use crate::Layer;
@@ -64,6 +65,7 @@ impl Adam {
             let m = &mut ms[idx];
             let v = &mut vs[idx];
             assert_eq!(m.len(), p.numel(), "parameter shape changed between steps");
+            let _k = kcount::scope(Kernel::Optimizer, 12 * p.numel() as u64, 28 * p.numel() as u64);
             for (((pv, gv), mi), vi) in
                 p.data_mut().iter_mut().zip(g.data()).zip(m.iter_mut()).zip(v.iter_mut())
             {

@@ -1,3 +1,4 @@
+use fedmigr_tensor::kcount::{self, Kernel};
 use fedmigr_tensor::Tensor;
 
 use crate::Layer;
@@ -73,6 +74,8 @@ impl Layer for BatchNorm2d {
         let (b, c, s) = Self::dims(input.shape());
         assert_eq!(c, self.channels, "BatchNorm2d channel mismatch");
         let n = (b * s) as f32;
+        let _k =
+            kcount::scope(Kernel::BatchNorm, 7 * input.numel() as u64, 20 * input.numel() as u64);
         let data = input.data();
         let mut out = vec![0.0f32; data.len()];
         if train {
@@ -135,6 +138,11 @@ impl Layer for BatchNorm2d {
         );
         let (b, c, s) = Self::dims(&self.input_shape);
         let n = (b * s) as f32;
+        let _k = kcount::scope(
+            Kernel::BatchNorm,
+            10 * grad_out.numel() as u64,
+            16 * grad_out.numel() as u64,
+        );
         let g = grad_out.data();
         let mut grad_in = vec![0.0f32; g.len()];
         for ch in 0..c {

@@ -1,3 +1,4 @@
+use fedmigr_tensor::kcount::{self, Kernel};
 use fedmigr_tensor::{he_std, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -61,6 +62,11 @@ impl Conv2d {
         let (oh, ow) = (self.out_size(h), self.out_size(w));
         let (k, s, p) = (self.kernel, self.stride, self.padding);
         let patch = c * k * k;
+        let _k = kcount::scope(
+            Kernel::Im2col,
+            0,
+            4 * (input.numel() as u64 + (b * oh * ow * patch) as u64),
+        );
         let mut cols = vec![0.0f32; b * oh * ow * patch];
         let data = input.data();
         for bi in 0..b {
@@ -95,6 +101,11 @@ impl Conv2d {
         let (oh, ow) = (self.out_size(h), self.out_size(w));
         let (k, s, p) = (self.kernel, self.stride, self.padding);
         let patch = c * k * k;
+        let _k = kcount::scope(
+            Kernel::Col2im,
+            grad_cols.numel() as u64,
+            4 * (grad_cols.numel() as u64 + (b * c * h * w) as u64),
+        );
         let mut out = Tensor::zeros(&[b, c, h, w]);
         let dst = out.data_mut();
         let g = grad_cols.data();
@@ -142,6 +153,7 @@ impl Layer for Conv2d {
             }
         }
         // Rearrange [B*OH*OW, OC] -> [B, OC, OH, OW].
+        let _k = kcount::scope(Kernel::Transpose, 0, 8 * (b * oc * oh * ow) as u64);
         let mut out = vec![0.0f32; b * oc * oh * ow];
         let src = out2.data();
         for bi in 0..b {
@@ -164,6 +176,7 @@ impl Layer for Conv2d {
         let [b, oc, oh, ow] = four(grad_out.shape());
         assert_eq!(oc, self.out_channels);
         // Rearrange grad [B, OC, OH, OW] -> [B*OH*OW, OC].
+        let rearrange = kcount::scope(Kernel::Transpose, 0, 8 * (b * oh * ow * oc) as u64);
         let mut g2 = vec![0.0f32; b * oh * ow * oc];
         let src = grad_out.data();
         for bi in 0..b {
@@ -177,6 +190,7 @@ impl Layer for Conv2d {
             }
         }
         let g2 = Tensor::from_vec(vec![b * oh * ow, oc], g2);
+        drop(rearrange);
         self.grad_weight.add_assign(&cols.transpose2().matmul(&g2));
         for r in 0..g2.rows() {
             let row = g2.row(r);

@@ -1,3 +1,4 @@
+use fedmigr_tensor::kcount::{self, Kernel};
 use fedmigr_tensor::Tensor;
 
 use crate::Layer;
@@ -49,6 +50,7 @@ impl Sgd {
             }
             let v = &mut velocity[idx];
             assert_eq!(v.len(), p.numel(), "parameter shape changed between steps");
+            let _k = kcount::scope(Kernel::Optimizer, 4 * p.numel() as u64, 20 * p.numel() as u64);
             for ((pv, gv), vel) in p.data_mut().iter_mut().zip(g.data()).zip(v.iter_mut()) {
                 let grad = gv + wd * *pv;
                 if momentum > 0.0 {

@@ -1,3 +1,4 @@
+use fedmigr_tensor::kcount::{self, Kernel};
 use fedmigr_tensor::Tensor;
 
 use crate::Layer;
@@ -32,6 +33,12 @@ impl Layer for MaxPool2d {
         assert_eq!(shape.len(), 4, "MaxPool2d expects [B, C, H, W]");
         let (b, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         let (oh, ow) = (self.out_size(h), self.out_size(w));
+        let windows = (b * c * oh * ow) as u64;
+        let _k = kcount::scope(
+            Kernel::Pool,
+            windows * (self.size * self.size) as u64,
+            4 * windows * (self.size * self.size + 1) as u64,
+        );
         let mut out = vec![0.0f32; b * c * oh * ow];
         self.argmax.clear();
         self.argmax.resize(out.len(), 0);
@@ -69,6 +76,7 @@ impl Layer for MaxPool2d {
             self.argmax.len(),
             "MaxPool2d::backward grad shape mismatch (forward not called?)"
         );
+        let _k = kcount::scope(Kernel::Pool, grad_out.numel() as u64, 12 * grad_out.numel() as u64);
         let mut grad_in = Tensor::zeros(&self.input_shape);
         let dst = grad_in.data_mut();
         for (o, &g) in grad_out.data().iter().enumerate() {

@@ -170,7 +170,7 @@ mod tests {
     #[test]
     fn c100_cnn_has_hundred_outputs_and_extra_fc() {
         let mut m100 = c100_cnn(3, 8, NetScale::Small, 0);
-        let mut m10 = c10_cnn(3, 8, NetScale::Small, 0);
+        let m10 = c10_cnn(3, 8, NetScale::Small, 0);
         let y = m100.forward(&Tensor::zeros(&[1, 3, 8, 8]), false);
         assert_eq!(y.shape(), &[1, 100]);
         // The extra FC layer plus wider head means more parameters.
@@ -194,8 +194,8 @@ mod tests {
 
     #[test]
     fn paper_scale_is_wider_than_small() {
-        let mut small = c10_cnn(3, 8, NetScale::Small, 0);
-        let mut paper = c10_cnn(3, 8, NetScale::Paper, 0);
+        let small = c10_cnn(3, 8, NetScale::Small, 0);
+        let paper = c10_cnn(3, 8, NetScale::Paper, 0);
         assert!(paper.num_params() > 10 * small.num_params());
     }
 

@@ -3,6 +3,7 @@
 //! ```text
 //! telemetry_validate <trace.jsonl> [--metrics <file.prom>]
 //!                    [--require <metric family>]... [--min-coverage <0..1>]
+//!                    [--mode <dense|fleet>]
 //! ```
 //!
 //! * Parses every line of the JSONL trace through the strict
@@ -13,34 +14,90 @@
 //!   span time is covered by its direct child phase spans and fails below
 //!   the bound — the guard behind the "spans cover the round wall-clock"
 //!   acceptance criterion.
+//! * With `--mode`, checks every span name against that runner's whitelist
+//!   and requires the core phases of the mode to appear at least once, so
+//!   a renamed or silently-dropped phase span fails CI instead of shipping.
 
+use std::collections::BTreeSet;
 use std::process::ExitCode;
 
 use fedmigr_telemetry::TraceEvent;
+
+/// Span names each runner mode may emit.
+const DENSE_SPANS: &[&str] = &[
+    "round",
+    "local_train",
+    "decision",
+    "communicate",
+    "aggregate",
+    "migration_plan",
+    "migration_transfer",
+    "quarantine_screen",
+    "evaluate",
+    "agent_update",
+    "bookkeeping",
+    "diagnostics",
+    "update",
+    "bench_main",
+];
+
+const FLEET_SPANS: &[&str] = &[
+    "round",
+    "cohort_activate",
+    "local_train",
+    "decision",
+    "migrate",
+    "aggregate",
+    "evaluate",
+    "retire",
+    "bookkeeping",
+    "update",
+    "bench_main",
+];
+
+/// Span names that must appear at least once per mode.
+const DENSE_REQUIRED: &[&str] = &["round", "local_train", "communicate", "evaluate"];
+const FLEET_REQUIRED: &[&str] = &["round", "cohort_activate", "local_train", "aggregate"];
 
 struct Args {
     trace: String,
     metrics: Option<String>,
     require: Vec<String>,
     min_coverage: Option<f64>,
+    mode: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: telemetry_validate <trace.jsonl> [--metrics <file.prom>] \
-         [--require <family>]... [--min-coverage <0..1>]"
+         [--require <family>]... [--min-coverage <0..1>] [--mode <dense|fleet>]"
     );
     std::process::exit(2)
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { trace: String::new(), metrics: None, require: Vec::new(), min_coverage: None };
+    let mut args = Args {
+        trace: String::new(),
+        metrics: None,
+        require: Vec::new(),
+        min_coverage: None,
+        mode: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--metrics" => args.metrics = Some(it.next().unwrap_or_else(|| usage())),
             "--require" => args.require.push(it.next().unwrap_or_else(|| usage())),
+            "--mode" => {
+                let raw = it.next().unwrap_or_else(|| usage());
+                match raw.as_str() {
+                    "dense" | "fleet" => args.mode = Some(raw),
+                    _ => {
+                        eprintln!("telemetry_validate: unknown --mode {raw:?}");
+                        usage()
+                    }
+                }
+            }
             "--min-coverage" => {
                 let raw = it.next().unwrap_or_else(|| usage());
                 match raw.parse::<f64>() {
@@ -103,6 +160,42 @@ fn main() -> ExitCode {
     if events.is_empty() {
         eprintln!("telemetry_validate: trace is empty");
         failed = true;
+    }
+
+    if let Some(mode) = &args.mode {
+        let (allowed, required) = match mode.as_str() {
+            "dense" => (DENSE_SPANS, DENSE_REQUIRED),
+            _ => (FLEET_SPANS, FLEET_REQUIRED),
+        };
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut unknown: BTreeSet<String> = BTreeSet::new();
+        for ev in &events {
+            if let TraceEvent::Span { name, .. } = ev {
+                if let Some(known) = allowed.iter().find(|a| *a == name) {
+                    seen.insert(known);
+                } else {
+                    unknown.insert(name.clone());
+                }
+            }
+        }
+        for name in &unknown {
+            eprintln!("telemetry_validate: span {name:?} is not in the {mode} whitelist");
+            failed = true;
+        }
+        let mut missing = 0usize;
+        for name in required {
+            if !seen.contains(name) {
+                eprintln!("telemetry_validate: required {mode} span {name:?} never appeared");
+                failed = true;
+                missing += 1;
+            }
+        }
+        if unknown.is_empty() && missing == 0 {
+            println!(
+                "mode {mode}: {} distinct span names, all whitelisted, required set present",
+                seen.len()
+            );
+        }
     }
 
     if let Some(min) = args.min_coverage {

@@ -33,6 +33,7 @@
 mod clock;
 mod level;
 pub mod metrics;
+pub mod profiler;
 pub mod rss;
 pub mod trace;
 
@@ -63,6 +64,17 @@ pub mod names {
     pub const RETRANSMITS_TOTAL: &str = "fedmigr_net_retransmits_total";
     /// Counter: retransmission timeouts fired by the flow transport.
     pub const FLOW_TIMEOUTS_TOTAL: &str = "fedmigr_net_flow_timeouts_total";
+    /// Counter: declared FLOPs per `{kernel, phase}` (from `fedmigr-tensor`
+    /// kernel accounting, attributed to phases by the runners).
+    pub const KERNEL_FLOPS_TOTAL: &str = "fedmigr_kernel_flops_total";
+    /// Counter: declared bytes moved per `{kernel, phase}`.
+    pub const KERNEL_BYTES_TOTAL: &str = "fedmigr_kernel_bytes_total";
+    /// Counter: kernel invocations per `{kernel, phase}`.
+    pub const KERNEL_CALLS_TOTAL: &str = "fedmigr_kernel_calls_total";
+    /// Counter: outermost kernel wall time per `{kernel, phase}`, in
+    /// nanoseconds (a counter, not a histogram, so per-phase GFLOP/s is an
+    /// exact ratio of two counters).
+    pub const KERNEL_NANOS_TOTAL: &str = "fedmigr_kernel_nanos_total";
 }
 
 /// Where rendered log lines go.
@@ -186,10 +198,22 @@ impl Telemetry {
         labels: Vec<(String, String)>,
     ) -> Span<'_> {
         if !self.spans_on.load(Ordering::Relaxed) {
-            return Span { engine: None, target, name, start: 0.0, depth: 0, labels: Vec::new() };
+            return Span {
+                engine: None,
+                target,
+                name,
+                start: 0.0,
+                depth: 0,
+                labels: Vec::new(),
+                _frame: profiler::Frame::inert(),
+            };
         }
         let depth = self.depth.fetch_add(1, Ordering::Relaxed);
-        Span { engine: Some(self), target, name, start: self.now(), depth, labels }
+        // Spans double as profiler frames so the collapsed-stack report
+        // nests under the same phase names as the trace (inert when
+        // profiling is off).
+        let frame = profiler::frame(name);
+        Span { engine: Some(self), target, name, start: self.now(), depth, labels, _frame: frame }
     }
 
     /// Attaches a JSONL trace writer; subsequent spans and passing log
@@ -260,6 +284,8 @@ pub struct Span<'a> {
     start: f64,
     depth: usize,
     labels: Vec<(String, String)>,
+    /// Closes (recording the profiler frame) after the span records.
+    _frame: profiler::Frame,
 }
 
 impl Drop for Span<'_> {

@@ -175,23 +175,46 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Upper bound of the bucket holding the `q`-quantile observation
-    /// (`q` in `[0, 1]`); `+Inf` if it sits in the overflow bucket, 0 when
-    /// empty. A coarse but monotone estimator — enough to rank phases.
+    /// The `q`-quantile (`q` in `[0, 1]`) estimated with linear
+    /// interpolation inside the target bucket, Prometheus-style: the rank
+    /// is assumed uniformly distributed between the bucket's edges, the
+    /// first bucket's lower edge is 0 when its bound is positive, and
+    /// ranks falling in the overflow bucket clamp to the highest finite
+    /// bound. Monotone in `q`; 0 when empty. (The previous estimator
+    /// snapped to bucket upper bounds, which misranks everything sharing a
+    /// bucket — fatal for comparing kernel timings.)
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
         if self.count == 0 {
             return 0.0;
         }
-        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
+        let rank = q * self.count as f64;
+        let mut cum = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            if c == 0 {
+                continue;
+            }
+            let prev = cum as f64;
+            cum += c;
+            if cum as f64 >= rank {
+                let Some(&hi) = self.bounds.get(i) else {
+                    // Overflow bucket: no upper edge to interpolate towards.
+                    return self.bounds.last().copied().unwrap_or(f64::INFINITY);
+                };
+                let lo = if i == 0 {
+                    if hi > 0.0 {
+                        0.0
+                    } else {
+                        hi
+                    }
+                } else {
+                    self.bounds[i - 1]
+                };
+                let frac = ((rank - prev) / c as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * frac;
             }
         }
-        f64::INFINITY
+        self.bounds.last().copied().unwrap_or(f64::INFINITY)
     }
 }
 
@@ -292,6 +315,23 @@ impl Registry {
             .iter()
             .filter_map(|((n, labels), entry)| match entry {
                 MetricEntry::Histogram(h) if n == name => Some((labels.clone(), h.snapshot())),
+                _ => None,
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Current values of every counter series registered under `name`,
+    /// paired with their label sets and ordered deterministically by
+    /// labels. Series of other names or metric types are ignored; an
+    /// unknown name yields an empty vector.
+    pub fn counter_family(&self, name: &str) -> Vec<(Labels, u64)> {
+        let map = self.entries.lock().expect("metrics registry poisoned");
+        let mut out: Vec<(Labels, u64)> = map
+            .iter()
+            .filter_map(|((n, labels), entry)| match entry {
+                MetricEntry::Counter(c) if n == name => Some((labels.clone(), c.get())),
                 _ => None,
             })
             .collect();
@@ -434,16 +474,34 @@ mod tests {
     }
 
     #[test]
-    fn quantile_is_bucket_upper_bound() {
+    fn quantile_interpolates_within_buckets() {
+        // counts per bucket: le=1 -> 2, le=2 -> 1, le=4 -> 1, +Inf -> 1.
         let h = Histogram::new(vec![1.0, 2.0, 4.0]);
         for v in [0.5, 0.6, 1.5, 3.0, 100.0] {
             h.observe(v);
         }
         let s = h.snapshot();
-        assert_eq!(s.quantile(0.0), 1.0);
-        assert_eq!(s.quantile(0.5), 2.0);
-        assert_eq!(s.quantile(0.8), 4.0);
-        assert_eq!(s.quantile(1.0), f64::INFINITY);
+        // rank 0 sits at the first bucket's lower edge (0 for positive bounds).
+        assert_eq!(s.quantile(0.0), 0.0);
+        // rank 1.0 of 2 observations in [0, 1] -> halfway up the bucket.
+        assert!((s.quantile(0.2) - 0.5).abs() < 1e-12);
+        // rank 2.5: 0.5 into the single observation of bucket (1, 2].
+        assert!((s.quantile(0.5) - 1.5).abs() < 1e-12);
+        // rank 4.0 exhausts bucket (2, 4] exactly -> its upper bound.
+        assert!((s.quantile(0.8) - 4.0).abs() < 1e-12);
+        // Ranks in the overflow bucket clamp to the highest finite bound.
+        assert_eq!(s.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn quantile_of_single_bucket_histogram_stays_finite() {
+        let h = Histogram::new(vec![8.0]);
+        for v in [1.0, 3.0, 20.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert!((s.quantile(0.5) - 6.0).abs() < 1e-12, "1.5/2 of [0, 8]");
+        assert_eq!(s.quantile(1.0), 8.0);
     }
 
     #[test]
@@ -499,6 +557,20 @@ mod tests {
         assert_eq!(fam[1].0, vec![("phase".to_string(), "train".to_string())]);
         assert!((fam[0].1.sum - 2.0).abs() < 1e-12);
         assert!(r.histogram_family("absent").is_empty());
+    }
+
+    #[test]
+    fn counter_family_enumerates_label_sets() {
+        let r = Registry::new();
+        r.counter("kernel_flops", &[("kernel", "matmul")]).add(10);
+        r.counter("kernel_flops", &[("kernel", "im2col")]).add(3);
+        r.gauge("kernel_flops_other", &[]).set(1.0);
+        let fam = r.counter_family("kernel_flops");
+        assert_eq!(fam.len(), 2);
+        assert_eq!(fam[0].0, vec![("kernel".to_string(), "im2col".to_string())]);
+        assert_eq!(fam[0].1, 3);
+        assert_eq!(fam[1].1, 10);
+        assert!(r.counter_family("absent").is_empty());
     }
 
     #[test]

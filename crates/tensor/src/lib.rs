@@ -21,6 +21,7 @@
 //! ```
 
 mod init;
+pub mod kcount;
 mod norms;
 mod ops;
 mod stats;

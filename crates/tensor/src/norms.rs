@@ -7,8 +7,11 @@
 //! thousands of coordinates and an `f32` sum of squares loses enough
 //! precision to reorder near-tied Krum scores between platforms.
 
+use crate::kcount::{self, Kernel};
+
 /// Euclidean norm of a flat slice, accumulated in `f64`.
 pub fn l2_norm_slice(xs: &[f32]) -> f64 {
+    let _k = kcount::scope(Kernel::Norm, 2 * xs.len() as u64, 4 * xs.len() as u64);
     xs.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
 }
 
@@ -18,6 +21,7 @@ pub fn l2_norm_slice(xs: &[f32]) -> f64 {
 /// Panics if the slices differ in length.
 pub fn l2_distance_slice(a: &[f32], b: &[f32]) -> f64 {
     assert_eq!(a.len(), b.len(), "l2_distance of mismatched lengths");
+    let _k = kcount::scope(Kernel::Norm, 3 * a.len() as u64, 8 * a.len() as u64);
     a.iter()
         .zip(b)
         .map(|(&x, &y)| {

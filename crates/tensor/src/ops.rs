@@ -1,4 +1,11 @@
+use crate::kcount::{self, Kernel};
 use crate::Tensor;
+
+// Declared memory traffic is bytes read + written at f32 width; FLOP counts
+// follow the usual dense-kernel conventions (multiply-add = 2 FLOPs).
+fn n64(n: usize) -> u64 {
+    n as u64
+}
 
 impl Tensor {
     /// Elementwise addition; shapes must match.
@@ -19,6 +26,7 @@ impl Tensor {
     /// In-place elementwise `self += other`.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in add_assign");
+        let _k = kcount::scope(Kernel::Elementwise, n64(self.numel()), 12 * n64(self.numel()));
         for (a, b) in self.data_mut().iter_mut().zip(other.data()) {
             *a += b;
         }
@@ -27,6 +35,7 @@ impl Tensor {
     /// In-place `self += alpha * other` (axpy).
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in axpy");
+        let _k = kcount::scope(Kernel::Elementwise, 2 * n64(self.numel()), 12 * n64(self.numel()));
         for (a, b) in self.data_mut().iter_mut().zip(other.data()) {
             *a += alpha * b;
         }
@@ -34,11 +43,13 @@ impl Tensor {
 
     /// Returns `self * scalar`.
     pub fn scale(&self, scalar: f32) -> Tensor {
+        let _k = kcount::scope(Kernel::Elementwise, n64(self.numel()), 8 * n64(self.numel()));
         Tensor::from_vec(self.shape().to_vec(), self.data().iter().map(|x| x * scalar).collect())
     }
 
     /// In-place multiplication by a scalar.
     pub fn scale_assign(&mut self, scalar: f32) {
+        let _k = kcount::scope(Kernel::Elementwise, n64(self.numel()), 8 * n64(self.numel()));
         for x in self.data_mut() {
             *x *= scalar;
         }
@@ -46,6 +57,7 @@ impl Tensor {
 
     /// Applies `f` elementwise, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let _k = kcount::scope(Kernel::Elementwise, n64(self.numel()), 8 * n64(self.numel()));
         Tensor::from_vec(self.shape().to_vec(), self.data().iter().map(|&x| f(x)).collect())
     }
 
@@ -64,6 +76,11 @@ impl Tensor {
         let (m, k) = (self.rows(), self.cols());
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
+        let _k = kcount::scope(
+            Kernel::Matmul,
+            2 * n64(m) * n64(n) * n64(k),
+            4 * (n64(m) * n64(k) + n64(k) * n64(n) + n64(m) * n64(n)),
+        );
         let mut out = vec![0.0f32; m * n];
         let a = self.data();
         let b = other.data();
@@ -86,6 +103,7 @@ impl Tensor {
     /// Transpose of a 2-D tensor.
     pub fn transpose2(&self) -> Tensor {
         let (m, n) = (self.rows(), self.cols());
+        let _k = kcount::scope(Kernel::Transpose, 0, 8 * n64(m) * n64(n));
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
             for j in 0..n {
@@ -107,6 +125,7 @@ impl Tensor {
 
     /// Euclidean (L2) norm of the flattened tensor.
     pub fn l2_norm(&self) -> f32 {
+        let _k = kcount::scope(Kernel::Norm, 2 * n64(self.numel()), 4 * n64(self.numel()));
         self.data().iter().map(|x| x * x).sum::<f32>().sqrt()
     }
 
@@ -150,11 +169,13 @@ impl Tensor {
     /// Dot product of two tensors of identical shape.
     pub fn dot(&self, other: &Tensor) -> f32 {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in dot");
+        let _k = kcount::scope(Kernel::Elementwise, 2 * n64(self.numel()), 8 * n64(self.numel()));
         self.data().iter().zip(other.data()).map(|(a, b)| a * b).sum()
     }
 
     fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in elementwise op");
+        let _k = kcount::scope(Kernel::Elementwise, n64(self.numel()), 12 * n64(self.numel()));
         let data = self.data().iter().zip(other.data()).map(|(&a, &b)| f(a, b)).collect();
         Tensor::from_vec(self.shape().to_vec(), data)
     }

@@ -1,5 +1,6 @@
 //! Numerically stable row-wise softmax / log-softmax and argmax helpers.
 
+use crate::kcount::{self, Kernel};
 use crate::Tensor;
 
 /// Row-wise softmax of a 2-D tensor `[B, L]`.
@@ -8,6 +9,8 @@ use crate::Tensor;
 /// stable for large logits.
 pub fn softmax_rows(logits: &Tensor) -> Tensor {
     let (b, l) = (logits.rows(), logits.cols());
+    let numel = (b * l) as u64;
+    let _k = kcount::scope(Kernel::Softmax, 5 * numel, 8 * numel);
     let mut out = vec![0.0f32; b * l];
     for r in 0..b {
         let row = logits.row(r);
@@ -30,6 +33,8 @@ pub fn softmax_rows(logits: &Tensor) -> Tensor {
 /// Row-wise log-softmax of a 2-D tensor `[B, L]`.
 pub fn log_softmax_rows(logits: &Tensor) -> Tensor {
     let (b, l) = (logits.rows(), logits.cols());
+    let numel = (b * l) as u64;
+    let _k = kcount::scope(Kernel::Softmax, 5 * numel, 8 * numel);
     let mut out = vec![0.0f32; b * l];
     for r in 0..b {
         let row = logits.row(r);

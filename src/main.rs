@@ -23,6 +23,13 @@ use fedmigr::net::{
 use fedmigr::nn::zoo::{self, NetScale};
 use fedmigr_telemetry::{error, info, Filter};
 
+/// Counting allocator behind `--profile-alloc`: forwards to the system
+/// allocator and, only while alloc profiling is enabled, attributes
+/// allocations to the innermost profiled scope.
+#[global_allocator]
+static ALLOC: fedmigr_telemetry::profiler::CountingAlloc =
+    fedmigr_telemetry::profiler::CountingAlloc;
+
 const HELP: &str = "\
 fedmigr — federated learning with intelligent model migration
 
@@ -106,6 +113,14 @@ OPTIONS:
                          (default info; FEDMIGR_LOG is honoured too)
     --trace-out <path>   write a JSONL trace of spans and log events
     --metrics-out <path> write a Prometheus-style metrics dump at exit
+    --profile-out <path> enable the in-process profiler and write a
+                         collapsed-stack report (flamegraph.pl / inferno
+                         input) at exit; observation-only — results are
+                         byte-identical with profiling on or off
+    --profile-alloc      also count allocations per profiled scope (needs
+                         --profile-out; writes <path>.alloc)
+    --no-kcount          disable kernel FLOP/byte accounting and the
+                         per-phase kernel table in the summary
     --help               print this help
 ";
 
@@ -122,6 +137,16 @@ fn main() {
         if let Err(e) = fedmigr_telemetry::set_trace_file(path) {
             die(&format!("--trace-out {path}: {e}"));
         }
+    }
+    // Kernel accounting feeds the per-phase GFLOP/s table. Observation-only
+    // (results are byte-identical either way), so it defaults to on.
+    fedmigr::tensor::kcount::set_enabled(!args.no_kcount);
+    if args.profile_alloc && args.profile_out.is_none() {
+        die("--profile-alloc needs --profile-out");
+    }
+    if args.profile_out.is_some() {
+        fedmigr_telemetry::profiler::set_enabled(true);
+        fedmigr_telemetry::profiler::set_alloc_enabled(args.profile_alloc);
     }
     let scheme = match args.scheme.as_str() {
         "fedavg" => Scheme::FedAvg,
@@ -196,6 +221,9 @@ fn main() {
     if let Some(phases) = metrics.phase_summary() {
         println!("{phases}");
     }
+    if let Some(table) = fedmigr::core::kernels::kernel_table() {
+        print!("{table}");
+    }
     println!(
         "migrations:       {} local, {} cross-LAN",
         metrics.migrations_local, metrics.migrations_global
@@ -238,6 +266,25 @@ fn main() {
             Err(e) => {
                 error!("cli", "error: failed to write --metrics-out {path}: {e}");
                 std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = &args.profile_out {
+        match std::fs::write(path, fedmigr_telemetry::profiler::collapsed_report()) {
+            Ok(()) => info!("cli", "wrote {path}"),
+            Err(e) => {
+                error!("cli", "error: failed to write --profile-out {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        if args.profile_alloc {
+            let apath = format!("{path}.alloc");
+            match std::fs::write(&apath, fedmigr_telemetry::profiler::alloc_report()) {
+                Ok(()) => info!("cli", "wrote {apath}"),
+                Err(e) => {
+                    error!("cli", "error: failed to write {apath}: {e}");
+                    std::process::exit(2);
+                }
             }
         }
     }
@@ -365,6 +412,9 @@ struct Args {
     log_level: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    profile_out: Option<String>,
+    profile_alloc: bool,
+    no_kcount: bool,
 }
 
 impl Args {
@@ -408,6 +458,9 @@ impl Args {
             log_level: None,
             trace_out: None,
             metrics_out: None,
+            profile_out: None,
+            profile_alloc: false,
+            no_kcount: false,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -429,6 +482,16 @@ impl Args {
             }
             if flag == "--fleet" {
                 out.fleet = true;
+                i += 1;
+                continue;
+            }
+            if flag == "--profile-alloc" {
+                out.profile_alloc = true;
+                i += 1;
+                continue;
+            }
+            if flag == "--no-kcount" {
+                out.no_kcount = true;
                 i += 1;
                 continue;
             }
@@ -472,6 +535,7 @@ impl Args {
                 "--log-level" => out.log_level = Some(value.clone()),
                 "--trace-out" => out.trace_out = Some(value.clone()),
                 "--metrics-out" => out.metrics_out = Some(value.clone()),
+                "--profile-out" => out.profile_out = Some(value.clone()),
                 other => die(&format!("unknown flag {other:?} (try --help)")),
             }
             i += 2;
