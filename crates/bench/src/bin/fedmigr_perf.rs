@@ -199,6 +199,23 @@ fn main() {
             sim.run();
             std::hint::black_box(sim.makespan());
         });
+        // Same wave with the event trace recording, so the 1.6x
+        // fedmigr_perf_diff gate bounds the cost of timeline observability
+        // relative to its own baseline run-to-run.
+        run("flow_sim_traced", micro_repeats, &mut || {
+            let mut sim = FlowSim::new(FlowConfig::standard(7));
+            sim.enable_trace();
+            let links: Vec<_> =
+                (0..16).map(|i| sim.add_link(1e6 + (i as f64) * 1e5, 0.01, 0.005, None)).collect();
+            let backbone = sim.add_link(4e6, 0.02, 0.02, None);
+            for f in 0..64 {
+                let path = [links[f % links.len()], backbone];
+                sim.add_flow(&path, 200_000 + (f as u64) * 1_000);
+            }
+            sim.run();
+            std::hint::black_box(sim.makespan());
+            std::hint::black_box(sim.take_trace());
+        });
     }
 
     // --- End-to-end ---------------------------------------------------

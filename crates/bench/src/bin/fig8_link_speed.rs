@@ -4,7 +4,12 @@
 //! Expected shape: fast links carry the most migrations, slow links the
 //! fewest (per-link average).
 //!
-//! Usage: `fig8_link_speed [--scale smoke|paper]`
+//! Usage: `fig8_link_speed [--scale smoke|paper] [--timeline-out <path>]`
+//!
+//! `--timeline-out` streams the round timeline of the *contention* run
+//! (the flow-transport appendix) for `fedmigr_netview` critical-path and
+//! makespan-decomposition analysis — the paper-adjacent workload behind
+//! the numbers in EXPERIMENTS.md's network-observability appendix.
 
 use fedmigr_bench::{
     build_experiment, print_header, print_row, standard_config, Partition, Scale, Workload,
@@ -86,6 +91,10 @@ fn main() {
         fc.lambda = 0.3;
     }
     flow_cfg.transport = TransportConfig::flow(seed);
+    let argv: Vec<String> = std::env::args().collect();
+    if let Some(w) = argv.windows(2).find(|w| w[0] == "--timeline-out") {
+        flow_cfg.diag.timeline_out = Some(w[1].clone());
+    }
     let mf = exp.run(&flow_cfg);
     assert_eq!(mf.epochs(), flow_cfg.epochs, "flow run must complete");
 

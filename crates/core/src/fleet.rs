@@ -297,6 +297,21 @@ impl FleetExperiment {
             );
         }
 
+        // Round-timeline capture (`--timeline-out`), sparse: tail intervals
+        // only for clients that actually appeared, so a 10k-client fleet
+        // round costs O(cohort) timeline lines. Intervals are keyed by
+        // global client id; the fleet's lockstep transfers land as coarse
+        // upload/migrate windows.
+        let mut tcap = crate::timeline_capture::TimelineCapture::new(
+            cfg.diag.timeline_out.as_deref(),
+            "fleet",
+            &cfg.scheme.name(),
+            cfg.transport.name(),
+            k,
+            cfg.seed,
+            true,
+        );
+
         // Active cohort, in sampled-id order; empty between blocks. The
         // per-cohort model distribution and upload charges below are
         // participant-scoped: dormant clients hold no model, so nothing is
@@ -316,10 +331,12 @@ impl FleetExperiment {
                     ("scheme".to_string(), cfg.scheme.name()),
                 ],
             );
+            tcap.round_start(epoch, clock.now());
             // (0) Budget gate, matching the dense runner's round preamble.
             if meter.exhausted() {
                 budget_exhausted = true;
                 records.push(blank_record(epoch, prev_loss, &meter, &clock));
+                tcap.round_end(clock.now());
                 break 'round;
             }
             let traffic_before = meter.traffic().total();
@@ -331,10 +348,15 @@ impl FleetExperiment {
                 let _activate = span!("core::fleet", "cohort_activate");
                 let ids = sample_cohort(&mut rng, k, cohort_n);
                 meter.record_c2s(ids.len() as u64 * model_bytes);
-                clock.advance(
-                    VPhase::C2s,
-                    ids.len() as f64 * transfer_time(model_bytes, self.topo.c2s_bandwidth(epoch)),
-                );
+                let t0 = clock.now();
+                let adv =
+                    ids.len() as f64 * transfer_time(model_bytes, self.topo.c2s_bandwidth(epoch));
+                clock.advance(VPhase::C2s, adv);
+                if tcap.active() {
+                    for &id in &ids {
+                        tcap.upload(id, t0, adv, adv, false);
+                    }
+                }
                 cohort = self.activate(&ids, &global, cfg.lr);
             }
             kphases.credit("cohort_activate");
@@ -352,6 +374,13 @@ impl FleetExperiment {
             let compute: f64 = cohort.iter().map(|c| c.num_samples() as f64).sum();
             let losses = train_cohort(&mut cohort, cfg.batch_size, cfg.max_batches_per_epoch);
             meter.record_compute(compute);
+            let train_t0 = clock.now();
+            if tcap.active() {
+                let phase_end = train_t0 + times.iter().fold(0.0f64, |a, &b| a.max(b));
+                for (c, &t) in cohort.iter().zip(&times) {
+                    tcap.train(c.id(), train_t0, train_t0 + t, phase_end);
+                }
+            }
             clock.advance_parallel(VPhase::Train, times);
             let mean_loss: f32 = {
                 let w: f64 = cohort.iter().map(|c| c.num_samples() as f64).sum();
@@ -432,10 +461,14 @@ impl FleetExperiment {
             if is_agg {
                 let agg_span = span!("core::fleet", "aggregate");
                 meter.record_c2s(n as u64 * model_bytes);
-                clock.advance(
-                    VPhase::C2s,
-                    n as f64 * transfer_time(model_bytes, self.topo.c2s_bandwidth(epoch)),
-                );
+                let t0 = clock.now();
+                let adv = n as f64 * transfer_time(model_bytes, self.topo.c2s_bandwidth(epoch));
+                clock.advance(VPhase::C2s, adv);
+                if tcap.active() {
+                    for c in &cohort {
+                        tcap.upload(c.id(), t0, adv, adv, false);
+                    }
+                }
                 global = aggregate_cohort(&mut cohort, &global);
                 drop(agg_span);
                 kphases.credit("aggregate");
@@ -514,13 +547,16 @@ impl FleetExperiment {
                         let payloads: HashMap<usize, Vec<f32>> =
                             moves.iter().map(|&(i, _)| (i, cohort[i].params())).collect();
                         let mut move_times = Vec::with_capacity(moves.len());
+                        let mig_t0 = clock.now();
                         for &(i, d) in &moves {
                             let local = self.topo.same_lan(gids[i], gids[d]);
                             meter.record_c2c(model_bytes, local);
-                            move_times.push(transfer_time(
+                            let time = transfer_time(
                                 model_bytes,
                                 self.topo.c2c_bandwidth(gids[i], gids[d], epoch),
-                            ));
+                            );
+                            tcap.migrate(gids[i], mig_t0, time);
+                            move_times.push(time);
                             if local {
                                 migrations_local += 1;
                             } else {
@@ -561,6 +597,7 @@ impl FleetExperiment {
                 retransmits: 0,
                 late_uploads: 0,
             });
+            tcap.round_end(clock.now());
             prev_loss = Some(mean_loss);
             let epoch_bw = (meter.traffic().total() - traffic_before) as f64;
             let epoch_compute = meter.compute_cost() - compute_before;
@@ -668,6 +705,9 @@ impl FleetExperiment {
             }
         }
         fedmigr_telemetry::rss::record_peak_rss();
+        if !killed {
+            tcap.finish(records.len());
+        }
 
         RunMetrics {
             scheme: cfg.scheme.name(),

@@ -77,6 +77,7 @@ mod reward;
 mod runner;
 mod scheme;
 mod summary;
+mod timeline_capture;
 
 pub use aggregate::{Aggregator, StalenessPolicy};
 pub use checkpoint::{

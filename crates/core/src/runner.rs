@@ -10,7 +10,7 @@ use fedmigr_diag::{
 use fedmigr_drl::qp::FlmmRelaxation;
 use fedmigr_drl::{AgentConfig, DdpgAgent, MigrationState, Transition};
 use fedmigr_net::{
-    simulate_c2s, simulate_migrations, transfer_time, transfer_time_with_latency,
+    simulate_c2s_traced, simulate_migrations_traced, transfer_time, transfer_time_with_latency,
     try_transfer_time_with_latency, upload_deadline, AttackConfig, AttackModel, ClientCompute,
     FaultConfig, FaultModel, FlowConfig, ResourceBudget, ResourceMeter, SimClock, Topology,
     TransportAccum, TransportConfig,
@@ -32,6 +32,7 @@ use crate::migration::{MigrationPlan, Quarantine, QuarantineConfig};
 use crate::privacy::DpConfig;
 use crate::reward::{step_reward, terminal_reward, RewardConfig};
 use crate::scheme::{MigrationStrategy, Scheme};
+use crate::timeline_capture::TimelineCapture;
 
 /// Configuration of one federated-learning run.
 #[derive(Clone, Debug)]
@@ -368,7 +369,24 @@ impl Experiment {
             mix.iter().map(|m| dists.iter().map(|q| l1_distance(m, q)).collect()).collect()
         };
 
+        // Round-timeline capture (`--timeline-out`): observation-only and
+        // inert without a path. A resumed run restarts the timeline file
+        // from scratch; unlike the flight recording there is nothing to
+        // splice — the file stands alone and the validator only needs the
+        // header plus monotone rounds from wherever it begins.
+        let mut tcap = TimelineCapture::new(
+            cfg.diag.timeline_out.as_deref(),
+            "dense",
+            &cfg.scheme.name(),
+            cfg.transport.name(),
+            k,
+            cfg.seed,
+            false,
+        );
+
         // Initial model distribution: server -> K clients over the WAN.
+        // On the timeline this is "round 0": the seed broadcast.
+        tcap.round_start(0, clock.now());
         if let Some(fc) = flow_cfg {
             // K concurrent downloads contend for the WAN. Every client was
             // already seeded with the initial parameters above; a failed
@@ -383,19 +401,25 @@ impl Experiment {
                 &mut meter,
                 &mut clock,
                 &mut taccum,
+                &mut tcap,
             );
         } else {
             meter.record_c2s(k as u64 * model_bytes);
-            clock.advance(
-                VPhase::C2s,
-                k as f64
-                    * transfer_time_with_latency(
-                        model_bytes,
-                        self.topology.c2s_bandwidth(0),
-                        self.topology.c2s_latency(),
-                    ),
-            );
+            let t0 = clock.now();
+            let adv = k as f64
+                * transfer_time_with_latency(
+                    model_bytes,
+                    self.topology.c2s_bandwidth(0),
+                    self.topology.c2s_latency(),
+                );
+            clock.advance(VPhase::C2s, adv);
+            if tcap.active() {
+                for i in 0..k {
+                    tcap.upload(i, t0, adv, adv, false);
+                }
+            }
         }
+        tcap.round_end(clock.now());
 
         let featurizer = MigrationState::new(k);
         let mut agent_ctx = match &cfg.scheme {
@@ -652,6 +676,7 @@ impl Experiment {
                         ("scheme".to_string(), cfg.scheme.name()),
                     ],
                 );
+                tcap.round_start(epoch, clock.now());
                 let traffic_before = meter.traffic().total();
                 let compute_before = meter.compute_cost();
                 let mut robust_epoch = RobustStats::default();
@@ -706,6 +731,7 @@ impl Experiment {
                         retransmits: taccum.retransmits(),
                         late_uploads: taccum.late_uploads(),
                     });
+                    tcap.round_end(clock.now());
                     break 'round;
                 }
 
@@ -765,7 +791,8 @@ impl Experiment {
                 let mut arrived = active.clone();
                 let mut stale = 0usize;
                 let round_time = times.iter().fold(0.0f64, |a, &b| a.max(b));
-                match fault.deadline(median(&times)) {
+                let train_t0 = clock.now();
+                let train_adv = match fault.deadline(median(&times)) {
                     Some(deadline) => {
                         for i in 0..k {
                             if active[i] && per_client_time[i] > deadline {
@@ -773,9 +800,20 @@ impl Experiment {
                                 stale += 1;
                             }
                         }
-                        clock.advance(VPhase::Train, round_time.min(deadline));
+                        round_time.min(deadline)
                     }
-                    None => clock.advance(VPhase::Train, round_time),
+                    None => round_time,
+                };
+                clock.advance(VPhase::Train, train_adv);
+                if tcap.active() {
+                    for i in (0..k).filter(|&i| active[i]) {
+                        tcap.train(
+                            i,
+                            train_t0,
+                            train_t0 + per_client_time[i],
+                            train_t0 + train_adv,
+                        );
+                    }
                 }
                 let active_n: f32 = clients
                     .iter()
@@ -881,6 +919,7 @@ impl Experiment {
                                         &mut clock,
                                         &mut taccum,
                                         &mut fault_stats,
+                                        &mut tcap,
                                     );
                                     up.on_time[u]
                                 }
@@ -892,14 +931,15 @@ impl Experiment {
                     if let (Some(uploader), true) = (uploader, synced) {
                         if flow_cfg.is_none() {
                             meter.record_c2s(2 * model_bytes);
-                            clock.advance(
-                                VPhase::C2s,
-                                2.0 * transfer_time_with_latency(
+                            let t0 = clock.now();
+                            let adv = 2.0
+                                * transfer_time_with_latency(
                                     model_bytes,
                                     self.topology.c2s_bandwidth(epoch),
                                     self.topology.c2s_latency(),
-                                ),
-                            );
+                                );
+                            clock.advance(VPhase::C2s, adv);
+                            tcap.upload(uploader, t0, adv, adv, false);
                         }
                         let mut upload = clients[uploader].params();
                         if let Some(dp) = &cfg.dp {
@@ -942,6 +982,7 @@ impl Experiment {
                                     &mut meter,
                                     &mut clock,
                                     &mut taccum,
+                                    &mut tcap,
                                 )[uploader]
                             }
                             None => true,
@@ -986,21 +1027,30 @@ impl Experiment {
                             &mut clock,
                             &mut taccum,
                             &mut fault_stats,
+                            &mut tcap,
                         );
                         stale += up.failed;
                         on_time = up.on_time;
                         late = up.late;
                     } else {
                         meter.record_c2s(2 * n_synced * model_bytes);
-                        clock.advance(
-                            VPhase::C2s,
-                            2.0 * n_synced as f64
-                                * transfer_time_with_latency(
-                                    model_bytes,
-                                    self.topology.c2s_bandwidth(epoch),
-                                    self.topology.c2s_latency(),
-                                ),
-                        );
+                        let t0 = clock.now();
+                        let adv = 2.0
+                            * n_synced as f64
+                            * transfer_time_with_latency(
+                                model_bytes,
+                                self.topology.c2s_bandwidth(epoch),
+                                self.topology.c2s_latency(),
+                            );
+                        clock.advance(VPhase::C2s, adv);
+                        if tcap.active() {
+                            // Lockstep serializes the transfers: one coarse
+                            // upload interval per synced client spanning the
+                            // whole window.
+                            for i in (0..k).filter(|&i| synced[i]) {
+                                tcap.upload(i, t0, adv, adv, false);
+                            }
+                        }
                     }
                     let mut uploads = collect_params(&mut clients, cfg, &attack, epoch, &mut rng);
                     if watchdog_on {
@@ -1060,6 +1110,7 @@ impl Experiment {
                                         &mut meter,
                                         &mut clock,
                                         &mut taccum,
+                                        &mut tcap,
                                     );
                                     if delivered.iter().any(|&d| d) {
                                         let down = compressor.broadcast(&global);
@@ -1122,6 +1173,7 @@ impl Experiment {
                                 &mut meter,
                                 &mut clock,
                                 &mut taccum,
+                                &mut tcap,
                             );
                         }
                         for (i, c) in clients.iter_mut().enumerate() {
@@ -1157,21 +1209,30 @@ impl Experiment {
                             &mut clock,
                             &mut taccum,
                             &mut fault_stats,
+                            &mut tcap,
                         );
                         stale += up.failed;
                         on_time = up.on_time;
                         late = up.late;
                     } else {
                         meter.record_c2s(2 * n_synced * model_bytes);
-                        clock.advance(
-                            VPhase::C2s,
-                            2.0 * n_synced as f64
-                                * transfer_time_with_latency(
-                                    model_bytes,
-                                    self.topology.c2s_bandwidth(epoch),
-                                    self.topology.c2s_latency(),
-                                ),
-                        );
+                        let t0 = clock.now();
+                        let adv = 2.0
+                            * n_synced as f64
+                            * transfer_time_with_latency(
+                                model_bytes,
+                                self.topology.c2s_bandwidth(epoch),
+                                self.topology.c2s_latency(),
+                            );
+                        clock.advance(VPhase::C2s, adv);
+                        if tcap.active() {
+                            // Lockstep serializes the transfers: one coarse
+                            // upload interval per synced client spanning the
+                            // whole window.
+                            for i in (0..k).filter(|&i| synced[i]) {
+                                tcap.upload(i, t0, adv, adv, false);
+                            }
+                        }
                     }
                     let mut uploads = collect_params(&mut clients, cfg, &attack, epoch, &mut rng);
                     if watchdog_on {
@@ -1219,6 +1280,7 @@ impl Experiment {
                                     &mut meter,
                                     &mut clock,
                                     &mut taccum,
+                                    &mut tcap,
                                 );
                                 if delivered.iter().any(|&d| d) {
                                     let down = compressor.broadcast(&global);
@@ -1321,15 +1383,17 @@ impl Experiment {
                     // one simulation: moves contend for their pair links and the
                     // inter-LAN backbone, and a flow that strikes out falls back
                     // onto the retry/relay/C2S-bounce chain below.
+                    let mig_t0 = clock.now();
                     let wave = flow_cfg.map(|fc| {
                         let mv: Vec<(usize, usize)> = plan.moves().collect();
-                        let sim = simulate_migrations(
+                        let sim = simulate_migrations_traced(
                             &self.topology,
                             &fault,
                             epoch,
                             fc,
                             &mv,
                             model_bytes,
+                            tcap.active(),
                         );
                         taccum.absorb(&sim);
                         meter.record_transfer_seconds(sim.makespan);
@@ -1373,6 +1437,7 @@ impl Experiment {
                             ),
                         };
                         move_times.push(time);
+                        tcap.migrate(i, mig_t0, time);
                         round_edges.push(MigrationEdge {
                             src: i,
                             dst: j,
@@ -1424,6 +1489,12 @@ impl Experiment {
                         }
                     }
                     clock.advance_parallel(VPhase::Migration, move_times);
+                    if let Some(pt) = wave.as_ref().and_then(|w| w.trace.as_ref()) {
+                        // The wave's flow events all sit inside the charged
+                        // parallel window (every move's charged time is at
+                        // least its own flow's finish).
+                        tcap.phase_trace("migration", mig_t0, clock.now(), pt);
+                    }
                     mix = src_of.iter().map(|&s| mix[s].clone()).collect();
                     if diag_on {
                         train_mix = src_of.iter().map(|&s| train_mix[s].clone()).collect();
@@ -1576,6 +1647,11 @@ impl Experiment {
                                         flight = FlightRecorder::resume(path, ck_epoch).ok();
                                     }
                                 }
+                                // The timeline is append-only: a rollback
+                                // marker notes the rewind (and resets the
+                                // validator's time watermark) instead of
+                                // truncating.
+                                tcap.rollback(ck_epoch);
                                 last_good = Some((ck_epoch, bytes));
                                 epoch = ck_epoch + 1;
                                 continue 'run;
@@ -1609,6 +1685,7 @@ impl Experiment {
                     retransmits: taccum.retransmits(),
                     late_uploads: taccum.late_uploads(),
                 });
+                tcap.round_end(clock.now());
                 robust_total.absorb(&robust_epoch);
                 prev_loss = Some(mean_loss);
 
@@ -1776,6 +1853,11 @@ impl Experiment {
             if let Err(e) = rec.finish(&summary) {
                 fedmigr_telemetry::error!("core::diag", "flight summary write failed: {e}");
             }
+        }
+        if !killed {
+            // A killed run leaves the timeline finish-less, like the flight
+            // recording: exactly what a real crash would leave behind.
+            tcap.finish(records.len());
         }
         log_phase_hotspot(
             &phase_wall_baseline,
@@ -2012,6 +2094,7 @@ impl Experiment {
         clock: &mut PhasedClock,
         taccum: &mut TransportAccum,
         stats: &mut FaultStats,
+        tcap: &mut TimelineCapture,
     ) -> FlowUploadOutcome {
         let k = synced.len();
         let mut out =
@@ -2020,9 +2103,19 @@ impl Experiment {
         if uploaders.is_empty() {
             return out;
         }
-        let sim = simulate_c2s(&self.topology, fault, epoch, fc, &uploaders, model_bytes);
+        let t0 = clock.now();
+        let sim = simulate_c2s_traced(
+            &self.topology,
+            fault,
+            epoch,
+            fc,
+            &uploaders,
+            model_bytes,
+            tcap.active(),
+        );
         taccum.absorb(&sim);
         let deadline = upload_deadline(&sim.outcomes, fc.deadline_factor);
+        let dur = sim.makespan.min(deadline);
         for (o, &c) in sim.outcomes.iter().zip(&uploaders) {
             if o.completed {
                 meter.record_c2s(model_bytes);
@@ -2038,10 +2131,13 @@ impl Experiment {
                 stats.wasted_bytes += model_bytes;
                 out.failed += 1;
             }
+            tcap.upload(c, t0, o.finish, dur, o.completed && o.finish > deadline);
         }
-        let dur = sim.makespan.min(deadline);
         meter.record_transfer_seconds(dur);
         clock.advance(VPhase::C2s, dur);
+        if let Some(pt) = &sim.trace {
+            tcap.phase_trace("upload", t0, t0 + dur, pt);
+        }
         out
     }
 
@@ -2060,6 +2156,7 @@ impl Experiment {
         meter: &mut ResourceMeter,
         clock: &mut PhasedClock,
         taccum: &mut TransportAccum,
+        tcap: &mut TimelineCapture,
     ) -> Vec<bool> {
         let k = receivers.len();
         let mut delivered = vec![false; k];
@@ -2067,7 +2164,9 @@ impl Experiment {
         if rx.is_empty() {
             return delivered;
         }
-        let sim = simulate_c2s(&self.topology, fault, epoch, fc, &rx, model_bytes);
+        let t0 = clock.now();
+        let sim =
+            simulate_c2s_traced(&self.topology, fault, epoch, fc, &rx, model_bytes, tcap.active());
         taccum.absorb(&sim);
         for (o, &c) in sim.outcomes.iter().zip(&rx) {
             if o.completed {
@@ -2077,9 +2176,13 @@ impl Experiment {
             } else {
                 meter.record_overhead(o.wire_bytes);
             }
+            tcap.upload(c, t0, o.finish, sim.makespan, false);
         }
         meter.record_transfer_seconds(sim.makespan);
         clock.advance(VPhase::C2s, sim.makespan);
+        if let Some(pt) = &sim.trace {
+            tcap.phase_trace("download", t0, t0 + sim.makespan, pt);
+        }
         delivered
     }
 
@@ -2325,10 +2428,18 @@ fn effective_samples(n: usize, cfg: &RunConfig) -> usize {
 
 /// Trains the participating clients for one local epoch, in parallel.
 /// Returns the per-client losses (`None` for clients that sat the epoch
-/// out) plus a mask of clients whose training thread *panicked*. A panic —
+/// out) plus a mask of clients whose training *panicked*. A panic —
 /// whether injected by [`FaultConfig::panics`] or a genuine bug in one
-/// client's training path — is contained at the join: the client is
-/// treated as crashed for the round and the run survives.
+/// client's training path — is contained per client (`catch_unwind`
+/// inside the worker): the client is treated as crashed for the round,
+/// its chunk-mates keep training, and the run survives.
+///
+/// Work is chunked across `available_parallelism` workers (mirroring the
+/// fleet runner's `train_cohort`) rather than one thread per client:
+/// oversubscribing cores makes each kernel's *wall* time include
+/// descheduled gaps, which used to inflate the summed `local_train`
+/// kernel time to several multiples of the phase's process CPU time and
+/// wreck the attribution numbers.
 fn train_all(
     clients: &mut [FlClient],
     cfg: &RunConfig,
@@ -2338,44 +2449,61 @@ fn train_all(
     epoch: usize,
 ) -> (Vec<Option<f32>>, Vec<bool>) {
     let k = clients.len();
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let chunk = k.div_ceil(workers.max(1)).max(1);
+    let mut losses: Vec<Option<f32>> = Vec::with_capacity(k);
+    let mut panicked = vec![false; k];
     std::thread::scope(|s| {
         let handles: Vec<_> = clients
-            .iter_mut()
-            .zip(active)
+            .chunks_mut(chunk)
+            .zip(active.chunks(chunk))
             .enumerate()
-            .map(|(i, (c, &is_active))| {
+            .map(|(ci, (part, act))| {
+                let base = ci * chunk;
                 let prox_ref = prox.map(|(g, mu)| (g.as_slice(), *mu));
-                is_active.then(|| {
-                    s.spawn(move || {
-                        if fault.client_panics(i, epoch) {
-                            panic!("injected client panic (client {i}, epoch {epoch})");
-                        }
-                        c.train_epoch(cfg.batch_size, cfg.max_batches_per_epoch, prox_ref)
-                    })
+                s.spawn(move || {
+                    part.iter_mut()
+                        .zip(act)
+                        .enumerate()
+                        .map(|(j, (c, &is_active))| {
+                            let i = base + j;
+                            is_active.then(|| {
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    if fault.client_panics(i, epoch) {
+                                        panic!("injected client panic (client {i}, epoch {epoch})");
+                                    }
+                                    c.train_epoch(
+                                        cfg.batch_size,
+                                        cfg.max_batches_per_epoch,
+                                        prox_ref,
+                                    )
+                                }))
+                            })
+                        })
+                        .collect::<Vec<Option<Result<f32, _>>>>()
                 })
             })
             .collect();
-        let mut losses = Vec::with_capacity(k);
-        let mut panicked = vec![false; k];
-        for (i, h) in handles.into_iter().enumerate() {
-            match h {
-                None => losses.push(None),
-                Some(h) => match h.join() {
-                    Ok(loss) => losses.push(Some(loss)),
-                    Err(_) => {
+        for h in handles {
+            for r in h.join().expect("chunk worker survives client panics") {
+                let i = losses.len();
+                match r {
+                    None => losses.push(None),
+                    Some(Ok(loss)) => losses.push(Some(loss)),
+                    Some(Err(_)) => {
                         fedmigr_telemetry::error!(
                             "core::runner",
-                            "client {i} training thread panicked at epoch {epoch}; \
+                            "client {i} training panicked at epoch {epoch}; \
                              treating the client as crashed for this round"
                         );
                         panicked[i] = true;
                         losses.push(None);
                     }
-                },
+                }
             }
         }
-        (losses, panicked)
-    })
+    });
+    (losses, panicked)
 }
 
 /// Reads every client's parameters, applying DP noise at the egress point

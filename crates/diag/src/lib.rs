@@ -29,7 +29,9 @@ pub mod drl_probe;
 pub mod emd;
 pub mod flight;
 pub mod graph;
+pub mod netview;
 pub mod report;
+pub mod timeline;
 
 pub use diff::{diff_recordings, Regression, Tolerances};
 pub use drift::DriftSnapshot;
@@ -40,6 +42,10 @@ pub use flight::{
 };
 pub use graph::{permutation_cycles, EdgeOutcome, GraphSnapshot, MigrationEdge};
 pub use report::render_report;
+pub use timeline::{
+    chrome_trace, IntervalState, TimelineHeader, TimelineRecorder, TimelineRecording,
+    TIMELINE_VERSION,
+};
 
 /// Switches for the runner's learning-dynamics diagnostics.
 ///
@@ -53,10 +59,14 @@ pub struct DiagConfig {
     pub enabled: bool,
     /// Stream a flight recording (JSONL) to this path.
     pub flight_out: Option<String>,
+    /// Stream a round timeline (JSONL) to this path. Independent of the
+    /// learning-dynamics diagnostics: it does not imply [`Self::active`],
+    /// so the per-round snapshot work stays off unless asked for.
+    pub timeline_out: Option<String>,
 }
 
 impl DiagConfig {
-    /// Whether any diagnostic work should happen at all.
+    /// Whether any learning-dynamics diagnostic work should happen at all.
     pub fn active(&self) -> bool {
         self.enabled || self.flight_out.is_some()
     }
@@ -69,7 +79,9 @@ mod tests {
     #[test]
     fn diag_config_activation() {
         assert!(!DiagConfig::default().active());
-        assert!(DiagConfig { enabled: true, flight_out: None }.active());
-        assert!(DiagConfig { enabled: false, flight_out: Some("x".into()) }.active());
+        assert!(DiagConfig { enabled: true, ..DiagConfig::default() }.active());
+        assert!(DiagConfig { flight_out: Some("x".into()), ..DiagConfig::default() }.active());
+        // A timeline alone does not switch the snapshot diagnostics on.
+        assert!(!DiagConfig { timeline_out: Some("x".into()), ..DiagConfig::default() }.active());
     }
 }

@@ -1,0 +1,697 @@
+//! The round timeline: a versioned JSONL stream of per-client round
+//! intervals, per-flow transport events and per-link utilization series,
+//! written behind `--timeline-out`.
+//!
+//! The timeline answers the question the flight recorder cannot: *where did
+//! the round's wall clock go, per client and per link?* Each round the
+//! runner buffers payload lines — client intervals (train / wait / upload /
+//! migrate / idle / stale_buffered), flow lifecycle events carried up from
+//! [`fedmigr_net`'s flow tracer], link declarations and coalesced link
+//! utilization/queue series — and flushes them sorted by start time behind
+//! one `{"kind":"round",...}` marker. All times are the run's *virtual*
+//! seconds, so a seeded run produces a byte-identical timeline on every
+//! host.
+//!
+//! Line kinds, in file order:
+//!
+//! 1. exactly one `{"kind":"header","version":1,...}`;
+//! 2. per epoch: one `{"kind":"round","epoch":E,"t0":..,"t1":..}` marker
+//!    followed by that round's payload lines sorted by start time —
+//!    `{"kind":"link",...}` declarations, `{"kind":"interval",...}` client
+//!    states, `{"kind":"flow",...}` transport events and
+//!    `{"kind":"link_series",...}` sampled utilization/queue arrays;
+//! 3. a `{"kind":"rollback","epoch":E}` marker whenever the divergence
+//!    watchdog rewinds the run (the time watermark restarts there);
+//! 4. at most one `{"kind":"finish","epochs":N}`.
+//!
+//! Start timestamps are globally non-decreasing across the stream except
+//! across a rollback marker — `telemetry_validate --timeline` enforces
+//! exactly that, plus closed intervals and flow events referencing declared
+//! links. Everything here is observation-only: the recorder reads the
+//! runner's state and never touches its RNG or virtual clock.
+//!
+//! [`fedmigr_net`'s flow tracer]: https://docs.rs/fedmigr-net
+
+use std::collections::BTreeMap;
+use std::io::{BufWriter, Write};
+
+use fedmigr_telemetry::trace::{json_num, json_str, JsonValue};
+
+/// Current timeline schema version.
+pub const TIMELINE_VERSION: u64 = 1;
+
+/// What a client was doing over one interval of virtual time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntervalState {
+    /// Local training on the client's shard.
+    Train,
+    /// Finished training, waiting for the round's upload deadline.
+    Wait,
+    /// Uploading to (or downloading from) the server.
+    Upload,
+    /// Sending its model to a migration peer.
+    Migrate,
+    /// Nothing to do until the round closes.
+    Idle,
+    /// Upload missed the deadline; result parked in the staleness buffer.
+    StaleBuffered,
+}
+
+impl IntervalState {
+    /// Wire spelling of the state.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Train => "train",
+            Self::Wait => "wait",
+            Self::Upload => "upload",
+            Self::Migrate => "migrate",
+            Self::Idle => "idle",
+            Self::StaleBuffered => "stale_buffered",
+        }
+    }
+
+    /// Parses the wire spelling back.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "train" => Self::Train,
+            "wait" => Self::Wait,
+            "upload" => Self::Upload,
+            "migrate" => Self::Migrate,
+            "idle" => Self::Idle,
+            "stale_buffered" => Self::StaleBuffered,
+            _ => return None,
+        })
+    }
+
+    /// All states, for validators and analyzers.
+    pub const ALL: [IntervalState; 6] =
+        [Self::Train, Self::Wait, Self::Upload, Self::Migrate, Self::Idle, Self::StaleBuffered];
+}
+
+/// Identifying configuration of the recorded run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimelineHeader {
+    /// Schema version ([`TIMELINE_VERSION`] when written by this build).
+    pub version: u64,
+    /// `"dense"` or `"fleet"`.
+    pub mode: String,
+    /// Scheme name.
+    pub scheme: String,
+    /// Transport name (`"lockstep"` or `"flow"`).
+    pub transport: String,
+    /// Number of clients.
+    pub clients: usize,
+    /// Run seed.
+    pub seed: u64,
+}
+
+/// Streaming JSONL writer for a round timeline.
+///
+/// Payload lines are buffered per round and flushed, sorted by start time,
+/// by [`TimelineRecorder::round`]. Mirrors [`crate::FlightRecorder`]'s
+/// error contract: methods that hit the file return `io::Result` and the
+/// caller disables recording on the first error.
+pub struct TimelineRecorder {
+    out: BufWriter<Box<dyn Write + Send>>,
+    buf: Vec<(f64, String)>,
+}
+
+impl TimelineRecorder {
+    /// Opens (truncating) `path` for recording.
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::to_writer(Box::new(file)))
+    }
+
+    /// Records into an arbitrary writer (tests use a `Vec<u8>` proxy).
+    pub fn to_writer(w: Box<dyn Write + Send>) -> Self {
+        TimelineRecorder { out: BufWriter::new(w), buf: Vec::new() }
+    }
+
+    /// Writes the header line. Call exactly once, first.
+    pub fn header(&mut self, h: &TimelineHeader) -> std::io::Result<()> {
+        writeln!(
+            self.out,
+            "{{\"kind\":\"header\",\"version\":{},\"mode\":{},\"scheme\":{},\"transport\":{},\"clients\":{},\"seed\":{}}}",
+            json_num(h.version as f64),
+            json_str(&h.mode),
+            json_str(&h.scheme),
+            json_str(&h.transport),
+            json_num(h.clients as f64),
+            json_num(h.seed as f64),
+        )
+    }
+
+    /// Buffers a link declaration for the phase starting at virtual `t`.
+    pub fn link(&mut self, epoch: usize, phase: &str, id: &str, capacity: f64, t: f64) {
+        let line = format!(
+            "{{\"kind\":\"link\",\"epoch\":{},\"phase\":{},\"id\":{},\"capacity\":{},\"t\":{}}}",
+            json_num(epoch as f64),
+            json_str(phase),
+            json_str(id),
+            json_num(capacity),
+            json_num(t),
+        );
+        self.buf.push((t, line));
+    }
+
+    /// Buffers one client interval `[t0, t1]` in virtual seconds.
+    pub fn interval(
+        &mut self,
+        epoch: usize,
+        client: usize,
+        state: IntervalState,
+        t0: f64,
+        t1: f64,
+    ) {
+        let line = format!(
+            "{{\"kind\":\"interval\",\"epoch\":{},\"client\":{},\"state\":{},\"t0\":{},\"t1\":{}}}",
+            json_num(epoch as f64),
+            json_num(client as f64),
+            json_str(state.name()),
+            json_num(t0),
+            json_num(t1),
+        );
+        self.buf.push((t0, line));
+    }
+
+    /// Buffers one flow lifecycle event at absolute virtual time `t`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn flow_event(
+        &mut self,
+        epoch: usize,
+        phase: &str,
+        flow: usize,
+        client: usize,
+        link: &str,
+        event: &str,
+        t: f64,
+        cwnd: f64,
+    ) {
+        let line = format!(
+            "{{\"kind\":\"flow\",\"epoch\":{},\"phase\":{},\"flow\":{},\"client\":{},\"link\":{},\"event\":{},\"t\":{},\"cwnd\":{}}}",
+            json_num(epoch as f64),
+            json_str(phase),
+            json_num(flow as f64),
+            json_num(client as f64),
+            json_str(link),
+            json_str(event),
+            json_num(t),
+            json_num(cwnd),
+        );
+        self.buf.push((t, line));
+    }
+
+    /// Buffers one link's sampled utilization/queue series; the sample
+    /// times are already absolute virtual seconds.
+    pub fn link_series(
+        &mut self,
+        epoch: usize,
+        phase: &str,
+        id: &str,
+        t: &[f64],
+        util: &[f64],
+        queue: &[u32],
+    ) {
+        if t.is_empty() {
+            return;
+        }
+        let line = format!(
+            "{{\"kind\":\"link_series\",\"epoch\":{},\"phase\":{},\"id\":{},\"t\":{},\"util\":{},\"queue\":{}}}",
+            json_num(epoch as f64),
+            json_str(phase),
+            json_str(id),
+            num_array(t),
+            num_array(util),
+            num_array_u32(queue),
+        );
+        self.buf.push((t[0], line));
+    }
+
+    /// Writes the round marker for `[t0, t1]` and flushes the buffered
+    /// payload sorted by start time. Call once per completed round.
+    pub fn round(&mut self, epoch: usize, t0: f64, t1: f64) -> std::io::Result<()> {
+        writeln!(
+            self.out,
+            "{{\"kind\":\"round\",\"epoch\":{},\"t0\":{},\"t1\":{}}}",
+            json_num(epoch as f64),
+            json_num(t0),
+            json_num(t1),
+        )?;
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (_, line) in &buf {
+            writeln!(self.out, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Writes a rollback marker: the watchdog rewound the run to the end
+    /// of `epoch`, so the time watermark restarts there. Drops any payload
+    /// buffered for the abandoned round.
+    pub fn rollback(&mut self, epoch: usize) -> std::io::Result<()> {
+        self.buf.clear();
+        writeln!(self.out, "{{\"kind\":\"rollback\",\"epoch\":{}}}", json_num(epoch as f64))
+    }
+
+    /// Writes the finish line and flushes.
+    pub fn finish(&mut self, epochs: usize) -> std::io::Result<()> {
+        writeln!(self.out, "{{\"kind\":\"finish\",\"epochs\":{}}}", json_num(epochs as f64))?;
+        self.out.flush()
+    }
+}
+
+fn num_array(vals: &[f64]) -> String {
+    let items: Vec<String> = vals.iter().map(|&v| json_num(v)).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn num_array_u32(vals: &[u32]) -> String {
+    let items: Vec<String> = vals.iter().map(|&v| json_num(v as f64)).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// One parsed `{"kind":"interval",...}` line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IntervalRow {
+    /// 1-based epoch.
+    pub epoch: usize,
+    /// Client index.
+    pub client: usize,
+    /// What the client was doing.
+    pub state: IntervalState,
+    /// Interval start, virtual seconds.
+    pub t0: f64,
+    /// Interval end, virtual seconds.
+    pub t1: f64,
+}
+
+/// One parsed `{"kind":"flow",...}` line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlowRow {
+    /// 1-based epoch.
+    pub epoch: usize,
+    /// Phase label (`"upload"`, `"download"`, `"migration"`).
+    pub phase: String,
+    /// Flow index within the phase.
+    pub flow: usize,
+    /// Owning client.
+    pub client: usize,
+    /// First link on the flow's path.
+    pub link: String,
+    /// Event name from the flow tracer.
+    pub event: String,
+    /// Absolute virtual time.
+    pub t: f64,
+    /// Congestion window at the event, in segments.
+    pub cwnd: f64,
+}
+
+/// One parsed `{"kind":"link",...}` declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkRow {
+    /// 1-based epoch.
+    pub epoch: usize,
+    /// Phase label.
+    pub phase: String,
+    /// Stable link label (`"wan"`, `"access:3"`, ...).
+    pub id: String,
+    /// Capacity in bytes/second.
+    pub capacity: f64,
+    /// Phase start, virtual seconds.
+    pub t: f64,
+}
+
+/// One parsed `{"kind":"link_series",...}` line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesRow {
+    /// 1-based epoch.
+    pub epoch: usize,
+    /// Phase label.
+    pub phase: String,
+    /// Link label.
+    pub id: String,
+    /// Sample times, absolute virtual seconds (step-function breakpoints).
+    pub t: Vec<f64>,
+    /// Utilization in `[0, 1]` from each sample time to the next.
+    pub util: Vec<f64>,
+    /// Flows queued with zero rate over the same spans.
+    pub queue: Vec<u32>,
+}
+
+/// One round's slice of the timeline.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RoundTimeline {
+    /// 1-based epoch.
+    pub epoch: usize,
+    /// Round start, virtual seconds.
+    pub t0: f64,
+    /// Round end, virtual seconds.
+    pub t1: f64,
+    /// Client intervals, in start order.
+    pub intervals: Vec<IntervalRow>,
+    /// Flow lifecycle events, in time order.
+    pub flows: Vec<FlowRow>,
+    /// Link declarations.
+    pub links: Vec<LinkRow>,
+    /// Link utilization/queue series.
+    pub series: Vec<SeriesRow>,
+}
+
+/// A fully parsed timeline.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimelineRecording {
+    /// The header line.
+    pub header: TimelineHeader,
+    /// Rounds in file order. After a watchdog rollback the same epoch can
+    /// appear again; analyzers usually want [`TimelineRecording::settled_rounds`].
+    pub rounds: Vec<RoundTimeline>,
+    /// Epochs named by rollback markers, in file order.
+    pub rollbacks: Vec<usize>,
+    /// Whether the finish line is present.
+    pub finished: bool,
+}
+
+impl TimelineRecording {
+    /// Parses a timeline written by [`TimelineRecorder`]. A torn final
+    /// line (crash mid-write) is tolerated; any other malformed line is an
+    /// error.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut rec = TimelineRecording::default();
+        let mut saw_header = false;
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        for (idx, line) in lines.iter().enumerate() {
+            let v = match JsonValue::parse(line.trim()) {
+                Ok(v) => v,
+                Err(e) if idx + 1 == lines.len() => {
+                    // Torn final line from a crash; drop it.
+                    let _ = e;
+                    break;
+                }
+                Err(e) => return Err(format!("line {}: {e}", idx + 1)),
+            };
+            let obj = v.as_object().ok_or_else(|| format!("line {}: not an object", idx + 1))?;
+            let kind = obj
+                .get("kind")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("line {}: missing kind", idx + 1))?;
+            let ctx = |what: &str| format!("line {}: {kind} missing {what}", idx + 1);
+            let num = |key: &str| obj.get(key).and_then(JsonValue::as_f64).ok_or_else(|| ctx(key));
+            let st = |key: &str| {
+                obj.get(key).and_then(JsonValue::as_str).map(str::to_owned).ok_or_else(|| ctx(key))
+            };
+            match kind {
+                "header" => {
+                    rec.header = TimelineHeader {
+                        version: num("version")? as u64,
+                        mode: st("mode")?,
+                        scheme: st("scheme")?,
+                        transport: st("transport")?,
+                        clients: num("clients")? as usize,
+                        seed: num("seed")? as u64,
+                    };
+                    saw_header = true;
+                }
+                "round" => rec.rounds.push(RoundTimeline {
+                    epoch: num("epoch")? as usize,
+                    t0: num("t0")?,
+                    t1: num("t1")?,
+                    ..RoundTimeline::default()
+                }),
+                "interval" => {
+                    let state = IntervalState::parse(&st("state")?)
+                        .ok_or_else(|| format!("line {}: unknown interval state", idx + 1))?;
+                    let row = IntervalRow {
+                        epoch: num("epoch")? as usize,
+                        client: num("client")? as usize,
+                        state,
+                        t0: num("t0")?,
+                        t1: num("t1")?,
+                    };
+                    rec.rounds
+                        .last_mut()
+                        .ok_or_else(|| format!("line {}: interval before any round", idx + 1))?
+                        .intervals
+                        .push(row);
+                }
+                "flow" => {
+                    let row = FlowRow {
+                        epoch: num("epoch")? as usize,
+                        phase: st("phase")?,
+                        flow: num("flow")? as usize,
+                        client: num("client")? as usize,
+                        link: st("link")?,
+                        event: st("event")?,
+                        t: num("t")?,
+                        cwnd: num("cwnd")?,
+                    };
+                    rec.rounds
+                        .last_mut()
+                        .ok_or_else(|| format!("line {}: flow before any round", idx + 1))?
+                        .flows
+                        .push(row);
+                }
+                "link" => {
+                    let row = LinkRow {
+                        epoch: num("epoch")? as usize,
+                        phase: st("phase")?,
+                        id: st("id")?,
+                        capacity: num("capacity")?,
+                        t: num("t")?,
+                    };
+                    rec.rounds
+                        .last_mut()
+                        .ok_or_else(|| format!("line {}: link before any round", idx + 1))?
+                        .links
+                        .push(row);
+                }
+                "link_series" => {
+                    let arr = |key: &str| -> Result<Vec<f64>, String> {
+                        match obj.get(key) {
+                            Some(JsonValue::Array(items)) => {
+                                items.iter().map(|v| v.as_f64().ok_or_else(|| ctx(key))).collect()
+                            }
+                            _ => Err(ctx(key)),
+                        }
+                    };
+                    let row = SeriesRow {
+                        epoch: num("epoch")? as usize,
+                        phase: st("phase")?,
+                        id: st("id")?,
+                        t: arr("t")?,
+                        util: arr("util")?,
+                        queue: arr("queue")?.into_iter().map(|v| v as u32).collect(),
+                    };
+                    rec.rounds
+                        .last_mut()
+                        .ok_or_else(|| format!("line {}: link_series before any round", idx + 1))?
+                        .series
+                        .push(row);
+                }
+                "rollback" => rec.rollbacks.push(num("epoch")? as usize),
+                "finish" => rec.finished = true,
+                other => return Err(format!("line {}: unknown kind {other:?}", idx + 1)),
+            }
+        }
+        if !saw_header {
+            return Err("no header line".into());
+        }
+        if rec.header.version > TIMELINE_VERSION {
+            return Err(format!(
+                "timeline version {} is newer than supported {}",
+                rec.header.version, TIMELINE_VERSION
+            ));
+        }
+        Ok(rec)
+    }
+
+    /// Rounds that survived every rollback: for each epoch, the last
+    /// occurrence in file order, restricted to epochs not rewound past by
+    /// a later rollback marker. This is the view analyzers should use.
+    pub fn settled_rounds(&self) -> Vec<&RoundTimeline> {
+        let mut by_epoch: BTreeMap<usize, &RoundTimeline> = BTreeMap::new();
+        for r in &self.rounds {
+            by_epoch.insert(r.epoch, r);
+        }
+        by_epoch.into_values().collect()
+    }
+}
+
+/// Converts a timeline into Chrome trace-event JSON (the `traceEvents`
+/// array format), viewable in Perfetto or `chrome://tracing`.
+///
+/// Client intervals become `B`/`E` duration pairs on `pid` 1 with one
+/// thread row per client (tid `client + 1`; round spans sit on tid 0);
+/// flow lifecycle events become instant (`"ph":"i"`) events on `pid` 2.
+/// Timestamps are virtual microseconds. Every `B` is closed by its `E`
+/// before the next event on the same thread begins, so the stream is
+/// well-nested by construction — the e2e test asserts it.
+pub fn chrome_trace(rec: &TimelineRecording) -> String {
+    let mut events: Vec<String> = Vec::new();
+    let us = |t: f64| (t * 1e6).round();
+    let pair = |events: &mut Vec<String>, name: &str, tid: usize, t0: f64, t1: f64| {
+        events.push(format!(
+            "{{\"name\":{},\"ph\":\"B\",\"pid\":1,\"tid\":{},\"ts\":{}}}",
+            json_str(name),
+            json_num(tid as f64),
+            json_num(us(t0)),
+        ));
+        events.push(format!(
+            "{{\"name\":{},\"ph\":\"E\",\"pid\":1,\"tid\":{},\"ts\":{}}}",
+            json_str(name),
+            json_num(tid as f64),
+            json_num(us(t1)),
+        ));
+    };
+    for round in &rec.rounds {
+        pair(&mut events, &format!("round {}", round.epoch), 0, round.t0, round.t1);
+        for iv in &round.intervals {
+            pair(&mut events, iv.state.name(), iv.client + 1, iv.t0, iv.t1);
+        }
+        for f in &round.flows {
+            events.push(format!(
+                "{{\"name\":{},\"ph\":\"i\",\"s\":\"t\",\"pid\":2,\"tid\":{},\"ts\":{},\"args\":{{\"link\":{},\"phase\":{},\"cwnd\":{}}}}}",
+                json_str(&f.event),
+                json_num((f.client + 1) as f64),
+                json_num(us(f.t)),
+                json_str(&f.link),
+                json_str(&f.phase),
+                json_num(f.cwnd),
+            ));
+        }
+    }
+    format!("{{\"traceEvents\":[{}]}}", events.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> String {
+        let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        struct Proxy(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+        impl Write for Proxy {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut rec = TimelineRecorder::to_writer(Box::new(Proxy(buf.clone())));
+        rec.header(&TimelineHeader {
+            version: TIMELINE_VERSION,
+            mode: "dense".into(),
+            scheme: "FedMigr".into(),
+            transport: "flow".into(),
+            clients: 2,
+            seed: 7,
+        })
+        .unwrap();
+        // Deliberately buffered out of order; round() must sort by start.
+        rec.interval(1, 1, IntervalState::Wait, 2.0, 3.0);
+        rec.interval(1, 0, IntervalState::Train, 0.0, 2.0);
+        rec.link(1, "upload", "wan", 1e6, 2.0);
+        rec.flow_event(1, "upload", 0, 0, "access:0", "retransmit", 2.5, 4.0);
+        rec.link_series(1, "upload", "wan", &[2.0, 2.5], &[0.5, 1.0], &[0, 1]);
+        rec.link_series(1, "upload", "unused", &[], &[], &[]);
+        rec.round(1, 0.0, 3.0).unwrap();
+        rec.rollback(1).unwrap();
+        rec.interval(2, 0, IntervalState::Idle, 3.0, 4.0);
+        rec.round(2, 3.0, 4.0).unwrap();
+        rec.finish(2).unwrap();
+        let bytes = buf.lock().unwrap().clone();
+        String::from_utf8(bytes).unwrap()
+    }
+
+    #[test]
+    fn roundtrips_and_sorts_payload_by_start_time() {
+        let text = sample();
+        let rec = TimelineRecording::parse(&text).expect("parses");
+        assert_eq!(rec.header.mode, "dense");
+        assert_eq!(rec.rounds.len(), 2);
+        assert_eq!(rec.rollbacks, vec![1]);
+        assert!(rec.finished);
+        let r1 = &rec.rounds[0];
+        assert_eq!(r1.intervals.len(), 2);
+        // Sorted: train (t0=0) before wait (t0=2).
+        assert_eq!(r1.intervals[0].state, IntervalState::Train);
+        assert_eq!(r1.intervals[1].state, IntervalState::Wait);
+        assert_eq!(r1.flows.len(), 1);
+        assert_eq!(r1.flows[0].event, "retransmit");
+        assert_eq!(r1.links.len(), 1);
+        // The empty series line is suppressed.
+        assert_eq!(r1.series.len(), 1);
+        assert_eq!(r1.series[0].queue, vec![0, 1]);
+        assert_eq!(rec.settled_rounds().len(), 2);
+
+        // Start timestamps are non-decreasing line by line within a round.
+        let mut last = f64::NEG_INFINITY;
+        for line in text.lines() {
+            let v = JsonValue::parse(line).unwrap();
+            let obj = v.as_object().unwrap();
+            let t = obj.get("t0").or_else(|| obj.get("t")).and_then(|v| match v {
+                JsonValue::Array(items) => items.first().and_then(JsonValue::as_f64),
+                v => v.as_f64(),
+            });
+            match obj.get("kind").and_then(JsonValue::as_str) {
+                Some("header") | Some("finish") => continue,
+                Some("rollback") => last = f64::NEG_INFINITY,
+                _ => {
+                    let t = t.expect("payload line has a start time");
+                    assert!(t >= last, "timestamps regressed: {t} < {last}\n{line}");
+                    last = t;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_streams_but_tolerates_torn_tail() {
+        assert!(TimelineRecording::parse("").is_err());
+        let good = sample();
+        // Unknown kind is an error.
+        let bad = format!("{good}{{\"kind\":\"mystery\"}}\n");
+        assert!(TimelineRecording::parse(&bad).is_err());
+        // A torn final line is dropped.
+        let torn = format!("{good}{{\"kind\":\"round\",\"epo");
+        assert!(TimelineRecording::parse(&torn).is_ok());
+        // Future version refused.
+        let future = good.replacen("\"version\":1.0", "\"version\":2.0", 1);
+        let err = TimelineRecording::parse(&future).unwrap_err();
+        assert!(err.contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn chrome_trace_is_json_with_nested_pairs() {
+        let rec = TimelineRecording::parse(&sample()).unwrap();
+        let trace = chrome_trace(&rec);
+        let v = JsonValue::parse(&trace).expect("valid JSON");
+        let events = match v.as_object().unwrap().get("traceEvents").unwrap() {
+            JsonValue::Array(items) => items.clone(),
+            _ => panic!("traceEvents must be an array"),
+        };
+        assert!(!events.is_empty());
+        // Per (pid, tid): B/E strictly alternate and every B is closed.
+        let mut depth: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        for e in &events {
+            let o = e.as_object().unwrap();
+            let key = (
+                o.get("pid").and_then(JsonValue::as_f64).unwrap() as u64,
+                o.get("tid").and_then(JsonValue::as_f64).unwrap() as u64,
+            );
+            match o.get("ph").and_then(JsonValue::as_str).unwrap() {
+                "B" => *depth.entry(key).or_insert(0) += 1,
+                "E" => {
+                    let d = depth.get_mut(&key).expect("E without B");
+                    assert!(*d > 0, "E without open B on {key:?}");
+                    *d -= 1;
+                }
+                "i" => {}
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+        assert!(depth.values().all(|&d| d == 0), "unclosed B events: {depth:?}");
+    }
+}

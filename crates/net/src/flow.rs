@@ -104,9 +104,23 @@ impl FlowConfig {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LinkId(usize);
 
+impl LinkId {
+    /// Admission-order index of the link; matches [`LinkSeries::link`].
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
 /// Handle to a flow added to a [`FlowSim`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FlowId(usize);
+
+impl FlowId {
+    /// Admission-order index of the flow; matches [`FlowEvent::flow`].
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
 
 /// Result of one flow after [`FlowSim::run`]. Byte accounting satisfies
 /// `wire_bytes == delivered_bytes + retransmit_bytes` exactly.
@@ -189,6 +203,111 @@ struct Flow {
     rate: f64,
 }
 
+/// One traced flow lifecycle event. Every event carries the flow's
+/// congestion window at emission time, so the event stream doubles as the
+/// sampled cwnd trajectory (dense around losses and timeouts, sparse on
+/// smooth stretches — [`FlowEventKind::Cwnd`] fills integer crossings).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlowEvent {
+    /// Simulation time of the event, seconds from phase start.
+    pub t: f64,
+    /// Flow index in admission order.
+    pub flow: usize,
+    /// What happened.
+    pub kind: FlowEventKind,
+    /// Congestion window (segments) right after the event applied.
+    pub cwnd: f64,
+}
+
+/// The traced flow event taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FlowEventKind {
+    /// Flow admitted with this payload.
+    Start {
+        /// Payload bytes requested.
+        bytes: u64,
+    },
+    /// Allocated send rate changed to this value (bytes/second).
+    Rate {
+        /// New instantaneous rate.
+        rate: f64,
+    },
+    /// A segment was lost and will be retransmitted (window halved).
+    Retransmit,
+    /// Retransmission timeout fired after a capacity stall.
+    Timeout {
+        /// Consecutive strike count after this timeout.
+        strikes: u32,
+    },
+    /// Backoff expired; the flow resumed sending.
+    BackoffEnd,
+    /// Congestion window crossed an integer boundary while growing.
+    Cwnd,
+    /// Whole payload delivered.
+    Done,
+    /// Flow gave up (strike budget or horizon).
+    Failed,
+}
+
+impl FlowEventKind {
+    /// Stable lower-case label used in timeline exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowEventKind::Start { .. } => "start",
+            FlowEventKind::Rate { .. } => "rate",
+            FlowEventKind::Retransmit => "retransmit",
+            FlowEventKind::Timeout { .. } => "timeout",
+            FlowEventKind::BackoffEnd => "backoff_end",
+            FlowEventKind::Cwnd => "cwnd",
+            FlowEventKind::Done => "done",
+            FlowEventKind::Failed => "failed",
+        }
+    }
+}
+
+/// Step-function time series for one link: instantaneous utilization
+/// (allocated rate over capacity) and queue depth (running flows on the
+/// link holding zero rate), sampled at rate-assignment boundaries and
+/// coalesced so consecutive identical samples collapse into one.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LinkSeries {
+    /// Link index in admission order.
+    pub link: usize,
+    /// Sample times, ascending.
+    pub t: Vec<f64>,
+    /// Utilization in `[0, 1]` at each sample time.
+    pub util: Vec<f64>,
+    /// Queued-flow count at each sample time.
+    pub queue: Vec<u32>,
+}
+
+/// Everything recorded by a traced [`FlowSim::run`]: the time-ordered flow
+/// event log and the per-link utilization/queue series.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FlowTrace {
+    /// Flow lifecycle events in non-decreasing time order.
+    pub events: Vec<FlowEvent>,
+    /// One series per link, indexed by link admission order.
+    pub links: Vec<LinkSeries>,
+}
+
+/// Internal recorder state; boxed so the untraced simulator stays small
+/// and the disabled path costs one `Option` branch per instrumentation
+/// point.
+struct TraceState {
+    trace: FlowTrace,
+    last_rate: Vec<f64>,
+    last_cwnd_floor: Vec<f64>,
+    last_util: Vec<f64>,
+    last_queue: Vec<u32>,
+}
+
+impl TraceState {
+    fn push(&mut self, t: f64, flow: usize, kind: FlowEventKind, cwnd: f64) {
+        self.trace.events.push(FlowEvent { t, flow, kind, cwnd });
+    }
+}
+
 const EPS_BYTES: f64 = 1e-6;
 const EPS_RATE: f64 = 1e-6;
 const EPS_TIME: f64 = 1e-9;
@@ -205,13 +324,46 @@ pub struct FlowSim {
     links: Vec<Link>,
     flows: Vec<Flow>,
     now: f64,
+    trace: Option<Box<TraceState>>,
 }
 
 impl FlowSim {
     /// An empty simulation at time zero.
     pub fn new(cfg: FlowConfig) -> Self {
         cfg.validate();
-        Self { cfg, links: Vec::new(), flows: Vec::new(), now: 0.0 }
+        Self { cfg, links: Vec::new(), flows: Vec::new(), now: 0.0, trace: None }
+    }
+
+    /// Turns on event/series tracing. Strictly observation-only: traced and
+    /// untraced runs of the same setup produce bit-identical outcomes (the
+    /// recorder never touches rates, clocks or the loss hash stream).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_some() {
+            return;
+        }
+        let mut st = Box::new(TraceState {
+            trace: FlowTrace::default(),
+            last_rate: vec![0.0; self.flows.len()],
+            last_cwnd_floor: self.flows.iter().map(|f| f.cwnd.floor()).collect(),
+            last_util: vec![0.0; self.links.len()],
+            last_queue: vec![0; self.links.len()],
+        });
+        for (l, _) in self.links.iter().enumerate() {
+            st.trace.links.push(LinkSeries { link: l, ..LinkSeries::default() });
+        }
+        for (i, f) in self.flows.iter().enumerate() {
+            st.push(self.now, i, FlowEventKind::Start { bytes: f.bytes }, f.cwnd);
+            if matches!(f.state, FlowState::Done { .. }) {
+                st.push(self.now, i, FlowEventKind::Done, f.cwnd);
+            }
+        }
+        self.trace = Some(st);
+    }
+
+    /// Takes the recording accumulated since [`FlowSim::enable_trace`] (or
+    /// `None` if tracing was never enabled) and disables tracing.
+    pub fn take_trace(&mut self) -> Option<FlowTrace> {
+        self.trace.take().map(|st| st.trace)
     }
 
     /// Adds a link. `capacity` may be zero to model a hard outage (flows on
@@ -232,6 +384,11 @@ impl FlowSim {
             assert!(period > 0.0 && (0.0..=period).contains(&phase), "bad flap cycle");
         }
         self.links.push(Link { capacity, loss, latency, flap, served_bytes: 0.0 });
+        if let Some(st) = self.trace.as_deref_mut() {
+            st.trace.links.push(LinkSeries { link: self.links.len() - 1, ..LinkSeries::default() });
+            st.last_util.push(0.0);
+            st.last_queue.push(0);
+        }
         LinkId(self.links.len() - 1)
     }
 
@@ -264,7 +421,17 @@ impl FlowSim {
             rtt: cfg.min_rtt.max(2.0 * latency),
             rate: 0.0,
         });
-        FlowId(self.flows.len() - 1)
+        let i = self.flows.len() - 1;
+        if let Some(st) = self.trace.as_deref_mut() {
+            let f = &self.flows[i];
+            st.last_rate.push(0.0);
+            st.last_cwnd_floor.push(f.cwnd.floor());
+            st.push(self.now, i, FlowEventKind::Start { bytes }, f.cwnd);
+            if matches!(f.state, FlowState::Done { .. }) {
+                st.push(self.now, i, FlowEventKind::Done, f.cwnd);
+            }
+        }
+        FlowId(i)
     }
 
     /// Runs every flow to completion or failure. Guaranteed to terminate:
@@ -280,9 +447,14 @@ impl FlowSim {
             self.now = t_next;
             self.fire_events();
             if self.now > HORIZON_S {
-                for f in &mut self.flows {
+                let now = self.now;
+                let trace = &mut self.trace;
+                for (i, f) in self.flows.iter_mut().enumerate() {
                     if !is_settled(f.state) {
-                        f.state = FlowState::Failed { at: self.now };
+                        f.state = FlowState::Failed { at: now };
+                        if let Some(st) = trace.as_deref_mut() {
+                            st.push(now, i, FlowEventKind::Failed, f.cwnd);
+                        }
                     }
                 }
             }
@@ -381,6 +553,43 @@ impl FlowSim {
                 }
             }
         }
+        if let Some(st) = self.trace.as_deref_mut() {
+            for (i, f) in self.flows.iter().enumerate() {
+                let r = if matches!(f.state, FlowState::Running) { f.rate } else { 0.0 };
+                if (r - st.last_rate[i]).abs() > EPS_RATE {
+                    st.push(self.now, i, FlowEventKind::Rate { rate: r }, f.cwnd);
+                    st.last_rate[i] = r;
+                }
+            }
+            // Per-link instantaneous utilization and queue depth, coalesced
+            // into step samples whenever either changes.
+            let mut rate_sum = vec![0.0f64; self.links.len()];
+            let mut queued = vec![0u32; self.links.len()];
+            for f in &self.flows {
+                if !matches!(f.state, FlowState::Running) {
+                    continue;
+                }
+                for &l in &f.path {
+                    if f.rate > EPS_RATE {
+                        rate_sum[l] += f.rate;
+                    } else {
+                        queued[l] += 1;
+                    }
+                }
+            }
+            for (l, link) in self.links.iter().enumerate() {
+                let util =
+                    if link.capacity > 0.0 { (rate_sum[l] / link.capacity).min(1.0) } else { 0.0 };
+                if (util - st.last_util[l]).abs() > 1e-9 || queued[l] != st.last_queue[l] {
+                    let s = &mut st.trace.links[l];
+                    s.t.push(self.now);
+                    s.util.push(util);
+                    s.queue.push(queued[l]);
+                    st.last_util[l] = util;
+                    st.last_queue[l] = queued[l];
+                }
+            }
+        }
     }
 
     fn next_event_time(&self) -> f64 {
@@ -437,12 +646,14 @@ impl FlowSim {
 
     fn fire_events(&mut self) {
         let now = self.now;
-        for (i, f) in self.flows.iter_mut().enumerate() {
+        let Self { cfg, links, flows, trace, .. } = self;
+        let mut tr = trace.as_deref_mut();
+        for (i, f) in flows.iter_mut().enumerate() {
             match f.state {
                 FlowState::Running if f.rate > EPS_RATE && f.seg_size - f.seg_sent <= EPS_BYTES => {
                     f.wire_bytes += f.seg_size;
-                    let lost = hash_unit(self.cfg.seed, TAG_FLOW_LOSS, i as u64, f.tx_counter, 0)
-                        < path_loss(&f.path, &self.links);
+                    let lost = hash_unit(cfg.seed, TAG_FLOW_LOSS, i as u64, f.tx_counter, 0)
+                        < path_loss(&f.path, links);
                     f.tx_counter += 1;
                     if lost {
                         f.retransmits += 1;
@@ -452,22 +663,35 @@ impl FlowSim {
                         // segment in flight.
                         f.cwnd = (f.cwnd / 2.0).max(1.0);
                         f.ssthresh = f.cwnd;
+                        if let Some(st) = tr.as_deref_mut() {
+                            st.last_cwnd_floor[i] = f.cwnd.floor();
+                            st.push(now, i, FlowEventKind::Retransmit, f.cwnd);
+                        }
                     } else {
                         f.remaining -= f.seg_size;
                         f.seg_sent = 0.0;
                         f.strikes = 0;
-                        f.rto = self.cfg.base_rto;
+                        f.rto = cfg.base_rto;
                         if f.cwnd < f.ssthresh {
                             f.cwnd += 1.0;
                         } else {
                             f.cwnd += 1.0 / f.cwnd;
                         }
-                        f.cwnd = f.cwnd.min(self.cfg.max_cwnd as f64);
+                        f.cwnd = f.cwnd.min(cfg.max_cwnd as f64);
                         if f.remaining <= EPS_BYTES {
                             f.remaining = 0.0;
                             f.state = FlowState::Done { at: now };
+                            if let Some(st) = tr.as_deref_mut() {
+                                st.push(now, i, FlowEventKind::Done, f.cwnd);
+                            }
                         } else {
-                            f.seg_size = (self.cfg.segment_bytes as f64).min(f.remaining);
+                            f.seg_size = (cfg.segment_bytes as f64).min(f.remaining);
+                            if let Some(st) = tr.as_deref_mut() {
+                                if f.cwnd.floor() != st.last_cwnd_floor[i] {
+                                    st.last_cwnd_floor[i] = f.cwnd.floor();
+                                    st.push(now, i, FlowEventKind::Cwnd, f.cwnd);
+                                }
+                            }
                         }
                     }
                 }
@@ -477,19 +701,34 @@ impl FlowSim {
                             f.timeouts += 1;
                             f.strikes += 1;
                             f.stall_since = None;
-                            if f.strikes > self.cfg.max_timeouts {
+                            if f.strikes > cfg.max_timeouts {
                                 f.state = FlowState::Failed { at: now };
+                                if let Some(st) = tr.as_deref_mut() {
+                                    st.push(now, i, FlowEventKind::Failed, f.cwnd);
+                                }
                             } else {
                                 f.state = FlowState::Backoff { until: now + f.rto };
-                                f.rto *= self.cfg.rto_backoff;
-                                f.cwnd = self.cfg.init_cwnd as f64;
+                                f.rto *= cfg.rto_backoff;
+                                f.cwnd = cfg.init_cwnd as f64;
                                 f.seg_sent = 0.0;
+                                if let Some(st) = tr.as_deref_mut() {
+                                    st.last_cwnd_floor[i] = f.cwnd.floor();
+                                    st.push(
+                                        now,
+                                        i,
+                                        FlowEventKind::Timeout { strikes: f.strikes },
+                                        f.cwnd,
+                                    );
+                                }
                             }
                         }
                     }
                 }
                 FlowState::Backoff { until } if now >= until - EPS_TIME => {
                     f.state = FlowState::Running;
+                    if let Some(st) = tr.as_deref_mut() {
+                        st.push(now, i, FlowEventKind::BackoffEnd, f.cwnd);
+                    }
                 }
                 _ => {}
             }
@@ -714,5 +953,79 @@ mod tests {
         assert!(o.completed);
         assert_eq!(span, 0.0);
         assert_eq!(o.wire_bytes, 0);
+    }
+
+    /// The disabled trace path must stay near-free: the recorder is an
+    /// `Option<Box<_>>`, so niche optimization keeps the field to one null
+    /// pointer and every hot-path hook to a single discriminant branch
+    /// (`if let Some(st) = self.trace`). The `flow_sim_traced` vs
+    /// `flow_sim_contended_wave` perf pair bounds the *enabled* cost.
+    #[test]
+    fn disabled_trace_costs_one_word_and_one_branch() {
+        assert_eq!(
+            std::mem::size_of::<Option<Box<TraceState>>>(),
+            std::mem::size_of::<usize>(),
+            "disabled recorder must be a single (null) word"
+        );
+        let mut sim = FlowSim::new(cfg());
+        let l = sim.add_link(1.0e6, 0.0, 0.01, None);
+        sim.add_flow(&[l], 50_000);
+        sim.run();
+        assert!(sim.take_trace().is_none(), "nothing recorded unless enabled");
+    }
+
+    /// The observation contract of the tentpole: tracing must not change a
+    /// single outcome bit, and the untraced simulator records nothing.
+    #[test]
+    fn tracing_does_not_change_outcomes() {
+        let build = |traced: bool| {
+            let mut sim = FlowSim::new(cfg());
+            if traced {
+                sim.enable_trace();
+            }
+            let wan = sim.add_link(2.0e6, 0.2, 0.01, None);
+            let lan = sim.add_link(1.0e7, 0.0, 0.0, Some((0.5, 0.1)));
+            for i in 0..5 {
+                let path = if i % 2 == 0 { vec![wan] } else { vec![lan, wan] };
+                sim.add_flow(&path, 300_000 + i * 10_000);
+            }
+            sim.run();
+            let span = sim.makespan();
+            (sim.outcomes(), span, sim.take_trace())
+        };
+        let (plain, span_plain, none) = build(false);
+        let (traced, span_traced, trace) = build(true);
+        assert!(none.is_none(), "untraced sim must record nothing");
+        assert_eq!(plain, traced, "tracing must not perturb outcomes");
+        assert_eq!(span_plain, span_traced);
+
+        let trace = trace.expect("traced sim returns its recording");
+        let starts =
+            trace.events.iter().filter(|e| matches!(e.kind, FlowEventKind::Start { .. })).count();
+        assert_eq!(starts, 5, "one start event per flow");
+        let settled = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, FlowEventKind::Done | FlowEventKind::Failed))
+            .count();
+        assert_eq!(settled, 5, "every flow settles exactly once");
+        let retransmits: usize =
+            trace.events.iter().filter(|e| matches!(e.kind, FlowEventKind::Retransmit)).count();
+        assert_eq!(
+            retransmits as u64,
+            plain.iter().map(|o| o.retransmits).sum::<u64>(),
+            "one retransmit event per accounted retransmission"
+        );
+        for w in trace.events.windows(2) {
+            assert!(w[0].t <= w[1].t + EPS_TIME, "events must be time-ordered");
+        }
+        assert_eq!(trace.links.len(), 2);
+        for s in &trace.links {
+            assert_eq!(s.t.len(), s.util.len());
+            assert_eq!(s.t.len(), s.queue.len());
+            assert!(s.t.windows(2).all(|w| w[0] <= w[1]), "series times ascend");
+            assert!(s.util.iter().all(|&u| (0.0..=1.0).contains(&u)));
+            assert!(!s.t.is_empty(), "contended links produce samples");
+        }
     }
 }

@@ -37,11 +37,15 @@ pub use budget::{MeterState, ResourceBudget, ResourceMeter, TrafficBreakdown};
 pub use clock::SimClock;
 pub use compute::{ClientCompute, DeviceTier};
 pub use fault::{FaultConfig, FaultModel, RetryPolicy};
-pub use flow::{FlowConfig, FlowOutcome, FlowSim, QueueDiscipline};
+pub use flow::{
+    FlowConfig, FlowEvent, FlowEventKind, FlowOutcome, FlowSim, FlowTrace, LinkSeries,
+    QueueDiscipline,
+};
 pub use topology::{LinkClass, Topology, TopologyConfig};
 pub use transport::{
-    simulate_c2s, simulate_migrations, upload_deadline, PhaseSim, TransportAccum,
-    TransportAccumState, TransportConfig, TransportStats,
+    simulate_c2s, simulate_c2s_traced, simulate_migrations, simulate_migrations_traced,
+    upload_deadline, PhaseSim, PhaseTrace, TransportAccum, TransportAccumState, TransportConfig,
+    TransportStats,
 };
 
 /// Seconds to move `bytes` over a link of `bandwidth` bytes/second, or

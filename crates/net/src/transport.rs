@@ -20,7 +20,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::flow::{FlowConfig, FlowOutcome, FlowSim};
+use crate::flow::{FlowConfig, FlowOutcome, FlowSim, FlowTrace};
 use crate::{FaultModel, Topology};
 
 /// Which transport the runner charges communication through.
@@ -68,6 +68,28 @@ pub struct PhaseSim {
     pub makespan: f64,
     /// Mean utilization of the links that carried traffic.
     pub mean_link_utilization: f64,
+    /// Flow/link trace annotated with topology labels. `None` unless the
+    /// phase ran through a `*_traced` entry point with tracing requested.
+    pub trace: Option<PhaseTrace>,
+}
+
+/// A [`FlowTrace`] plus the topology-level naming the raw simulator cannot
+/// know: which link index is the WAN versus which client's access link, and
+/// which client (or migration source) owns each flow.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTrace {
+    /// Stable label per link index: `"wan"`, `"access:<client>"`,
+    /// `"backbone"` or `"pair:<src>-<dst>"`.
+    pub link_labels: Vec<String>,
+    /// Capacity (bytes/s) per link index, after fault scaling.
+    pub link_capacity: Vec<f64>,
+    /// Owning client per flow index: the uploader/downloader for C2S
+    /// phases, the migration source for migration waves.
+    pub flow_owners: Vec<usize>,
+    /// Link indices each flow traverses, in path order.
+    pub flow_paths: Vec<Vec<usize>>,
+    /// The raw event/series trace from the simulator.
+    pub flow: FlowTrace,
 }
 
 /// Simulates `clients`' same-direction C2S transfers of `bytes` each as
@@ -82,9 +104,32 @@ pub fn simulate_c2s(
     clients: &[usize],
     bytes: u64,
 ) -> PhaseSim {
+    simulate_c2s_traced(topo, fault, epoch, cfg, clients, bytes, false)
+}
+
+/// [`simulate_c2s`] with optional tracing: when `traced`, the returned
+/// [`PhaseSim::trace`] carries labelled flow events and link time series.
+/// The simulated outcomes are identical either way.
+pub fn simulate_c2s_traced(
+    topo: &Topology,
+    fault: &FaultModel,
+    epoch: usize,
+    cfg: &FlowConfig,
+    clients: &[usize],
+    bytes: u64,
+    traced: bool,
+) -> PhaseSim {
     let mut sim = FlowSim::new(phase_cfg(cfg, epoch, 1));
+    if traced {
+        sim.enable_trace();
+    }
+    let mut pt = PhaseTrace::default();
     let wan_bw = topo.c2s_bandwidth(epoch);
     let wan = sim.add_link(wan_bw, 0.0, topo.c2s_latency(), None);
+    if traced {
+        pt.link_labels.push("wan".into());
+        pt.link_capacity.push(wan_bw);
+    }
     let flows: Vec<_> = clients
         .iter()
         .map(|&c| {
@@ -92,6 +137,12 @@ pub fn simulate_c2s(
             let loss = fault.link_burst_loss(c, usize::MAX, epoch);
             let flap = fault.link_flap(c, usize::MAX, epoch);
             let access = sim.add_link(wan_bw * collapse, loss, 0.0, flap);
+            if traced {
+                pt.link_labels.push(format!("access:{c}"));
+                pt.link_capacity.push(wan_bw * collapse);
+                pt.flow_owners.push(c);
+                pt.flow_paths.push(vec![access.index(), wan.index()]);
+            }
             sim.add_flow(&[access, wan], bytes)
         })
         .collect();
@@ -100,6 +151,10 @@ pub fn simulate_c2s(
         outcomes: flows.into_iter().map(|f| sim.outcome(f)).collect(),
         makespan: sim.makespan(),
         mean_link_utilization: sim.mean_link_utilization(),
+        trace: sim.take_trace().map(|flow| {
+            pt.flow = flow;
+            pt
+        }),
     }
 }
 
@@ -116,8 +171,31 @@ pub fn simulate_migrations(
     moves: &[(usize, usize)],
     bytes: u64,
 ) -> PhaseSim {
+    simulate_migrations_traced(topo, fault, epoch, cfg, moves, bytes, false)
+}
+
+/// [`simulate_migrations`] with optional tracing; see
+/// [`simulate_c2s_traced`].
+pub fn simulate_migrations_traced(
+    topo: &Topology,
+    fault: &FaultModel,
+    epoch: usize,
+    cfg: &FlowConfig,
+    moves: &[(usize, usize)],
+    bytes: u64,
+    traced: bool,
+) -> PhaseSim {
     let mut sim = FlowSim::new(phase_cfg(cfg, epoch, 2));
-    let backbone = sim.add_link(topo.backbone_bandwidth(epoch), 0.0, 0.0, None);
+    if traced {
+        sim.enable_trace();
+    }
+    let mut pt = PhaseTrace::default();
+    let backbone_bw = topo.backbone_bandwidth(epoch);
+    let backbone = sim.add_link(backbone_bw, 0.0, 0.0, None);
+    if traced {
+        pt.link_labels.push("backbone".into());
+        pt.link_capacity.push(backbone_bw);
+    }
     let mut pair_links = std::collections::HashMap::new();
     let flows: Vec<_> = moves
         .iter()
@@ -133,10 +211,19 @@ pub fn simulate_migrations(
                 };
                 let loss = fault.link_burst_loss(src, dst, epoch);
                 let flap = fault.link_flap(src, dst, epoch);
-                sim.add_link(bw, loss, topo.c2c_latency(src, dst), flap)
+                let id = sim.add_link(bw, loss, topo.c2c_latency(src, dst), flap);
+                if traced {
+                    pt.link_labels.push(format!("pair:{}-{}", key.0, key.1));
+                    pt.link_capacity.push(bw);
+                }
+                id
             });
             let path: Vec<_> =
                 if topo.same_lan(src, dst) { vec![pair] } else { vec![pair, backbone] };
+            if traced {
+                pt.flow_owners.push(src);
+                pt.flow_paths.push(path.iter().map(|l| l.index()).collect());
+            }
             sim.add_flow(&path, bytes)
         })
         .collect();
@@ -145,6 +232,10 @@ pub fn simulate_migrations(
         outcomes: flows.into_iter().map(|f| sim.outcome(f)).collect(),
         makespan: sim.makespan(),
         mean_link_utilization: sim.mean_link_utilization(),
+        trace: sim.take_trace().map(|flow| {
+            pt.flow = flow;
+            pt
+        }),
     }
 }
 
@@ -407,6 +498,42 @@ mod tests {
     }
 
     #[test]
+    fn traced_phases_match_untraced_and_label_every_link() {
+        let t = topo();
+        let f = FaultModel::new(FaultConfig::edge_churn(0.3, 7), 10);
+        let cfg = FlowConfig::standard(5);
+        let clients: Vec<usize> = (0..6).collect();
+
+        let plain = simulate_c2s(&t, &f, 2, &cfg, &clients, 400_000);
+        let traced = simulate_c2s_traced(&t, &f, 2, &cfg, &clients, 400_000, true);
+        assert!(plain.trace.is_none());
+        assert_eq!(plain.outcomes, traced.outcomes);
+        assert_eq!(plain.makespan, traced.makespan);
+        let pt = traced.trace.expect("trace requested");
+        assert_eq!(pt.link_labels[0], "wan");
+        assert_eq!(pt.link_labels.len(), clients.len() + 1);
+        assert_eq!(pt.link_labels.len(), pt.link_capacity.len());
+        assert_eq!(pt.flow_owners, clients);
+        assert_eq!(pt.link_labels.len(), pt.flow.links.len());
+        for (i, path) in pt.flow_paths.iter().enumerate() {
+            assert_eq!(path, &[i + 1, 0], "client flow crosses access then wan");
+        }
+        assert!(!pt.flow.events.is_empty());
+
+        let moves = vec![(0, 4), (1, 5), (2, 3)];
+        let plain = simulate_migrations(&t, &f, 2, &cfg, &moves, 300_000);
+        let traced = simulate_migrations_traced(&t, &f, 2, &cfg, &moves, 300_000, true);
+        assert_eq!(plain.outcomes, traced.outcomes);
+        let pt = traced.trace.expect("trace requested");
+        assert_eq!(pt.link_labels[0], "backbone");
+        assert!(pt.link_labels.iter().skip(1).all(|l| l.starts_with("pair:")));
+        assert_eq!(pt.flow_owners, vec![0, 1, 2]);
+        for path in &pt.flow_paths {
+            assert!(pt.link_labels.len() > *path.iter().max().unwrap());
+        }
+    }
+
+    #[test]
     fn deadline_is_a_median_multiple() {
         let mk = |finish: f64, completed: bool| FlowOutcome {
             completed,
@@ -435,6 +562,7 @@ mod tests {
             ],
             makespan: 1.0,
             mean_link_utilization: 0.8,
+            trace: None,
         };
         acc.absorb(&phase);
         acc.note_late_upload();

@@ -64,6 +64,14 @@ pub mod names {
     pub const RETRANSMITS_TOTAL: &str = "fedmigr_net_retransmits_total";
     /// Counter: retransmission timeouts fired by the flow transport.
     pub const FLOW_TIMEOUTS_TOTAL: &str = "fedmigr_net_flow_timeouts_total";
+    /// Counter: flow lifecycle events per `{event}` (start, rate,
+    /// retransmit, timeout, ...), emitted only while the round timeline is
+    /// recording.
+    pub const FLOW_EVENTS_TOTAL: &str = "fedmigr_net_flow_events_total";
+    /// Histogram: seconds each traced link spent busy (allocated rate
+    /// above zero) during one transport phase, emitted only while the
+    /// round timeline is recording.
+    pub const LINK_BUSY_SECONDS: &str = "fedmigr_net_link_busy_seconds";
     /// Counter: declared FLOPs per `{kernel, phase}` (from `fedmigr-tensor`
     /// kernel accounting, attributed to phases by the runners).
     pub const KERNEL_FLOPS_TOTAL: &str = "fedmigr_kernel_flops_total";
@@ -75,6 +83,11 @@ pub mod names {
     /// nanoseconds (a counter, not a histogram, so per-phase GFLOP/s is an
     /// exact ratio of two counters).
     pub const KERNEL_NANOS_TOTAL: &str = "fedmigr_kernel_nanos_total";
+    /// Counter: process CPU time (utime + stime across all threads) per
+    /// `{phase}`, in nanoseconds. The honest denominator for kernel
+    /// attribution: kernel nanos are summed across worker threads, so
+    /// dividing by wall clock overstates coverage on parallel phases.
+    pub const PHASE_CPU_NANOS_TOTAL: &str = "fedmigr_phase_cpu_nanos_total";
 }
 
 /// Where rendered log lines go.

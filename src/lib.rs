@@ -9,6 +9,7 @@
 pub use fedmigr_compress as compress;
 pub use fedmigr_core as core;
 pub use fedmigr_data as data;
+pub use fedmigr_diag as diag;
 pub use fedmigr_drl as drl;
 pub use fedmigr_net as net;
 pub use fedmigr_nn as nn;

@@ -108,6 +108,14 @@ OPTIONS:
     --flight-out <path>  record a JSONL flight recording of the run (implies
                          the diagnostics; inspect with fedmigr_report,
                          gate with fedmigr_diff)
+    --timeline-out <path> record the round timeline (JSONL): per-client
+                         train/wait/upload/migrate/idle/stale intervals plus,
+                         on the flow transport, per-flow lifecycle events and
+                         per-link utilization series; observation-only —
+                         results are byte-identical (analyze with
+                         fedmigr_netview, validate with telemetry_validate)
+    --chrome-out <path>  also convert the timeline to Chrome trace-event
+                         JSON viewable in Perfetto (needs --timeline-out)
     --log-level <spec>   log verbosity: error|warn|info|debug|trace, with
                          per-target overrides like debug,drl=trace,net=off
                          (default info; FEDMIGR_LOG is honoured too)
@@ -201,7 +209,14 @@ fn main() {
         cfg.watchdog.max_rollbacks = n;
     }
     cfg.seed = args.seed;
-    cfg.diag = DiagConfig { enabled: args.diag, flight_out: args.flight_out.clone() };
+    if args.chrome_out.is_some() && args.timeline_out.is_none() {
+        die("--chrome-out needs --timeline-out");
+    }
+    cfg.diag = DiagConfig {
+        enabled: args.diag,
+        flight_out: args.flight_out.clone(),
+        timeline_out: args.timeline_out.clone(),
+    };
 
     let metrics = if args.fleet { run_fleet(&args, cfg) } else { run_dense(&args, cfg) };
 
@@ -285,6 +300,21 @@ fn main() {
                     error!("cli", "error: failed to write {apath}: {e}");
                     std::process::exit(2);
                 }
+            }
+        }
+    }
+    if let (Some(chrome), Some(timeline)) = (&args.chrome_out, &args.timeline_out) {
+        let result = std::fs::read_to_string(timeline)
+            .map_err(|e| e.to_string())
+            .and_then(|text| fedmigr::diag::TimelineRecording::parse(&text))
+            .and_then(|rec| {
+                std::fs::write(chrome, fedmigr::diag::chrome_trace(&rec)).map_err(|e| e.to_string())
+            });
+        match result {
+            Ok(()) => info!("cli", "wrote {chrome}"),
+            Err(e) => {
+                error!("cli", "error: failed to write --chrome-out {chrome}: {e}");
+                std::process::exit(2);
             }
         }
     }
@@ -409,6 +439,8 @@ struct Args {
     csv: Option<String>,
     diag: bool,
     flight_out: Option<String>,
+    timeline_out: Option<String>,
+    chrome_out: Option<String>,
     log_level: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -455,6 +487,8 @@ impl Args {
             csv: None,
             diag: false,
             flight_out: None,
+            timeline_out: None,
+            chrome_out: None,
             log_level: None,
             trace_out: None,
             metrics_out: None,
@@ -532,6 +566,8 @@ impl Args {
                 "--seed" => out.seed = parse(value, flag),
                 "--csv" => out.csv = Some(value.clone()),
                 "--flight-out" => out.flight_out = Some(value.clone()),
+                "--timeline-out" => out.timeline_out = Some(value.clone()),
+                "--chrome-out" => out.chrome_out = Some(value.clone()),
                 "--log-level" => out.log_level = Some(value.clone()),
                 "--trace-out" => out.trace_out = Some(value.clone()),
                 "--metrics-out" => out.metrics_out = Some(value.clone()),

@@ -89,15 +89,21 @@ fn assert_kill_resume_identity(tag: &str, transport: TransportConfig, kill_round
     std::fs::create_dir_all(&ck_dir).unwrap();
 
     let mut base_cfg = stressed_config(transport);
-    base_cfg.diag =
-        DiagConfig { enabled: true, flight_out: Some(base_flight.to_string_lossy().into_owned()) };
+    base_cfg.diag = DiagConfig {
+        enabled: true,
+        flight_out: Some(base_flight.to_string_lossy().into_owned()),
+        ..DiagConfig::default()
+    };
     let baseline = experiment(5).run(&base_cfg);
     assert_eq!(baseline.epochs(), EPOCHS);
 
     // First leg: run from scratch, die at kill_rounds[0].
     let mut cfg = stressed_config(transport);
-    cfg.diag =
-        DiagConfig { enabled: true, flight_out: Some(chaos_flight.to_string_lossy().into_owned()) };
+    cfg.diag = DiagConfig {
+        enabled: true,
+        flight_out: Some(chaos_flight.to_string_lossy().into_owned()),
+        ..DiagConfig::default()
+    };
     cfg.checkpoint_every = Some(2);
     cfg.checkpoint_dir = Some(ck_dir.to_string_lossy().into_owned());
     cfg.kill_at = Some(kill_rounds[0]);

@@ -52,8 +52,11 @@ fn diagnostics_observe_without_perturbing() {
     let flight_path =
         std::env::temp_dir().join(format!("fedmigr-diag-e2e-{}.jsonl", std::process::id()));
     let mut cfg_on = cfg.clone();
-    cfg_on.diag =
-        DiagConfig { enabled: true, flight_out: Some(flight_path.to_string_lossy().into_owned()) };
+    cfg_on.diag = DiagConfig {
+        enabled: true,
+        flight_out: Some(flight_path.to_string_lossy().into_owned()),
+        ..DiagConfig::default()
+    };
     let on = experiment(3).run(&cfg_on);
 
     // 1. Byte-identity: the exported run must not change at all.

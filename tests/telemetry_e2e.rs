@@ -177,10 +177,24 @@ fn telemetry_observes_without_perturbing() {
     ] {
         assert!(dump.contains(&format!("# TYPE {family} ")), "metrics dump missing {family}");
     }
-    // Kernel time attributes the bulk of the training phase. The bound is
-    // loose (the strict >=90% gate runs on the fig7 config in CI) because
-    // a preempted test runner can stretch phase wall-clock arbitrarily.
+    // Kernel time attributes a meaningful share of the training phase. The
+    // bound is loose (the strict 90-110% CPU-band gate runs on the release
+    // fig7 config in CI) because this is a debug build — unoptimized
+    // non-kernel code (batch assembly, iterators, bounds checks) dominates —
+    // and `train_all` chunks to `available_parallelism`, so summed kernel
+    // wall is no longer inflated by per-client thread oversubscription.
     let cov = fedmigr::core::kernels::phase_coverage("local_train")
         .expect("local_train kernel coverage is measurable");
-    assert!(cov >= 0.5, "kernel coverage of local_train {cov:.3} below 50%");
+    assert!(cov >= 0.1, "kernel coverage of local_train {cov:.3} below 10%");
+    // CPU-based attribution must also be measurable. The upper bound is very
+    // loose: /proc/self/stat ticks at USER_HZ (10 ms), so on a sub-second
+    // smoke run per-phase CPU quantizes coarsely and the ratio is noisy in
+    // both directions. The strict band is gated on the long release fig7
+    // config in CI, where quantization error is negligible.
+    let cpu_cov = fedmigr::core::kernels::phase_cpu_coverage("local_train")
+        .expect("local_train CPU coverage is measurable");
+    assert!(
+        cpu_cov > 0.05 && cpu_cov < 10.0,
+        "CPU coverage of local_train {cpu_cov:.3} outside (0.05, 10)"
+    );
 }
